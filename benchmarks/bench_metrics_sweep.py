@@ -1,0 +1,84 @@
+"""E-M — the [24]-style technical metric sweep feeding the videos.
+
+Prints the per-network mean of each technical metric per stack over the
+bench corpus, plus two ablations from DESIGN.md: typical-run selection by
+PLT vs SI, and the effect of the recorder's repetition count.
+"""
+
+from statistics import fmean, median
+
+from repro.browser.recorder import record_website
+from repro.netem.profiles import LTE, NETWORKS
+from repro.transport.config import STACKS, stack_by_name
+from repro.web.corpus import build_site
+
+from benchmarks.conftest import bench_sites, emit
+
+
+def test_metrics_sweep(testbed, benchmark):
+    sites = bench_sites()
+
+    def collect():
+        table = {}
+        for profile in NETWORKS:
+            for stack in STACKS:
+                recs = [testbed.recording(site, profile.name, stack.name)
+                        for site in sites]
+                # Median over sites: every site counts equally, like
+                # votes in the studies (means would be dominated by the
+                # few multi-megabyte sites).
+                table[(profile.name, stack.name)] = {
+                    metric: median(r.selected_metrics[metric]
+                                   for r in recs)
+                    for metric in ("FVC", "SI", "VC85", "LVC", "PLT")
+                }
+        return table
+
+    table = benchmark(collect)
+
+    lines = ["Technical metrics, median over the bench corpus:"]
+    for network in [p.name for p in NETWORKS]:
+        lines.append(f"\n  [{network}]")
+        lines.append("    " + "stack".ljust(10) + "".join(
+            m.rjust(9) for m in ("FVC", "SI", "VC85", "LVC", "PLT")))
+        for stack in [s.name for s in STACKS]:
+            row = table[(network, stack)]
+            lines.append("    " + stack.ljust(10) + "".join(
+                f"{row[m]:9.2f}" for m in ("FVC", "SI", "VC85", "LVC",
+                                           "PLT")))
+    emit("metrics_sweep", "\n".join(lines))
+
+    # QUIC's SI beats stock TCP's on every network (mean over sites).
+    for network in ("LTE", "MSS"):
+        assert table[(network, "QUIC")]["SI"] < table[(network, "TCP")]["SI"]
+    # The 1-RTT advantage shows in first visual change on DSL/LTE.
+    for network in ("DSL", "LTE"):
+        assert table[(network, "QUIC")]["FVC"] < \
+            table[(network, "TCP")]["FVC"]
+
+
+def test_ablation_selection_metric(benchmark):
+    """Typical-run selection by PLT vs SI picks comparable videos."""
+    site = build_site("wikipedia.org", seed=0)
+    stack = stack_by_name("TCP")
+
+    def produce():
+        by_plt = record_website(site, LTE, stack, runs=7, seed=5,
+                                selection_metric="PLT")
+        by_si = record_website(site, LTE, stack, runs=7, seed=5,
+                               selection_metric="SI")
+        return by_plt, by_si
+
+    by_plt, by_si = benchmark(produce)
+    emit("ablation_selection", "\n".join([
+        "Typical-run selection ablation (wikipedia.org, LTE, TCP):",
+        f"  by PLT: selected SI={by_plt.metrics.si:.3f} "
+        f"PLT={by_plt.metrics.plt:.3f}",
+        f"  by SI:  selected SI={by_si.metrics.si:.3f} "
+        f"PLT={by_si.metrics.plt:.3f}",
+    ]))
+    # Both selectors must pick runs near the centre of the distribution.
+    plts = by_plt.metric_values("PLT")
+    assert min(plts) <= by_plt.metrics.plt <= max(plts)
+    sis = by_si.metric_values("SI")
+    assert min(sis) <= by_si.metrics.si <= max(sis)

@@ -1,0 +1,68 @@
+"""E-S43 — Section 4.3: why DA2GC favours stock TCP over TCP+.
+
+"We always found more retransmissions for TCP+ (on avg. x1.5 but up to
+x4.8) which may be explained by the comparably high initial congestion
+window leading to early losses. In contrast, QUIC seems to not suffer
+from the same problems."
+
+This bench regenerates the retransmission comparison and doubles as the
+IW10-vs-IW32 ablation called out in DESIGN.md.
+"""
+
+from statistics import fmean
+
+from benchmarks.conftest import bench_sites, emit
+
+
+def test_sec43_retransmission_asymmetry(testbed, benchmark):
+    sites = bench_sites()
+
+    def collect():
+        ratios = {}
+        for network in ("DA2GC", "MSS"):
+            tcp = [testbed.recording(s, network, "TCP") for s in sites]
+            plus = [testbed.recording(s, network, "TCP+") for s in sites]
+            quic = [testbed.recording(s, network, "QUIC") for s in sites]
+            per_site = []
+            for r_tcp, r_plus in zip(tcp, plus):
+                if r_tcp.mean_retransmissions > 0:
+                    per_site.append(r_plus.mean_retransmissions
+                                    / r_tcp.mean_retransmissions)
+            ratios[network] = {
+                "per_site": per_site,
+                "tcp": fmean(r.mean_retransmissions for r in tcp),
+                "plus": fmean(r.mean_retransmissions for r in plus),
+                "quic_norm": fmean(
+                    r.mean_retransmissions / max(r.mean_segments_sent, 1)
+                    for r in quic),
+                "plus_norm": fmean(
+                    r.mean_retransmissions / max(r.mean_segments_sent, 1)
+                    for r in plus),
+            }
+        return ratios
+
+    ratios = benchmark(collect)
+
+    lines = ["Section 4.3: mean retransmissions per page load:"]
+    for network, data in ratios.items():
+        mean_ratio = fmean(data["per_site"]) if data["per_site"] else 0.0
+        max_ratio = max(data["per_site"]) if data["per_site"] else 0.0
+        lines.append(
+            f"  {network:6s} TCP={data['tcp']:7.1f}  TCP+={data['plus']:7.1f}"
+            f"  ratio mean x{mean_ratio:.2f} max x{max_ratio:.2f}"
+            f"  (paper: mean x1.5, max x4.8)"
+        )
+        lines.append(
+            f"         retx share of sent packets: TCP+ "
+            f"{data['plus_norm']:.1%} vs QUIC {data['quic_norm']:.1%}"
+        )
+    emit("sec43_retransmissions", "\n".join(lines))
+
+    # DA2GC: TCP+ retransmits more than stock TCP (the IW32 penalty).
+    da2gc = ratios["DA2GC"]
+    assert da2gc["plus"] > da2gc["tcp"]
+    assert fmean(da2gc["per_site"]) > 1.2
+
+    # QUIC, despite the same IW32 + pacing, recovers more efficiently:
+    # its retransmission share stays below TCP+'s.
+    assert da2gc["quic_norm"] < da2gc["plus_norm"]

@@ -1,0 +1,51 @@
+"""E-T1 — Table 1: the five protocol stack configurations.
+
+Regenerates the configuration table and benchmarks the cost of a
+connection handshake per stack (the 1-RTT vs 2-RTT difference that
+drives the DSL/LTE results).
+"""
+
+from repro.netem.engine import EventLoop
+from repro.netem.path import NetworkPath
+from repro.netem.profiles import LTE
+from repro.report import render_table1
+from repro.transport.config import STACKS, stack_by_name
+from repro.transport.quic import QuicConnection
+from repro.transport.tcp import TcpConnection
+
+from benchmarks.conftest import emit
+
+
+def handshake_time(stack_name: str, seed: int = 0) -> float:
+    """Simulated time until the client may send its first request."""
+    loop = EventLoop()
+    path = NetworkPath(loop, LTE, seed=seed)
+    stack = stack_by_name(stack_name)
+    done = {}
+    if stack.is_quic:
+        conn = QuicConnection(path, stack, lambda *a: None, lambda *a: None)
+    else:
+        conn = TcpConnection(path, stack, lambda *a: None, lambda *a: None)
+    conn.connect(lambda: done.setdefault("t", loop.now))
+    loop.run(until=10.0)
+    return done["t"]
+
+
+def test_table1_render(benchmark):
+    text = benchmark(render_table1)
+    rows = [s.name for s in STACKS]
+    assert rows == ["TCP", "TCP+", "TCP+BBR", "QUIC", "QUIC+BBR"]
+    emit("table1", text)
+
+
+def test_table1_handshake_rtts(benchmark):
+    """QUIC stacks complete their handshake in about half the TCP time."""
+    times = benchmark(lambda: {s.name: handshake_time(s.name)
+                               for s in STACKS})
+    lines = ["Handshake completion on LTE (74 ms min RTT):"]
+    for name, t in times.items():
+        lines.append(f"  {name:9s} {t * 1000:7.1f} ms "
+                     f"({stack_by_name(name).handshake_rtts}-RTT design)")
+    emit("table1_handshakes", "\n".join(lines))
+    assert times["QUIC"] < times["TCP"] * 0.75
+    assert times["QUIC+BBR"] < times["TCP+BBR"] * 0.75

@@ -1,0 +1,41 @@
+"""E-T2 — Table 2: the four emulated access networks.
+
+Regenerates the configuration table and benchmarks one reference page
+load per network, asserting the emulation orders them correctly.
+"""
+
+from repro.browser.engine import load_page
+from repro.netem.profiles import NETWORKS, network_by_name
+from repro.report import render_table2
+from repro.transport.config import TCP
+from repro.web.corpus import build_site
+
+from benchmarks.conftest import emit
+
+
+def test_table2_render(benchmark):
+    text = benchmark(render_table2)
+    for token in ("25 Mbps", "0.468 Mbps", "760 ms", "6.0 %"):
+        assert token in text
+    emit("table2", text)
+
+
+def test_table2_reference_loads(benchmark):
+    """gov.uk over each network: load time follows the link quality."""
+    site = build_site("gov.uk", seed=0)
+
+    def sweep():
+        return {
+            profile.name: load_page(site, profile, TCP, seed=11).metrics
+            for profile in NETWORKS
+        }
+
+    metrics = benchmark(sweep)
+    lines = ["gov.uk via stock TCP on each Table 2 network:",
+             f"  {'network':8s} {'FVC':>8s} {'SI':>8s} {'PLT':>8s}"]
+    for name, m in metrics.items():
+        lines.append(f"  {name:8s} {m.fvc:8.2f} {m.si:8.2f} {m.plt:8.2f}")
+    emit("table2_loads", "\n".join(lines))
+    assert metrics["DSL"].plt < metrics["LTE"].plt
+    assert metrics["LTE"].plt < metrics["DA2GC"].plt
+    assert metrics["LTE"].plt < metrics["MSS"].plt

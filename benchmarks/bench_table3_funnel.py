@@ -1,0 +1,52 @@
+"""E-T3 — Table 3: participation and conformance filtering.
+
+Runs both studies for all three groups, applies R1-R7 and regenerates the
+participation funnel next to the paper's reference numbers.
+"""
+
+from repro.report import render_table3
+from repro.study.filtering import apply_filters
+from repro.study.simulate import PAPER_TABLE3
+
+from benchmarks.conftest import bench_scale, emit
+
+
+def test_table3_funnel(campaign, benchmark):
+    scale = bench_scale()
+    reference = {
+        key: [int(round(v * scale)) if key[0] != "lab" else v
+              for v in row]
+        for key, row in PAPER_TABLE3.items()
+    }
+    text = benchmark(render_table3, campaign.funnels, reference=reference)
+    emit("table3", text)
+
+    # Lab sessions survive unfiltered (supervised study).
+    lab = campaign.funnel("lab", "ab")
+    assert lab.final == lab.initial
+
+    # The crowd groups lose a comparable share of participants to the
+    # paper (µWorker A/B kept 233/487 = 48%).
+    mw = campaign.funnel("microworker", "ab")
+    kept_share = mw.final / mw.initial
+    assert 0.33 < kept_share < 0.63
+
+    mw_rating = campaign.funnel("microworker", "rating")
+    kept_rating = mw_rating.final / mw_rating.initial  # paper: 39%
+    assert 0.25 < kept_rating < 0.55
+
+    # Internet volunteers violate less than paid workers (paper: 71% vs
+    # 48% kept in the A/B study).
+    inet = campaign.funnel("internet", "ab")
+    assert inet.final / inet.initial > kept_share
+
+
+def test_filter_application_speed(campaign, benchmark):
+    sessions = campaign.ab["microworker"].sessions
+
+    def run_filters():
+        return apply_filters(sessions, "microworker", "ab")
+
+    survivors, funnel = benchmark(run_filters)
+    assert funnel.initial == len(sessions)
+    assert len(survivors) == funnel.final

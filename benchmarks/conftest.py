@@ -1,0 +1,74 @@
+"""Benchmark fixtures: the shared measurement campaign.
+
+The first run pays for the testbed sweep (page-load simulations); results
+are disk-cached under ``.repro-cache`` so subsequent benchmark runs are
+fast. Control knobs:
+
+* ``REPRO_BENCH_FULL=1`` — sweep all 36 corpus sites (paper scale)
+  instead of the 12 named sites.
+* ``REPRO_BENCH_RUNS`` — repetitions per condition (default 5; the paper
+  used >= 31).
+* ``REPRO_BENCH_SCALE`` — participant scale relative to Table 3
+  (default 0.5).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.study.design import StudyPlan
+from repro.study.simulate import run_campaign
+from repro.testbed.harness import Testbed
+from repro.web.corpus import CORPUS_SITE_NAMES
+
+#: The 12 named sites the paper's evaluation discusses.
+NAMED_SITES = [
+    "wikipedia.org", "gov.uk", "etsy.com", "demorgen.be", "nytimes.com",
+    "spotify.com", "apache.org", "w3.org", "wordpress.com",
+    "gravatar.com", "google.com", "nature.com",
+]
+
+RESULTS_DIR = Path("results")
+
+
+def bench_sites():
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return list(CORPUS_SITE_NAMES)
+    return list(NAMED_SITES)
+
+
+def bench_runs() -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", "5"))
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artifact and archive it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    bed = Testbed(runs=bench_runs(), seed=3)
+    bed.sweep(sites=bench_sites())
+    return bed
+
+
+@pytest.fixture(scope="session")
+def plan():
+    return StudyPlan(sites=bench_sites())
+
+
+@pytest.fixture(scope="session")
+def campaign(testbed, plan):
+    return run_campaign(testbed, plan, seed=7,
+                        participants_scale=bench_scale())

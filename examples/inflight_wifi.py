@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""In-flight WiFi deep dive: does QUIC rescue the long tail?
+
+The paper's motivation for the DA2GC and MSS networks: slow, lossy,
+high-delay in-flight links are where protocol design differences should
+matter most. This example records several websites on both in-flight
+networks with all five stacks, shows the retransmission behaviour behind
+Section 4.3 (stock TCP beats TCP+ on DA2GC; the picture reverts on MSS),
+and renders the loading process of one condition as an ASCII filmstrip.
+
+Run:  python examples/inflight_wifi.py
+"""
+
+from repro import build_site, load_page, network_by_name, stack_by_name
+from repro.browser.recorder import record_website
+
+SITES = ("gov.uk", "apache.org", "spotify.com", "wikipedia.org")
+STACK_NAMES = ("TCP", "TCP+", "TCP+BBR", "QUIC", "QUIC+BBR")
+
+
+def filmstrip(curve, duration: float, width: int = 60) -> str:
+    """Render a visual-progress curve as one text row."""
+    glyphs = " .:-=+*#%@"
+    cells = []
+    for index in range(width):
+        t = duration * (index + 1) / width
+        value = curve.value_at(t)
+        cells.append(glyphs[min(int(value * (len(glyphs) - 1)),
+                                len(glyphs) - 1)])
+    return "".join(cells)
+
+
+def main() -> None:
+    for network_name in ("DA2GC", "MSS"):
+        profile = network_by_name(network_name)
+        print(f"=== {network_name}: {profile.downlink_mbps} Mbps, "
+              f"{profile.min_rtt_ms:.0f} ms RTT, "
+              f"{profile.loss_rate:.1%} loss ===\n")
+        print(f"{'site':14s} {'stack':9s} {'SI':>8s} {'PLT':>8s} "
+              f"{'retx':>6s}")
+        for site_name in SITES:
+            site = build_site(site_name, seed=0)
+            for stack_name in STACK_NAMES:
+                stack = stack_by_name(stack_name)
+                result = load_page(site, profile, stack, seed=7)
+                print(f"{site_name:14s} {stack_name:9s} "
+                      f"{result.metrics.si:8.2f} {result.metrics.plt:8.2f} "
+                      f"{result.transport.retransmissions:6d}")
+            print()
+
+    # The filmstrip: what a study participant actually watched.
+    print("=== Loading-process filmstrips (gov.uk on MSS) ===\n")
+    site = build_site("gov.uk", seed=0)
+    profile = network_by_name("MSS")
+    recordings = {
+        name: record_website(site, profile, stack_by_name(name),
+                             runs=5, seed=3)
+        for name in ("TCP", "QUIC")
+    }
+    duration = max(r.metrics.lvc for r in recordings.values()) + 1.0
+    for name, recording in recordings.items():
+        strip = filmstrip(recording.selected.curve, duration)
+        print(f"{name:5s} |{strip}| SI={recording.metrics.si:.1f}s")
+    print(f"\n(time axis: 0 .. {duration:.0f} s; darker = more of the "
+          f"page visible)")
+
+
+if __name__ == "__main__":
+    main()

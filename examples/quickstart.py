@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: load one website over every network and stack.
+
+Reproduces in miniature what the paper's testbed does: replay a
+multi-server website through the Table 2 networks with the Table 1
+protocol stacks, and report the visual Web performance metrics
+(FVC / SI / VC85 / LVC / PLT) per condition.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NETWORKS, STACKS, build_site, load_page
+
+
+def main() -> None:
+    site = build_site("wikipedia.org", seed=0)
+    print(f"Loading {site.name}: {site.object_count} objects, "
+          f"{site.total_bytes / 1000:.0f} kB over {site.host_count} hosts\n")
+
+    header = f"{'network':8s} {'stack':9s} " + "".join(
+        m.rjust(9) for m in ("FVC", "SI", "VC85", "LVC", "PLT"))
+    print(header)
+    print("-" * len(header))
+
+    for profile in NETWORKS:
+        for stack in STACKS:
+            result = load_page(site, profile, stack, seed=1)
+            m = result.metrics
+            flag = "" if result.completed else "  (timeout)"
+            print(f"{profile.name:8s} {stack.name:9s} "
+                  f"{m.fvc:9.2f} {m.si:9.2f} {m.vc85:9.2f} "
+                  f"{m.lvc:9.2f} {m.plt:9.2f}{flag}")
+        print()
+
+    print("Lower is better; SI (Speed Index) is the metric the paper")
+    print("found to correlate best with what users actually perceive.")
+
+
+if __name__ == "__main__":
+    main()

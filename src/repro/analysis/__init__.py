@@ -1,0 +1,65 @@
+"""Analyses reproducing the paper's tables and figures.
+
+* :mod:`repro.analysis.stats` — CI, normality, ANOVA, Pearson building
+  blocks (scipy-backed).
+* :mod:`repro.analysis.ab` — Figure 4 vote shares and replay counts.
+* :mod:`repro.analysis.rating` — Figure 5 means/CIs, ANOVA significance
+  and Section 4.4's per-website differences.
+* :mod:`repro.analysis.agreement` — Figure 3 group agreement and the
+  Section 4.2 behavioural statistics.
+* :mod:`repro.analysis.correlation` — Figure 6 metric-vs-vote Pearson
+  heatmap.
+"""
+
+from repro.analysis.ab import AbShares, ab_vote_shares
+from repro.analysis.agreement import (
+    ConditionAgreement,
+    agreement_by_condition,
+    behaviour_statistics,
+)
+from repro.analysis.correlation import correlation_heatmap
+from repro.analysis.rating import (
+    RatingCell,
+    anova_by_setting,
+    per_website_differences,
+    rating_means,
+)
+from repro.analysis.power import (
+    minimum_detectable_effect,
+    paper_study_power,
+    two_sample_power,
+)
+from repro.analysis.significance import (
+    benjamini_hochberg,
+    bonferroni,
+    expected_false_positives,
+)
+from repro.analysis.stats import (
+    anova_oneway,
+    is_normal,
+    mean_confidence_interval,
+    pearson_r,
+)
+
+__all__ = [
+    "ab_vote_shares",
+    "AbShares",
+    "rating_means",
+    "RatingCell",
+    "anova_by_setting",
+    "per_website_differences",
+    "agreement_by_condition",
+    "ConditionAgreement",
+    "behaviour_statistics",
+    "correlation_heatmap",
+    "mean_confidence_interval",
+    "is_normal",
+    "anova_oneway",
+    "pearson_r",
+    "two_sample_power",
+    "minimum_detectable_effect",
+    "paper_study_power",
+    "bonferroni",
+    "benjamini_hochberg",
+    "expected_false_positives",
+]

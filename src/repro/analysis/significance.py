@@ -1,0 +1,68 @@
+"""Pairwise significance testing with multiple-comparison control.
+
+Section 4.4 scans 36 sites x 4 networks x several stack pairs for
+significant rating differences — hundreds of tests, where uncorrected
+p < 0.1 findings include false positives by construction. This module
+provides the corrected variants (Bonferroni and Benjamini-Hochberg) so
+users can gauge how robust the per-website findings are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from repro.analysis.rating import WebsiteDifference
+
+
+@dataclass(frozen=True)
+class CorrectedDifference:
+    """A per-website difference with its corrected significance."""
+
+    difference: WebsiteDifference
+    adjusted_p: float
+    survives: bool
+
+
+def bonferroni(differences: Sequence[WebsiteDifference], total_tests: int,
+               alpha: float = 0.10) -> List[CorrectedDifference]:
+    """Bonferroni correction over ``total_tests`` comparisons."""
+    if total_tests < 1:
+        raise ValueError("total_tests must be positive")
+    out = []
+    for diff in differences:
+        adjusted = min(1.0, diff.p_value * total_tests)
+        out.append(CorrectedDifference(diff, adjusted, adjusted < alpha))
+    return out
+
+
+def benjamini_hochberg(differences: Sequence[WebsiteDifference],
+                       total_tests: int,
+                       alpha: float = 0.10) -> List[CorrectedDifference]:
+    """Benjamini-Hochberg FDR control.
+
+    ``total_tests`` is the number of hypotheses examined (including the
+    non-significant ones that produced no WebsiteDifference entry);
+    unreported tests are treated as p = 1.
+    """
+    if total_tests < len(differences):
+        raise ValueError("total_tests cannot be below the reported count")
+    ranked = sorted(differences, key=lambda d: d.p_value)
+    survives_upto = -1
+    for index, diff in enumerate(ranked):
+        threshold = alpha * (index + 1) / total_tests
+        if diff.p_value <= threshold:
+            survives_upto = index
+    out = []
+    for index, diff in enumerate(ranked):
+        adjusted = min(1.0, diff.p_value * total_tests / (index + 1))
+        out.append(CorrectedDifference(diff, adjusted,
+                                       index <= survives_upto))
+    return out
+
+
+def expected_false_positives(total_tests: int, alpha: float = 0.10) -> float:
+    """How many spurious findings an uncorrected scan would produce."""
+    if total_tests < 0:
+        raise ValueError("total_tests must be non-negative")
+    return total_tests * alpha

@@ -1,0 +1,121 @@
+"""Statistical building blocks used by the paper's analyses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """Sample mean with a symmetric confidence interval."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+    n: int
+
+    @property
+    def halfwidth(self) -> float:
+        return (self.upper - self.lower) / 2.0
+
+    def overlaps(self, other: "MeanCI") -> bool:
+        return self.lower <= other.upper and other.lower <= self.upper
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def mean_confidence_interval(values: Sequence[float],
+                             confidence: float = 0.99) -> MeanCI:
+    """Student-t confidence interval for the mean (paper uses 99%)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one value")
+    mean = float(data.mean())
+    if data.size == 1:
+        return MeanCI(mean, mean, mean, confidence, 1)
+    sem = float(data.std(ddof=1)) / math.sqrt(data.size)
+    if sem == 0.0:
+        return MeanCI(mean, mean, mean, confidence, int(data.size))
+    t_crit = float(scipy_stats.t.ppf((1 + confidence) / 2.0, data.size - 1))
+    half = t_crit * sem
+    return MeanCI(mean, mean - half, mean + half, confidence, int(data.size))
+
+
+def is_normal(values: Sequence[float], alpha: float = 0.05) -> bool:
+    """Shapiro-Wilk normality check (True = cannot reject normality).
+
+    The paper reports lab and µWorker votes as normally distributed and
+    Internet votes as not; this is the test behind that statement.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size < 3:
+        return True
+    if float(data.std()) == 0.0:
+        return True
+    # Shapiro-Wilk is defined for n <= 5000; subsample deterministically.
+    if data.size > 5000:
+        step = data.size // 5000 + 1
+        data = data[::step]
+    _, p_value = scipy_stats.shapiro(data)
+    return bool(p_value > alpha)
+
+
+@dataclass(frozen=True)
+class AnovaResult:
+    """One-way ANOVA over k groups."""
+
+    f_statistic: float
+    p_value: float
+    group_sizes: Tuple[int, ...]
+
+    def significant(self, alpha: float) -> bool:
+        return self.p_value < alpha
+
+
+def anova_oneway(groups: Sequence[Sequence[float]]) -> Optional[AnovaResult]:
+    """One-way ANOVA; None when fewer than two non-degenerate groups."""
+    usable = [np.asarray(list(g), dtype=float) for g in groups]
+    usable = [g for g in usable if g.size >= 2]
+    if len(usable) < 2:
+        return None
+    if all(float(g.std()) == 0.0 for g in usable):
+        return None
+    f_stat, p_value = scipy_stats.f_oneway(*usable)
+    if math.isnan(f_stat):
+        return None
+    return AnovaResult(
+        f_statistic=float(f_stat),
+        p_value=float(p_value),
+        group_sizes=tuple(g.size for g in usable),
+    )
+
+
+def pearson_r(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient (nan-safe: returns 0 on degeneracy)."""
+    ax = np.asarray(list(x), dtype=float)
+    ay = np.asarray(list(y), dtype=float)
+    if ax.size != ay.size:
+        raise ValueError("x and y must have equal length")
+    if ax.size < 2 or float(ax.std()) == 0.0 or float(ay.std()) == 0.0:
+        return 0.0
+    r, _ = scipy_stats.pearsonr(ax, ay)
+    return float(r)
+
+
+def welch_ttest_p(a: Sequence[float], b: Sequence[float]) -> float:
+    """Welch's t-test p-value (per-website significance, Section 4.4)."""
+    aa = np.asarray(list(a), dtype=float)
+    bb = np.asarray(list(b), dtype=float)
+    if aa.size < 2 or bb.size < 2:
+        return 1.0
+    if float(aa.std()) == 0.0 and float(bb.std()) == 0.0:
+        return 0.0 if float(aa.mean()) != float(bb.mean()) else 1.0
+    _, p = scipy_stats.ttest_ind(aa, bb, equal_var=False)
+    return float(p) if not math.isnan(float(p)) else 1.0

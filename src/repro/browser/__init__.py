@@ -1,0 +1,22 @@
+"""Browser model: page loading, progressive rendering, visual metrics.
+
+Replaces Chromium + Browsertime in the paper's pipeline: it loads a
+:class:`~repro.web.website.Website` over emulated transports, produces a
+visual-progress curve (the information content of the screen recording),
+and computes the paper's technical metrics — FVC, LVC, PLT, SI and VC85.
+"""
+
+from repro.browser.engine import PageLoad, PageLoadResult, load_page
+from repro.browser.metrics import VisualCurve, VisualMetrics, compute_metrics
+from repro.browser.recorder import Recording, record_website
+
+__all__ = [
+    "PageLoad",
+    "PageLoadResult",
+    "load_page",
+    "VisualCurve",
+    "VisualMetrics",
+    "compute_metrics",
+    "Recording",
+    "record_website",
+]

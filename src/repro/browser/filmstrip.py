@@ -1,0 +1,55 @@
+"""Filmstrip rendering: visual-progress curves as text.
+
+The study videos exist to carry a loading process to a rater's eyes; a
+filmstrip is the terminal-friendly equivalent and is what the examples
+and reports print when a condition needs to be *seen*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.browser.metrics import VisualCurve
+
+#: Ramp from blank to fully painted.
+GLYPHS = " .:-=+*#%@"
+
+
+def filmstrip(curve: VisualCurve, duration: float, width: int = 60) -> str:
+    """Render a curve as one row of glyphs over [0, duration]."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    cells = []
+    top = len(GLYPHS) - 1
+    for index in range(width):
+        t = duration * (index + 1) / width
+        value = curve.value_at(t)
+        cells.append(GLYPHS[min(int(value * top), top)])
+    return "".join(cells)
+
+
+def filmstrip_panel(
+    labelled_curves: Sequence,
+    duration: Optional[float] = None,
+    width: int = 60,
+) -> str:
+    """Render several (label, curve) rows on a shared time axis.
+
+    This is the side-by-side A/B stimulus in text form.
+    """
+    items = list(labelled_curves)
+    if not items:
+        raise ValueError("nothing to render")
+    if duration is None:
+        last_changes = [curve.last_change() or 0.0 for _, curve in items]
+        duration = max(last_changes) + 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = []
+    for label, curve in items:
+        strip = filmstrip(curve, duration, width)
+        lines.append(f"{label.ljust(label_width)} |{strip}|")
+    axis = f"{'':{label_width}} 0{'':{width - 10}}{duration:7.1f}s"
+    lines.append(axis)
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Visual-progress curves and Web performance metrics.
+
+The paper evaluates five technical metrics against user votes (Figure 6):
+
+* **FVC** — First Visual Change: first time anything paints.
+* **LVC** — Last Visual Change: last time the viewport changes.
+* **SI** — (RUM) Speed Index: integral of the remaining visual
+  incompleteness over time; lower is faster.
+* **VC85** — time until the page is 85 % visually complete.
+* **PLT** — Page Load Time (onload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class VisualCurve:
+    """Monotone step function: visual completeness (0..1) over time."""
+
+    def __init__(self, points: Optional[Sequence[Tuple[float, float]]] = None):
+        self._times: List[float] = []
+        self._values: List[float] = []
+        if points:
+            for t, v in points:
+                self.add(t, v)
+
+    def add(self, time: float, value: float) -> None:
+        """Append a sample; time and completeness must not decrease."""
+        if not 0.0 <= value <= 1.0 + 1e-9:
+            raise ValueError(f"completeness must be within [0,1], got {value}")
+        value = min(value, 1.0)
+        if self._times:
+            if time < self._times[-1] - 1e-12:
+                raise ValueError("curve times must be non-decreasing")
+            if value < self._values[-1] - 1e-9:
+                raise ValueError("visual completeness must be non-decreasing")
+            if abs(value - self._values[-1]) < 1e-12:
+                return  # no visible change
+        self._times.append(max(time, self._times[-1] if self._times else time))
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def value_at(self, time: float) -> float:
+        """Completeness at ``time`` (0 before the first sample)."""
+        result = 0.0
+        for t, v in zip(self._times, self._values):
+            if t <= time:
+                result = v
+            else:
+                break
+        return result
+
+    def first_time_at_least(self, threshold: float) -> Optional[float]:
+        """Earliest time completeness reaches ``threshold``, or None."""
+        for t, v in zip(self._times, self._values):
+            if v >= threshold - 1e-12:
+                return t
+        return None
+
+    def first_change(self) -> Optional[float]:
+        """Time of the first visible change (completeness > 0)."""
+        for t, v in zip(self._times, self._values):
+            if v > 1e-12:
+                return t
+        return None
+
+    def last_change(self) -> Optional[float]:
+        """Time of the last visible change."""
+        if not self._times:
+            return None
+        return self._times[-1]
+
+    def speed_index(self) -> float:
+        """∫ (1 - completeness) dt from 0 to the last visual change."""
+        if not self._times:
+            return 0.0
+        total = 0.0
+        prev_time = 0.0
+        prev_value = 0.0
+        for t, v in zip(self._times, self._values):
+            total += (t - prev_time) * (1.0 - prev_value)
+            prev_time, prev_value = t, v
+        return total
+
+    def final_value(self) -> float:
+        return self._values[-1] if self._values else 0.0
+
+
+@dataclass(frozen=True)
+class VisualMetrics:
+    """The paper's five technical metrics for one page load (seconds)."""
+
+    fvc: float
+    lvc: float
+    si: float
+    vc85: float
+    plt: float
+
+    METRIC_NAMES = ("FVC", "SI", "VC85", "LVC", "PLT")
+
+    def as_dict(self) -> Dict[str, float]:
+        """Metrics keyed by their paper names (Figure 6 row order)."""
+        return {
+            "FVC": self.fvc,
+            "SI": self.si,
+            "VC85": self.vc85,
+            "LVC": self.lvc,
+            "PLT": self.plt,
+        }
+
+    def __getitem__(self, name: str) -> float:
+        return self.as_dict()[name]
+
+
+def compute_metrics(curve: VisualCurve, plt: float) -> VisualMetrics:
+    """Derive the metric set from a finished load's curve and onload time."""
+    fvc = curve.first_change()
+    lvc = curve.last_change()
+    if fvc is None or lvc is None:
+        # Nothing ever painted (timeout): degrade gracefully to the PLT.
+        return VisualMetrics(fvc=plt, lvc=plt, si=plt, vc85=plt, plt=plt)
+    vc85 = curve.first_time_at_least(0.85)
+    if vc85 is None:
+        vc85 = plt
+    return VisualMetrics(
+        fvc=fvc,
+        lvc=lvc,
+        si=curve.speed_index(),
+        vc85=vc85,
+        plt=plt,
+    )

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+tables            print Table 1 and Table 2
+load SITE         load one corpus site over every network and stack
+sweep             record the named-site grid (populates the disk cache)
+study             run a reduced campaign and print Table 3 + Figures 4/5
+sites             list the 36 corpus sites with their characteristics
+export SITE PATH  write a corpus site as HAR-flavoured JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from statistics import fmean
+from typing import List, Optional
+
+from repro.browser.engine import load_page
+from repro.netem.profiles import NETWORKS
+from repro.report import (
+    render_figure4,
+    render_figure5,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.study.design import StudyPlan
+from repro.study.simulate import run_campaign
+from repro.testbed.harness import Testbed
+from repro.transport.config import STACKS
+from repro.web.corpus import CORPUS_SITE_NAMES, build_corpus, build_site
+from repro.web.io import save_website
+
+#: Sites used by the quick `sweep` / `study` commands.
+DEFAULT_SITES = [
+    "wikipedia.org", "gov.uk", "etsy.com", "spotify.com", "apache.org",
+    "wordpress.com",
+]
+
+
+def _cmd_tables(_: argparse.Namespace) -> int:
+    print(render_table1())
+    print()
+    print(render_table2())
+    return 0
+
+
+def _cmd_sites(_: argparse.Namespace) -> int:
+    rows = []
+    for site in build_corpus(seed=0):
+        summary = site.summary()
+        rows.append((summary["name"], summary["objects"],
+                     f"{summary['bytes'] / 1000:.0f} kB",
+                     summary["hosts"]))
+    print(render_table(("site", "objects", "weight", "hosts"), rows))
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    site = build_site(args.site, seed=args.seed)
+    print(f"{site.name}: {site.object_count} objects, "
+          f"{site.total_bytes / 1000:.0f} kB, {site.host_count} hosts\n")
+    rows = []
+    for profile in NETWORKS:
+        for stack in STACKS:
+            result = load_page(site, profile, stack, seed=args.seed)
+            m = result.metrics
+            rows.append((profile.name, stack.name, f"{m.fvc:.2f}",
+                         f"{m.si:.2f}", f"{m.plt:.2f}",
+                         "ok" if result.completed else "timeout"))
+    print(render_table(("network", "stack", "FVC", "SI", "PLT", "state"),
+                       rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    testbed = Testbed(runs=args.runs, seed=args.seed)
+    sites = args.sites or DEFAULT_SITES
+    summaries = testbed.sweep(sites=sites)
+    print(f"recorded {len(summaries)} conditions "
+          f"({len(sites)} sites x 4 networks x 5 stacks), "
+          f"{args.runs} runs each")
+    mean_si = fmean(s.si for s in summaries)
+    print(f"mean SI over the grid: {mean_si:.2f} s")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.analysis.ab import ab_vote_shares
+    from repro.analysis.rating import rating_means
+
+    sites = args.sites or DEFAULT_SITES
+    testbed = Testbed(runs=args.runs, seed=args.seed)
+    testbed.sweep(sites=sites)
+    plan = StudyPlan(sites=sites)
+    campaign = run_campaign(testbed, plan, seed=args.seed,
+                            participants_scale=args.scale)
+    print(render_table3(campaign.funnels))
+    print()
+    print(render_figure4(ab_vote_shares(
+        campaign.ab_filtered["microworker"])))
+    print()
+    print(render_figure5(rating_means(
+        campaign.rating_filtered["microworker"])))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    site = build_site(args.site, seed=args.seed)
+    save_website(site, args.path)
+    print(f"wrote {site.name} ({site.object_count} objects) to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Perceiving QUIC (CoNEXT 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1 and 2")
+    sub.add_parser("sites", help="list the 36 corpus sites")
+
+    p_load = sub.add_parser("load", help="load one site everywhere")
+    p_load.add_argument("site", choices=list(CORPUS_SITE_NAMES))
+    p_load.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser("sweep", help="record the condition grid")
+    p_sweep.add_argument("--runs", type=int, default=5)
+    p_sweep.add_argument("--seed", type=int, default=3)
+    p_sweep.add_argument("--sites", nargs="*", default=None)
+
+    p_study = sub.add_parser("study", help="run a reduced campaign")
+    p_study.add_argument("--runs", type=int, default=5)
+    p_study.add_argument("--seed", type=int, default=3)
+    p_study.add_argument("--scale", type=float, default=0.2)
+    p_study.add_argument("--sites", nargs="*", default=None)
+
+    p_export = sub.add_parser("export", help="export a site as JSON")
+    p_export.add_argument("site", choices=list(CORPUS_SITE_NAMES))
+    p_export.add_argument("path")
+    p_export.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+COMMANDS = {
+    "tables": _cmd_tables,
+    "sites": _cmd_sites,
+    "load": _cmd_load,
+    "sweep": _cmd_sweep,
+    "study": _cmd_study,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

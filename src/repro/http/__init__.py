@@ -1,0 +1,26 @@
+"""Application layer: HTTP/2 over TCP+TLS and HTTP/3-style mapping on QUIC.
+
+Both mappings expose the same client interface to the browser engine
+(:class:`repro.http.base.HttpConnection`), so a page load is protocol
+agnostic and the measured differences come from the transports underneath:
+HTTP/2 multiplexes all responses onto one ordered TCP byte stream (loss
+stalls everything behind it), while HTTP/3 maps each response to its own
+QUIC stream (loss only stalls the affected response).
+"""
+
+from repro.http.base import HttpConnection, open_connection
+from repro.http.h2 import H2Connection
+from repro.http.h3 import H3Connection
+from repro.http.messages import HttpRequest, HttpResponseEvents, priority_for
+from repro.http.server import OriginServer
+
+__all__ = [
+    "HttpConnection",
+    "open_connection",
+    "H2Connection",
+    "H3Connection",
+    "HttpRequest",
+    "HttpResponseEvents",
+    "OriginServer",
+    "priority_for",
+]

@@ -1,0 +1,99 @@
+"""Protocol-agnostic client connection interface used by the browser."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional
+
+from repro.http.messages import HttpRequest
+from repro.http.server import OriginServer
+from repro.netem.path import NetworkPath
+from repro.transport.config import StackConfig
+
+
+class HttpConnection(abc.ABC):
+    """One client connection to one origin (host).
+
+    The browser engine opens one connection per contacted host — the
+    paper's multi-server replay makes the number of contacted hosts (and
+    therefore handshakes) a first-order QoE factor.
+    """
+
+    def __init__(self, path: NetworkPath, stack: StackConfig,
+                 server: OriginServer):
+        self._path = path
+        self._loop = path.loop
+        self._stack = stack
+        self._server = server
+        self._established = False
+        self._pending: List[HttpRequest] = []
+        self._connect_started: Optional[float] = None
+        self._established_listeners: List[Callable[[], None]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def established(self) -> bool:
+        return self._established
+
+    @property
+    def connect_started_at(self) -> Optional[float]:
+        return self._connect_started
+
+    def connect(self) -> None:
+        """Start the transport handshake (idempotent)."""
+        if self._connect_started is not None:
+            return
+        self._connect_started = self._loop.now
+        self._start_handshake()
+
+    def request(self, request: HttpRequest) -> None:
+        """Issue a request; queued until the connection is up."""
+        if not self._established:
+            self.connect()
+            self._pending.append(request)
+            return
+        self._submit(request)
+
+    def add_established_listener(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once the handshake completes."""
+        if self._established:
+            callback()
+            return
+        self._established_listeners.append(callback)
+
+    def _on_established(self) -> None:
+        self._established = True
+        pending, self._pending = self._pending, []
+        for request in pending:
+            self._submit(request)
+        listeners, self._established_listeners = \
+            self._established_listeners, []
+        for callback in listeners:
+            callback()
+
+    # -- protocol hooks -------------------------------------------------------
+
+    @abc.abstractmethod
+    def _start_handshake(self) -> None:
+        """Kick off the transport+crypto handshake."""
+
+    @abc.abstractmethod
+    def _submit(self, request: HttpRequest) -> None:
+        """Send a request on the established connection."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Tear down transport state."""
+
+
+def open_connection(path: NetworkPath, stack: StackConfig,
+                    server: OriginServer) -> HttpConnection:
+    """Create the right connection type for ``stack`` (H2/TCP or H3/QUIC)."""
+    # Imported here to avoid a circular import at module load time.
+    from repro.http.h2 import H2Connection
+    from repro.http.h3 import H3Connection
+
+    if stack.is_quic:
+        return H3Connection(path, stack, server)
+    return H2Connection(path, stack, server)

@@ -1,0 +1,154 @@
+"""HTTP/2 over TCP+TLS 1.3.
+
+All responses of one origin share a single ordered TCP byte stream. The
+server-side frame scheduler interleaves DATA frames (16 KiB) of concurrent
+responses by priority class with round-robin inside a class — but once a
+frame's bytes enter the TCP stream they sit behind every previously
+written byte: a single lost segment stalls *all* multiplexed responses
+(transport head-of-line blocking). This is the architectural handicap the
+paper's QUIC comparison exposes on lossy networks.
+
+The server writes lazily: it keeps at most ``low_water`` bytes of backlog
+in the TCP send buffer and refills on writability, so frame interleaving
+decisions happen close to transmission time like a real epoll server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.http.base import HttpConnection
+from repro.http.messages import (
+    FRAME_BYTES,
+    REQUEST_BYTES,
+    RESPONSE_HEADER_BYTES,
+    BodyMarker,
+    HeaderMarker,
+    HttpRequest,
+    RequestMarker,
+)
+from repro.http.server import OriginServer
+from repro.netem.path import NetworkPath
+from repro.transport.config import StackConfig
+from repro.transport.tcp import TcpConnection
+
+
+@dataclass
+class _ActiveResponse:
+    """Server-side state of one response being streamed."""
+
+    request: HttpRequest
+    header_written: bool = False
+    body_written: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.header_written and self.body_written >= self.request.body_bytes
+
+
+class H2Connection(HttpConnection):
+    """Client+server of one HTTP/2-over-TCP connection to an origin."""
+
+    #: Server send-buffer low-water mark: refill frames below this backlog.
+    low_water = 64 * 1024
+
+    def __init__(self, path: NetworkPath, stack: StackConfig,
+                 server: OriginServer):
+        super().__init__(path, stack, server)
+        self._tcp = TcpConnection(
+            path, stack,
+            on_client_data=self._client_data,
+            on_server_data=self._server_data,
+        )
+        self._tcp.server_sender.writable_low_water = self.low_water
+        self._tcp.server_sender.on_writable = self._fill_server_buffer
+        self._responses: List[_ActiveResponse] = []
+        self._first_byte_seen: Dict[int, bool] = {}
+        self._rr_cursor = 0
+
+    # -- HttpConnection hooks -------------------------------------------------
+
+    def _start_handshake(self) -> None:
+        self._tcp.connect(self._on_established)
+
+    def _submit(self, request: HttpRequest) -> None:
+        self._tcp.client_write(REQUEST_BYTES, meta=RequestMarker(request))
+
+    def close(self) -> None:
+        self._tcp.close()
+
+    @property
+    def transport(self) -> TcpConnection:
+        """Underlying TCP connection (exposed for stats collection)."""
+        return self._tcp
+
+    # -- server side ------------------------------------------------------------
+
+    def _server_data(self, delivered: int, metas: List[object]) -> None:
+        for meta in metas:
+            if isinstance(meta, RequestMarker):
+                request = meta.request
+                delay = self._server.processing_delay(request)
+                self._loop.call_later(
+                    delay, lambda r=request: self._begin_response(r)
+                )
+
+    def _begin_response(self, request: HttpRequest) -> None:
+        self._responses.append(_ActiveResponse(request))
+        self._fill_server_buffer()
+
+    def _pick_response(self) -> Optional[_ActiveResponse]:
+        """Priority classes strict-first, round robin within a class."""
+        active = [r for r in self._responses if not r.done]
+        if not active:
+            return None
+        top = min(r.request.priority for r in active)
+        ring = [r for r in active if r.request.priority == top]
+        self._rr_cursor = (self._rr_cursor + 1) % len(ring)
+        return ring[self._rr_cursor]
+
+    def _fill_server_buffer(self) -> None:
+        """Write frames into the TCP stream until the backlog is at the mark."""
+        sender = self._tcp.server_sender
+        while sender.backlog < self.low_water:
+            response = self._pick_response()
+            if response is None:
+                break
+            self._write_frame(response)
+        self._responses = [r for r in self._responses if not r.done]
+
+    def _write_frame(self, response: _ActiveResponse) -> None:
+        request = response.request
+        if not response.header_written:
+            response.header_written = True
+            self._tcp.server_write(RESPONSE_HEADER_BYTES,
+                                   meta=HeaderMarker(request))
+            return
+        remaining = request.body_bytes - response.body_written
+        frame = min(FRAME_BYTES, remaining)
+        response.body_written += frame
+        marker = BodyMarker(
+            request,
+            body_bytes_done=response.body_written,
+            is_final=response.body_written >= request.body_bytes,
+        )
+        self._tcp.server_write(frame, meta=marker)
+
+    # -- client side --------------------------------------------------------------
+
+    def _client_data(self, delivered: int, metas: List[object]) -> None:
+        now = self._loop.now
+        for meta in metas:
+            if isinstance(meta, HeaderMarker):
+                events = meta.request.events
+                if not self._first_byte_seen.get(meta.request.request_id):
+                    self._first_byte_seen[meta.request.request_id] = True
+                    if events.on_first_byte is not None:
+                        events.on_first_byte(now)
+            elif isinstance(meta, BodyMarker):
+                events = meta.request.events
+                if events.on_progress is not None:
+                    events.on_progress(now, meta.body_bytes_done)
+                if meta.is_final and events.on_complete is not None:
+                    events.on_complete(now)

@@ -1,0 +1,88 @@
+"""HTTP request/response descriptors and resource priorities."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Approximate wire size of a compressed request (headers + pseudo-headers).
+REQUEST_BYTES = 350
+#: Approximate wire size of compressed response headers.
+RESPONSE_HEADER_BYTES = 250
+#: DATA frame size used by both mappings (16 KiB, the H2 default).
+FRAME_BYTES = 16 * 1024
+
+#: Priority classes, Chromium-style: lower value is fetched more urgently.
+PRIORITY_CRITICAL = 0   # HTML documents
+PRIORITY_HIGH = 1       # CSS, synchronous JS, fonts
+PRIORITY_LOW = 2        # images, async resources
+
+_request_ids = itertools.count(1)
+
+
+def priority_for(resource_type: str) -> int:
+    """Map a resource type to its fetch priority class."""
+    if resource_type == "html":
+        return PRIORITY_CRITICAL
+    if resource_type in ("css", "js", "font"):
+        return PRIORITY_HIGH
+    return PRIORITY_LOW
+
+
+@dataclass
+class HttpResponseEvents:
+    """Client callbacks for the lifetime of one response."""
+
+    on_first_byte: Optional[Callable[[float], None]] = None
+    on_progress: Optional[Callable[[float, int], None]] = None
+    on_complete: Optional[Callable[[float], None]] = None
+
+
+@dataclass
+class HttpRequest:
+    """One resource fetch.
+
+    ``body_bytes`` is the response body size the origin will produce
+    (known up front because the testbed replays recorded sites).
+    """
+
+    url: str
+    body_bytes: int
+    resource_type: str = "other"
+    server_delay_s: float = 0.002
+    events: HttpResponseEvents = field(default_factory=HttpResponseEvents)
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def __post_init__(self) -> None:
+        if self.body_bytes <= 0:
+            raise ValueError("response body must be at least one byte")
+        if self.server_delay_s < 0:
+            raise ValueError("server delay must be non-negative")
+
+    @property
+    def priority(self) -> int:
+        return priority_for(self.resource_type)
+
+
+@dataclass(frozen=True)
+class RequestMarker:
+    """Meta attached at the end of a request's bytes on the wire."""
+
+    request: HttpRequest
+
+
+@dataclass(frozen=True)
+class HeaderMarker:
+    """Meta marking the end of a response's header block."""
+
+    request: HttpRequest
+
+
+@dataclass(frozen=True)
+class BodyMarker:
+    """Meta marking cumulative body progress at a frame boundary."""
+
+    request: HttpRequest
+    body_bytes_done: int
+    is_final: bool

@@ -1,0 +1,45 @@
+"""Origin server behaviour (the NGINX / gQUIC-server stand-in).
+
+Mahimahi replays each recorded host from its own server shell; responses
+are served from disk with a small, run-to-run varying processing latency.
+We model one :class:`OriginServer` per host with an optional jitter RNG so
+repeated recordings of the same condition differ the way real testbed
+runs do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.http.messages import HttpRequest
+
+
+class OriginServer:
+    """One replayed origin host."""
+
+    def __init__(self, host: str, jitter_rng: Optional[np.random.Generator] = None,
+                 jitter_scale: float = 0.5):
+        if jitter_scale < 0:
+            raise ValueError("jitter scale must be non-negative")
+        self.host = host
+        self._rng = jitter_rng
+        self._jitter_scale = jitter_scale
+
+    def processing_delay(self, request: HttpRequest) -> float:
+        """Server think time before the first response byte is produced.
+
+        The base delay comes from the corpus object; jitter multiplies it
+        by a lognormal factor (sigma scaled by ``jitter_scale``) modelling
+        disk/OS scheduling noise in the replay shells.
+        """
+        base = request.server_delay_s
+        if self._rng is None or self._jitter_scale == 0:
+            return base
+        factor = float(self._rng.lognormal(mean=0.0,
+                                           sigma=0.35 * self._jitter_scale))
+        return base * factor
+
+    def __repr__(self) -> str:
+        return f"OriginServer({self.host!r})"

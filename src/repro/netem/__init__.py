@@ -1,0 +1,39 @@
+"""Packet-level network emulation (the Mahimahi substitute).
+
+The paper uses a modified Mahimahi [15] to emulate the four access networks
+in Table 2. This package provides the equivalent in pure Python: a
+discrete-event engine (:mod:`repro.netem.engine`), an emulated
+bandwidth/queue/loss link (:mod:`repro.netem.link`), a full-duplex path
+(:mod:`repro.netem.path`) and the paper's network profiles
+(:mod:`repro.netem.profiles`).
+"""
+
+from repro.netem.engine import EventLoop
+from repro.netem.link import EmulatedLink, LinkConfig, LinkStats
+from repro.netem.packet import Packet
+from repro.netem.path import NetworkPath
+from repro.netem.profiles import (
+    DA2GC,
+    DSL,
+    LTE,
+    MSS,
+    NETWORKS,
+    NetworkProfile,
+    network_by_name,
+)
+
+__all__ = [
+    "EventLoop",
+    "EmulatedLink",
+    "LinkConfig",
+    "LinkStats",
+    "Packet",
+    "NetworkPath",
+    "NetworkProfile",
+    "DSL",
+    "LTE",
+    "DA2GC",
+    "MSS",
+    "NETWORKS",
+    "network_by_name",
+]

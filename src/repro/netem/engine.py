@@ -1,0 +1,132 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: callbacks scheduled at absolute simulated times,
+executed in time order (FIFO among equal timestamps). All higher layers —
+links, transports, the browser — run on one shared :class:`EventLoop`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; allows cancellation."""
+
+    __slots__ = ("time", "callback", "cancelled", "seq")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Priority-queue driven simulation clock.
+
+    >>> loop = EventLoop()
+    >>> seen = []
+    >>> _ = loop.call_at(2.0, lambda: seen.append("b"))
+    >>> _ = loop.call_at(1.0, lambda: seen.append("a"))
+    >>> loop.run()
+    >>> seen
+    ['a', 'b']
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, ScheduledEvent]] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (diagnostics)."""
+        return self._processed
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Scheduling in the past is a programming error and raises.
+        """
+        if when < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule event at {when:.9f}, now is {self._now:.9f}"
+            )
+        event = ScheduledEvent(max(when, self._now), next(self._counter), callback)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None if idle."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def step(self) -> bool:
+        """Run the next pending event. Returns False when the queue is empty."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Run events until the queue drains or ``until`` is reached.
+
+        ``max_events`` is a runaway guard; hitting it raises RuntimeError.
+        """
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(
+                    f"event loop exceeded {max_events} events; likely a livelock"
+                )
+
+    def run_until_idle_or(self, predicate: Callable[[], bool],
+                          until: Optional[float] = None) -> bool:
+        """Run until ``predicate()`` turns true, the queue drains, or ``until``.
+
+        Returns the final value of ``predicate()``.
+        """
+        while not predicate():
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            self.step()
+        return predicate()

@@ -1,0 +1,178 @@
+"""Single-direction emulated link: rate limit, droptail queue, random loss.
+
+Models one direction of a Mahimahi-style shell:
+
+* a fixed-rate bottleneck serialising packets at ``rate_bytes_per_s``;
+* a droptail queue in front of it, sized in milliseconds of buffering
+  (queue capacity in bytes = rate × queue_ms), matching the paper's
+  "queue size is set to 200 ms except for DSL with 12 ms";
+* i.i.d. random loss applied on entry (link-layer loss, e.g. the 3.3% /
+  6.0% of the in-flight networks in Table 2);
+* fixed one-way propagation delay added after serialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.netem.engine import EventLoop
+from repro.netem.packet import Packet
+
+DeliverCallback = Callable[[Packet], None]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Static configuration for one link direction.
+
+    The droptail capacity defaults to ``rate x queue_ms`` but can be
+    pinned with ``queue_bytes`` — Mahimahi sizes its queues in packets,
+    so a testbed configures the same byte capacity in both directions
+    regardless of the asymmetric rates.
+    """
+
+    rate_bytes_per_s: float
+    propagation_delay_s: float
+    queue_ms: float
+    loss_rate: float = 0.0
+    queue_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_bytes_per_s <= 0:
+            raise ValueError("link rate must be positive")
+        if self.propagation_delay_s < 0:
+            raise ValueError("propagation delay must be non-negative")
+        if self.queue_ms <= 0:
+            raise ValueError("queue size must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {self.loss_rate}")
+        if self.queue_bytes is not None and self.queue_bytes <= 0:
+            raise ValueError("queue_bytes must be positive when given")
+
+    @property
+    def queue_capacity_bytes(self) -> int:
+        """Droptail capacity: fixed bytes, or rate × queue duration."""
+        if self.queue_bytes is not None:
+            return max(1600, self.queue_bytes)
+        return max(1600, int(self.rate_bytes_per_s * self.queue_ms / 1e3))
+
+
+@dataclass
+class LinkStats:
+    """Counters accumulated by a link during a simulation."""
+
+    packets_in: int = 0
+    packets_delivered: int = 0
+    packets_random_lost: int = 0
+    packets_queue_dropped: int = 0
+    bytes_delivered: int = 0
+    max_queue_bytes: int = 0
+    total_queue_delay: float = 0.0
+
+    @property
+    def packets_lost(self) -> int:
+        """All losses: random plus droptail."""
+        return self.packets_random_lost + self.packets_queue_dropped
+
+    @property
+    def loss_fraction(self) -> float:
+        """Observed fraction of offered packets that were lost."""
+        if self.packets_in == 0:
+            return 0.0
+        return self.packets_lost / self.packets_in
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Mean queueing delay over delivered packets, seconds."""
+        if self.packets_delivered == 0:
+            return 0.0
+        return self.total_queue_delay / self.packets_delivered
+
+
+class EmulatedLink:
+    """One direction of an emulated access network.
+
+    Packets are offered with :meth:`send`; survivors are handed to the
+    ``deliver`` callback after queueing + serialisation + propagation.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        config: LinkConfig,
+        deliver: DeliverCallback,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "link",
+    ):
+        self._loop = loop
+        self._config = config
+        self._deliver = deliver
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._name = name
+        self._queue: list = []
+        self._queue_bytes = 0
+        self._busy_until = 0.0
+        self.stats = LinkStats()
+
+    @property
+    def config(self) -> LinkConfig:
+        return self._config
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes currently waiting in the droptail queue."""
+        return self._queue_bytes
+
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link.
+
+        Returns True if the packet was accepted (it may still be randomly
+        lost in flight — random loss is applied immediately so queue space
+        models the physical buffer, not lost frames).
+        """
+        self.stats.packets_in += 1
+
+        if self._config.loss_rate > 0.0:
+            if self._rng.random() < self._config.loss_rate:
+                self.stats.packets_random_lost += 1
+                return True  # accepted but lost on the wire
+
+        if self._queue_bytes + packet.size > self._config.queue_capacity_bytes:
+            self.stats.packets_queue_dropped += 1
+            return False
+
+        arrival = self._loop.now
+        self._queue_bytes += packet.size
+        self.stats.max_queue_bytes = max(self.stats.max_queue_bytes, self._queue_bytes)
+
+        serialization = packet.size / self._config.rate_bytes_per_s
+        start = max(self._busy_until, arrival)
+        done = start + serialization
+        self._busy_until = done
+
+        queue_delay = done - arrival  # includes own serialisation time
+        packet.queue_delay = queue_delay
+
+        self._loop.call_at(done, lambda p=packet, a=arrival: self._dequeue(p, a))
+        return True
+
+    def _dequeue(self, packet: Packet, arrival: float) -> None:
+        """Packet finished serialising: free queue space, start propagating."""
+        self._queue_bytes -= packet.size
+        self.stats.total_queue_delay += self._loop.now - arrival
+        self._loop.call_later(
+            self._config.propagation_delay_s,
+            lambda p=packet: self._arrive(p),
+        )
+
+    def _arrive(self, packet: Packet) -> None:
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size
+        self._deliver(packet)

@@ -1,0 +1,32 @@
+"""Packet abstraction shared between netem and the transport stacks."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """An emulated network packet.
+
+    ``size`` is the wire size in bytes (payload + header overhead); it is
+    what the link's rate limiter and queue account for. ``payload`` is an
+    opaque transport-defined object (a TCP segment, a QUIC packet body, …)
+    that the receiving endpoint interprets.
+    """
+
+    size: int
+    payload: Any
+    flow_id: int = 0
+    sent_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Optional ECN-like annotation set by the link when the queue was deep.
+    queue_delay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")

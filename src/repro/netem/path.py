@@ -1,0 +1,102 @@
+"""Full-duplex network path between a client and a set of servers.
+
+The paper's testbed puts the browser behind one emulated access link; all
+replayed servers sit on the far side. We model the same topology: a single
+bottleneck pair (uplink for client→server traffic, downlink for
+server→client traffic) shared by every connection of a page load, which is
+what makes multi-connection pages contend realistically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.netem.engine import EventLoop
+from repro.netem.link import EmulatedLink, LinkConfig
+from repro.netem.packet import Packet
+from repro.netem.profiles import NetworkProfile
+from repro.util.rng import spawn_rng
+
+Endpoint = Callable[[Packet], None]
+
+
+class NetworkPath:
+    """Shared duplex bottleneck connecting one client to many servers.
+
+    Endpoints register per flow id; the path routes delivered packets to
+    the registered receiver for that flow and direction.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        profile: NetworkProfile,
+        seed: int = 0,
+    ):
+        self._loop = loop
+        self.profile = profile
+        up_cfg, down_cfg = profile.link_configs()
+        self.uplink = EmulatedLink(
+            loop, up_cfg, self._deliver_to_server,
+            rng=spawn_rng(seed, "uplink"), name=f"{profile.name}-up",
+        )
+        self.downlink = EmulatedLink(
+            loop, down_cfg, self._deliver_to_client,
+            rng=spawn_rng(seed, "downlink"), name=f"{profile.name}-down",
+        )
+        self._client_receivers: Dict[int, Endpoint] = {}
+        self._server_receivers: Dict[int, Endpoint] = {}
+
+    @property
+    def loop(self) -> EventLoop:
+        return self._loop
+
+    def register_client(self, flow_id: int, receiver: Endpoint) -> None:
+        """Register the client-side receiver for ``flow_id``."""
+        if flow_id in self._client_receivers:
+            raise ValueError(f"client receiver for flow {flow_id} already set")
+        self._client_receivers[flow_id] = receiver
+
+    def register_server(self, flow_id: int, receiver: Endpoint) -> None:
+        """Register the server-side receiver for ``flow_id``."""
+        if flow_id in self._server_receivers:
+            raise ValueError(f"server receiver for flow {flow_id} already set")
+        self._server_receivers[flow_id] = receiver
+
+    def unregister(self, flow_id: int) -> None:
+        """Remove both receivers of a closed flow (idempotent)."""
+        self._client_receivers.pop(flow_id, None)
+        self._server_receivers.pop(flow_id, None)
+
+    def send_to_server(self, packet: Packet) -> bool:
+        """Client-side send (requests, ACKs) through the uplink."""
+        packet.sent_at = self._loop.now
+        return self.uplink.send(packet)
+
+    def send_to_client(self, packet: Packet) -> bool:
+        """Server-side send (response data) through the downlink."""
+        packet.sent_at = self._loop.now
+        return self.downlink.send(packet)
+
+    def _deliver_to_server(self, packet: Packet) -> None:
+        receiver = self._server_receivers.get(packet.flow_id)
+        if receiver is not None:
+            receiver(packet)
+
+    def _deliver_to_client(self, packet: Packet) -> None:
+        receiver = self._client_receivers.get(packet.flow_id)
+        if receiver is not None:
+            receiver(packet)
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def min_rtt(self) -> float:
+        """Configured minimum round-trip time in seconds."""
+        return self.profile.min_rtt_s
+
+    def bdp_bytes(self) -> int:
+        """Bandwidth-delay product of the downlink (used for buffer tuning)."""
+        return int(self.downlink.config.rate_bytes_per_s * self.profile.min_rtt_s)

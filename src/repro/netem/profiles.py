@@ -1,0 +1,152 @@
+"""Network profiles from Table 2 of the paper.
+
+======= ========= ========== ========= ======
+Network Uplink    Downlink   min. RTT  Loss
+======= ========= ========== ========= ======
+DSL     5 Mbps    25 Mbps    24 ms     0.0 %
+LTE     2.8 Mbps  10.5 Mbps  74 ms     0.0 %
+DA2GC   0.468 Mbps 0.468 Mbps 262 ms   3.3 %
+MSS     1.89 Mbps 1.89 Mbps  760 ms    6.0 %
+======= ========= ========== ========= ======
+
+Queue size is 200 ms except for DSL with 12 ms. DSL/LTE are the German
+median fixed/mobile accesses; DA2GC and MSS are the two in-flight WiFi
+networks from Rula et al. [17].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.netem.link import LinkConfig
+from repro.util.units import Mbps, ms
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """One row of Table 2."""
+
+    name: str
+    uplink_mbps: float
+    downlink_mbps: float
+    min_rtt_ms: float
+    loss_rate: float
+    queue_ms: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.uplink_mbps <= 0 or self.downlink_mbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.min_rtt_ms <= 0:
+            raise ValueError("min RTT must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+
+    @property
+    def min_rtt_s(self) -> float:
+        return ms(self.min_rtt_ms)
+
+    @property
+    def one_way_delay_s(self) -> float:
+        """Propagation delay per direction (symmetric split of min RTT)."""
+        return ms(self.min_rtt_ms) / 2.0
+
+    def link_configs(self) -> Tuple[LinkConfig, LinkConfig]:
+        """(uplink, downlink) LinkConfigs implementing this profile.
+
+        Random loss is applied independently per direction. The paper's
+        loss figures come from in-flight WiFi characterisation where loss
+        hits both directions; we split the end-to-end rate so that the
+        round-trip loss probability matches the table:
+        1 - (1-p_dir)^2 = loss_rate.
+
+        Queueing: Mahimahi droptail queues are sized in packets, one
+        figure per shell, so we translate "queue_ms at the bottleneck
+        (downlink) rate" into a byte capacity and apply it to both
+        directions — the uplink is not given a proportionally tiny
+        buffer.
+        """
+        per_direction = 1.0 - (1.0 - self.loss_rate) ** 0.5
+        queue_bytes = int(Mbps(self.downlink_mbps) * self.queue_ms / 1e3)
+        up = LinkConfig(
+            rate_bytes_per_s=Mbps(self.uplink_mbps),
+            propagation_delay_s=self.one_way_delay_s,
+            queue_ms=self.queue_ms,
+            loss_rate=per_direction,
+            queue_bytes=queue_bytes,
+        )
+        down = LinkConfig(
+            rate_bytes_per_s=Mbps(self.downlink_mbps),
+            propagation_delay_s=self.one_way_delay_s,
+            queue_ms=self.queue_ms,
+            loss_rate=per_direction,
+            queue_bytes=queue_bytes,
+        )
+        return up, down
+
+    def table_row(self) -> Dict[str, str]:
+        """Row for the Table 2 report."""
+        return {
+            "Network": self.name,
+            "Uplink": f"{self.uplink_mbps:g} Mbps",
+            "Downlink": f"{self.downlink_mbps:g} Mbps",
+            "min. RTT": f"{self.min_rtt_ms:g} ms",
+            "Loss": f"{self.loss_rate * 100:.1f} %",
+            "Queue": f"{self.queue_ms:g} ms",
+        }
+
+
+DSL = NetworkProfile(
+    name="DSL",
+    uplink_mbps=5.0,
+    downlink_mbps=25.0,
+    min_rtt_ms=24.0,
+    loss_rate=0.0,
+    queue_ms=12.0,
+    description="German median household broadband (federal network agency)",
+)
+
+LTE = NetworkProfile(
+    name="LTE",
+    uplink_mbps=2.8,
+    downlink_mbps=10.5,
+    min_rtt_ms=74.0,
+    loss_rate=0.0,
+    queue_ms=200.0,
+    description="German median mobile access",
+)
+
+DA2GC = NetworkProfile(
+    name="DA2GC",
+    uplink_mbps=0.468,
+    downlink_mbps=0.468,
+    min_rtt_ms=262.0,
+    loss_rate=0.033,
+    queue_ms=200.0,
+    description="In-flight WiFi, direct-air-to-ground (Rula et al.)",
+)
+
+MSS = NetworkProfile(
+    name="MSS",
+    uplink_mbps=1.89,
+    downlink_mbps=1.89,
+    min_rtt_ms=760.0,
+    loss_rate=0.060,
+    queue_ms=200.0,
+    description="In-flight WiFi via satellite (Rula et al.)",
+)
+
+#: All Table 2 networks in paper order.
+NETWORKS: Tuple[NetworkProfile, ...] = (DSL, LTE, DA2GC, MSS)
+
+_BY_NAME: Dict[str, NetworkProfile] = {p.name: p for p in NETWORKS}
+
+
+def network_by_name(name: str) -> NetworkProfile:
+    """Look up a Table 2 profile by its name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown network {name!r}; known: {known}") from None

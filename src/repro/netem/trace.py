@@ -1,0 +1,198 @@
+"""Trace-driven variable-rate links (Mahimahi ``mm-link`` traces).
+
+Mahimahi's signature capability is replaying packet-delivery traces: a
+text file with one millisecond timestamp per line, each granting one
+1500-byte delivery opportunity; the file loops forever. This module
+implements the same abstraction so users can emulate recorded cellular
+channels instead of the paper's constant-rate links.
+
+The paper itself uses constant rates (Table 2), so none of the bundled
+profiles depend on this — it exists for the library's broader use and is
+exercised by its own tests and example.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.netem.engine import EventLoop
+from repro.netem.packet import Packet
+
+#: Bytes granted per delivery opportunity (Mahimahi uses the MTU).
+OPPORTUNITY_BYTES = 1500
+
+
+def parse_trace(text: str) -> List[int]:
+    """Parse a Mahimahi trace: one integer millisecond per line.
+
+    Timestamps must be non-decreasing; blank lines and ``#`` comments are
+    ignored.
+    """
+    stamps: List[int] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            value = int(line)
+        except ValueError:
+            raise ValueError(f"line {lineno}: not an integer: {line!r}") \
+                from None
+        if value < 0:
+            raise ValueError(f"line {lineno}: negative timestamp")
+        if stamps and value < stamps[-1]:
+            raise ValueError(f"line {lineno}: timestamps must not decrease")
+        stamps.append(value)
+    if not stamps:
+        raise ValueError("trace contains no delivery opportunities")
+    if stamps[-1] == 0:
+        raise ValueError("trace duration is zero")
+    return stamps
+
+
+def load_trace(path: Union[str, Path]) -> List[int]:
+    """Read and parse a trace file."""
+    return parse_trace(Path(path).read_text())
+
+
+def constant_rate_trace(mbps: float, duration_ms: int = 1000) -> List[int]:
+    """Synthesise a constant-rate trace (for tests and comparisons)."""
+    if mbps <= 0:
+        raise ValueError("rate must be positive")
+    bytes_per_ms = mbps * 1e6 / 8.0 / 1000.0
+    opportunities = max(1, int(round(bytes_per_ms * duration_ms
+                                     / OPPORTUNITY_BYTES)))
+    step = duration_ms / opportunities
+    return [int(round(step * (i + 1))) for i in range(opportunities)]
+
+
+def cellular_like_trace(
+    mean_mbps: float,
+    duration_ms: int = 4000,
+    burstiness: float = 0.6,
+    seed: int = 0,
+) -> List[int]:
+    """Synthesise a bursty, cellular-looking trace.
+
+    Rate varies slowly (Gauss-Markov on the log rate) around the mean;
+    ``burstiness`` in [0, 1) scales the variability.
+    """
+    if not 0 <= burstiness < 1:
+        raise ValueError("burstiness must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    stamps: List[int] = []
+    log_rate = 0.0
+    t = 0.0
+    mean_gap = OPPORTUNITY_BYTES / (mean_mbps * 1e6 / 8.0) * 1e3  # ms
+    while t < duration_ms:
+        log_rate = 0.95 * log_rate + float(rng.normal(0, 0.25 * burstiness))
+        gap = mean_gap * float(np.exp(-log_rate))
+        t += max(gap, 0.01)
+        stamps.append(int(round(t)))
+    return stamps or [1]
+
+
+class TraceLink:
+    """One direction of a trace-driven link.
+
+    Delivery opportunities occur at the trace's timestamps (looping);
+    each opportunity drains up to :data:`OPPORTUNITY_BYTES` from the
+    droptail queue. Unused opportunities are wasted, exactly like
+    Mahimahi.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        trace_ms: Sequence[int],
+        deliver: Callable[[Packet], None],
+        propagation_delay_s: float = 0.0,
+        queue_bytes: int = 240_000,
+        loss_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "trace-link",
+    ):
+        if not trace_ms:
+            raise ValueError("empty trace")
+        if queue_bytes <= 0:
+            raise ValueError("queue must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self._loop = loop
+        self._trace = list(trace_ms)
+        self._period_ms = self._trace[-1]
+        if self._period_ms <= 0:
+            raise ValueError("trace period must be positive")
+        self._deliver = deliver
+        self._propagation = propagation_delay_s
+        self._queue_cap = queue_bytes
+        self._loss_rate = loss_rate
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.name = name
+
+        self._queue: List[Packet] = []
+        self._queue_bytes = 0
+        self._cursor = 0          # index into the trace
+        self._epoch = 0           # completed loops
+        self.delivered_packets = 0
+        self.dropped_packets = 0
+        self._pump_scheduled = False
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queue_bytes
+
+    def mean_rate_bytes_per_s(self) -> float:
+        """Long-run average rate granted by the trace."""
+        return len(self._trace) * OPPORTUNITY_BYTES \
+            / (self._period_ms / 1e3)
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet; False when the droptail queue is full."""
+        if self._loss_rate and self._rng.random() < self._loss_rate:
+            return True  # lost on the wire
+        if self._queue_bytes + packet.size > self._queue_cap:
+            self.dropped_packets += 1
+            return False
+        self._queue.append(packet)
+        self._queue_bytes += packet.size
+        self._schedule_pump()
+        return True
+
+    # -- delivery pump ------------------------------------------------------
+
+    def _next_opportunity_time(self) -> float:
+        stamp = self._trace[self._cursor]
+        return (self._epoch * self._period_ms + stamp) / 1e3
+
+    def _advance_cursor(self) -> None:
+        self._cursor += 1
+        if self._cursor >= len(self._trace):
+            self._cursor = 0
+            self._epoch += 1
+
+    def _schedule_pump(self) -> None:
+        if self._pump_scheduled or not self._queue:
+            return
+        # Skip past opportunities that already elapsed.
+        while self._next_opportunity_time() < self._loop.now - 1e-12:
+            self._advance_cursor()
+        self._pump_scheduled = True
+        self._loop.call_at(max(self._next_opportunity_time(),
+                               self._loop.now), self._pump)
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        budget = OPPORTUNITY_BYTES
+        while self._queue and self._queue[0].size <= budget:
+            packet = self._queue.pop(0)
+            budget -= packet.size
+            self._queue_bytes -= packet.size
+            self.delivered_packets += 1
+            self._loop.call_later(self._propagation,
+                                  lambda p=packet: self._deliver(p))
+        self._advance_cursor()
+        self._schedule_pump()

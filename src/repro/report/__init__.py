@@ -1,0 +1,23 @@
+"""ASCII rendering of the paper's tables and figures."""
+
+from repro.report.tables import (
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+]

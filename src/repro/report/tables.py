@@ -1,0 +1,157 @@
+"""Plain-text renderers: regenerate every table and figure as ASCII."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.ab import AbShares
+from repro.analysis.agreement import ConditionAgreement
+from repro.analysis.correlation import CorrelationHeatmap
+from repro.analysis.rating import RatingCell
+from repro.netem.profiles import NETWORKS
+from repro.study.design import scale_label
+from repro.study.filtering import FilterFunnel
+from repro.transport.config import STACKS
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    columns = [list(map(str, col)) for col in
+               zip(*([headers] + [list(r) for r in rows]))]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Table 1: the protocol configurations."""
+    rows = [(s.name, s.description) for s in STACKS]
+    return "Table 1: protocol configurations\n" + \
+        render_table(("Protocol", "Description"), rows)
+
+
+def render_table2() -> str:
+    """Table 2: the network configurations."""
+    rows = []
+    for profile in NETWORKS:
+        row = profile.table_row()
+        rows.append((row["Network"], row["Uplink"], row["Downlink"],
+                     row["min. RTT"], row["Loss"], row["Queue"]))
+    return "Table 2: network configurations\n" + render_table(
+        ("Network", "Uplink", "Downlink", "min. RTT", "Loss", "Queue"), rows)
+
+
+def render_table3(funnels: Sequence[FilterFunnel],
+                  reference: Optional[Mapping[Tuple[str, str],
+                                              Sequence[int]]] = None) -> str:
+    """Table 3: participation after each filter rule.
+
+    ``reference`` optionally adds the paper's numbers for comparison.
+    """
+    headers = ["Group", "Study", "-", "R1", "R2", "R3", "R4", "R5", "R6",
+               "R7"]
+    rows: List[List[object]] = []
+    for funnel in funnels:
+        rows.append([funnel.group, funnel.study] + funnel.as_row())
+        if reference is not None:
+            ref = reference.get((funnel.group, funnel.study))
+            if ref is not None:
+                rows.append(["  (paper)", funnel.study] + list(ref))
+    return "Table 3: participation and conformance filtering\n" + \
+        render_table(headers, rows)
+
+
+def _bar(share: float, width: int = 20) -> str:
+    filled = int(round(share * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_figure4(shares: Mapping[Tuple[str, str], AbShares]) -> str:
+    """Figure 4: A/B vote shares per pair and network."""
+    lines = ["Figure 4: A/B study vote shares "
+             "(prefer A | no difference | prefer B)"]
+    networks = [p.name for p in NETWORKS]
+    pairs = sorted({key[0] for key in shares})
+    for network in networks:
+        lines.append(f"\n  [{network}]")
+        for pair in pairs:
+            cell = shares.get((pair, network))
+            if cell is None:
+                continue
+            lines.append(
+                f"    {pair:24s} "
+                f"A {cell.share_a:5.1%} {_bar(cell.share_a, 12)} | "
+                f"= {cell.share_same:5.1%} {_bar(cell.share_same, 12)} | "
+                f"B {cell.share_b:5.1%} {_bar(cell.share_b, 12)}   "
+                f"(n={cell.total}, replays {cell.mean_replays:.2f})"
+            )
+    return "\n".join(lines)
+
+
+def render_figure5(cells: Sequence[RatingCell]) -> str:
+    """Figure 5: mean rating + 99% CI per stack in each setting."""
+    lines = ["Figure 5: rating study mean votes (99% CI) per setting"]
+    contexts = ("work", "free_time", "plane")
+    stack_order = [s.name for s in STACKS]
+    for context in contexts:
+        networks = sorted({c.network for c in cells if c.context == context})
+        for network in networks:
+            lines.append(f"\n  [{context} / {network}]")
+            for stack in stack_order:
+                cell = next((c for c in cells if c.context == context
+                             and c.network == network and c.stack == stack),
+                            None)
+                if cell is None:
+                    continue
+                lines.append(
+                    f"    {stack:9s} {cell.mean:5.1f} "
+                    f"[{cell.ci.lower:5.1f},{cell.ci.upper:5.1f}] "
+                    f"({scale_label(cell.mean)}, n={cell.ci.n})"
+                )
+    return "\n".join(lines)
+
+
+def render_figure3(rows: Sequence[ConditionAgreement]) -> str:
+    """Figure 3: per-condition agreement of the three groups."""
+    lines = ["Figure 3: rating votes over lab-tested conditions "
+             "(ordered by lab mean)",
+             f"{'condition':44s} {'lab mean[CI]':22s} "
+             f"{'µWorker mean[CI]':22s} {'inet med':9s} agree"]
+    for row in rows:
+        website, network, stack = row.condition
+        label = f"{website}/{network}/{stack}"
+        lab = (f"{row.lab.mean:5.1f} [{row.lab.lower:5.1f},"
+               f"{row.lab.upper:5.1f}]") if row.lab else "-"
+        mw = (f"{row.microworker.mean:5.1f} [{row.microworker.lower:5.1f},"
+              f"{row.microworker.upper:5.1f}]") if row.microworker else "-"
+        inet = f"{row.internet_median:6.1f}" if row.internet_median \
+            is not None else "-"
+        agree = {"True": "yes", "False": "NO", "None": "?"}[
+            str(row.microworker_within_lab_ci)]
+        lines.append(f"{label:44s} {lab:22s} {mw:22s} {inet:9s} {agree}")
+    return "\n".join(lines)
+
+
+def render_figure6(heatmap: CorrelationHeatmap) -> str:
+    """Figure 6: Pearson r heatmap, metrics x networks per stack."""
+    lines = ["Figure 6: Pearson correlation of technical metrics with "
+             "user ratings (more negative = better)"]
+    networks = [p.name for p in NETWORKS if p.name in heatmap.networks]
+    for stack in heatmap.stacks:
+        lines.append(f"\n  [{stack}]")
+        lines.append("    " + "metric".ljust(6)
+                     + "".join(n.rjust(8) for n in networks))
+        for metric in heatmap.metrics:
+            cells = []
+            for network in networks:
+                r = heatmap.r(stack, metric, network)
+                cells.append(f"{r:8.2f}" if r is not None else "       -")
+            lines.append("    " + metric.ljust(6) + "".join(cells))
+    return "\n".join(lines)

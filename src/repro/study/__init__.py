@@ -1,0 +1,54 @@
+"""User-study simulation: the paper's two QoE studies.
+
+The human studies themselves are irreproducible, so this package replaces
+the participants with psychometric models (documented and calibrated in
+:mod:`repro.study.perception`) while keeping every other part of the
+paper's pipeline real: the study designs and video counts
+(:mod:`repro.study.design`), the three subject groups with their
+behavioural quirks (:mod:`repro.study.participants`), the questionnaire
+event logs (:mod:`repro.study.session`) and the seven conformance filter
+rules R1-R7 (:mod:`repro.study.filtering`).
+"""
+
+from repro.study.ab import AbSession, AbStudyResult, AbTrial, run_ab_study
+from repro.study.design import (
+    AB_VIDEO_COUNTS,
+    CONTEXTS,
+    RATING_VIDEO_COUNTS,
+    SCALE_LABELS,
+    AbCondition,
+    RatingCondition,
+    StudyPlan,
+)
+from repro.study.filtering import FILTER_RULES, FilterFunnel, apply_filters
+from repro.study.participants import GROUPS, GroupBehavior, Participant
+from repro.study.rating import (
+    RatingSession,
+    RatingStudyResult,
+    RatingTrial,
+    run_rating_study,
+)
+
+__all__ = [
+    "StudyPlan",
+    "AbCondition",
+    "RatingCondition",
+    "CONTEXTS",
+    "SCALE_LABELS",
+    "AB_VIDEO_COUNTS",
+    "RATING_VIDEO_COUNTS",
+    "run_ab_study",
+    "run_rating_study",
+    "AbStudyResult",
+    "RatingStudyResult",
+    "AbSession",
+    "RatingSession",
+    "AbTrial",
+    "RatingTrial",
+    "apply_filters",
+    "FilterFunnel",
+    "FILTER_RULES",
+    "GROUPS",
+    "GroupBehavior",
+    "Participant",
+]

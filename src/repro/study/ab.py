@@ -1,0 +1,171 @@
+"""Study 1 (A/B): do users notice a protocol switch?
+
+Each participant watches side-by-side recordings of the same website and
+network under two stacks and answers "left / right / no difference" plus
+a confidence rating. The side assignment is randomised per trial so
+protocol identity never correlates with screen position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.study.design import AB_VIDEO_COUNTS, AbCondition, StudyPlan
+from repro.study.participants import GROUPS, GroupBehavior, Participant
+from repro.study.perception import DEFAULT_PARAMS, PerceptionParams, ab_vote, evidence
+from repro.study.session import SessionEvents, ViolationPlan, realize_events
+from repro.testbed.harness import Testbed
+from repro.util.rng import SeedSequenceFactory, spawn_rng
+
+
+@dataclass
+class AbTrial:
+    """One answered side-by-side comparison."""
+
+    condition: AbCondition
+    #: Which stack was shown on the left ("a" or "b" of the condition).
+    left_is_a: bool
+    #: Raw answer: "left" / "right" / "same".
+    answer: str
+    confidence: float
+    replays: int
+    duration_s: float
+
+    @property
+    def vote(self) -> str:
+        """Answer translated to condition coordinates: "a"/"b"/"same"."""
+        if self.answer == "same":
+            return "same"
+        if self.answer == "left":
+            return "a" if self.left_is_a else "b"
+        return "b" if self.left_is_a else "a"
+
+
+@dataclass
+class AbSession:
+    """One participant's completed A/B study."""
+
+    participant_id: int
+    group: str
+    trials: List[AbTrial]
+    events: SessionEvents
+    gender: str
+    age_group: str
+
+    @property
+    def mean_trial_duration(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(t.duration_s for t in self.trials) / len(self.trials)
+
+    @property
+    def mean_replays(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(t.replays for t in self.trials) / len(self.trials)
+
+
+@dataclass
+class AbStudyResult:
+    """All sessions of one group's A/B study."""
+
+    group: str
+    sessions: List[AbSession]
+    plan: StudyPlan
+
+    def all_trials(self) -> List[AbTrial]:
+        return [t for s in self.sessions for t in s.trials]
+
+
+def run_ab_study(
+    testbed: Testbed,
+    group: str = "microworker",
+    plan: Optional[StudyPlan] = None,
+    participants: Optional[int] = None,
+    seed: int = 0,
+    params: PerceptionParams = DEFAULT_PARAMS,
+) -> AbStudyResult:
+    """Simulate the A/B study for one subject group."""
+    behavior = GROUPS[group]
+    plan = plan if plan is not None else StudyPlan()
+    n = participants if participants is not None else behavior.participants_ab
+    pool = plan.ab_pool(group)
+    if not pool:
+        raise ValueError("A/B condition pool is empty")
+    videos = min(AB_VIDEO_COUNTS[group], len(pool))
+
+    factory = SeedSequenceFactory(spawn_rng(seed, "ab", group).integers(2**31))
+    sessions: List[AbSession] = []
+    for pid in range(n):
+        rng = factory.rng()
+        participant = Participant(pid, behavior, rng)
+        plan_v = ViolationPlan.draw(behavior, "ab", rng, participant.diligence)
+        indices = rng.choice(len(pool), size=videos, replace=False)
+        trials: List[AbTrial] = []
+        for index in indices:
+            condition = pool[int(index)]
+            trials.append(_run_trial(testbed, condition, participant,
+                                     plan_v, rng, params))
+        events = realize_events(plan_v, [t.duration_s for t in trials], rng)
+        sessions.append(AbSession(
+            participant_id=pid,
+            group=group,
+            trials=trials,
+            events=events,
+            gender=participant.gender,
+            age_group=participant.age_group,
+        ))
+    return AbStudyResult(group=group, sessions=sessions, plan=plan)
+
+
+def _run_trial(
+    testbed: Testbed,
+    condition: AbCondition,
+    participant: Participant,
+    plan_v: ViolationPlan,
+    rng: np.random.Generator,
+    params: PerceptionParams,
+) -> AbTrial:
+    rec_a = testbed.recording(condition.website, condition.network,
+                              condition.stack_a)
+    rec_b = testbed.recording(condition.website, condition.network,
+                              condition.stack_b)
+    left_is_a = bool(rng.random() < 0.5)
+    video_len = max(rec_a.video_duration, rec_b.video_duration)
+
+    if plan_v.is_rusher:
+        # Click-through participant: answers without watching.
+        answer = str(rng.choice(["left", "right", "same"]))
+        return AbTrial(
+            condition=condition,
+            left_is_a=left_is_a,
+            answer=answer,
+            confidence=float(rng.uniform(0.0, 1.0)),
+            replays=0,
+            duration_s=float(rng.uniform(1.0, 4.0)),
+        )
+
+    vote, confidence = ab_vote(rec_a, rec_b, participant.jnd_threshold,
+                               rng, params)
+    magnitude = abs(evidence(rec_a.si, rec_b.si, params))
+    replays = participant.replay_count(magnitude, condition.network)
+    duration = (video_len * (1 + replays)
+                + float(rng.lognormal(np.log(participant.group.decision_time_ab),
+                                      0.35)))
+    if vote == "same":
+        answer = "same"
+    elif vote == "a":
+        answer = "left" if left_is_a else "right"
+    else:
+        answer = "right" if left_is_a else "left"
+    return AbTrial(
+        condition=condition,
+        left_is_a=left_is_a,
+        answer=answer,
+        confidence=confidence,
+        replays=replays,
+        duration_s=duration,
+    )

@@ -1,0 +1,171 @@
+"""Study-data release: CSV export of sessions and votes.
+
+The paper publishes its anonymised study data (https://study.netray.io);
+this module produces the equivalent release for a simulated campaign —
+one CSV per study with one row per vote, plus a participants table and a
+conditions table with the technical metrics of every shown video.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.study.ab import AbSession
+from repro.study.rating import RatingSession
+from repro.testbed.harness import Testbed
+
+AB_VOTE_FIELDS = [
+    "participant", "group", "website", "network", "stack_a", "stack_b",
+    "left_is_a", "answer", "vote", "confidence", "replays", "duration_s",
+]
+
+RATING_VOTE_FIELDS = [
+    "participant", "group", "website", "network", "stack", "context",
+    "speed_score", "quality_score", "replays", "duration_s",
+]
+
+PARTICIPANT_FIELDS = [
+    "participant", "group", "study", "gender", "age_group", "valid",
+]
+
+CONDITION_FIELDS = [
+    "website", "network", "stack", "FVC", "SI", "VC85", "LVC", "PLT",
+    "video_duration_s",
+]
+
+
+def _write_csv(fields: Sequence[str], rows: Iterable[Dict[str, object]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(fields))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def ab_votes_csv(sessions: Sequence[AbSession]) -> str:
+    """One row per A/B vote."""
+    rows = []
+    for session in sessions:
+        for trial in session.trials:
+            condition = trial.condition
+            rows.append({
+                "participant": session.participant_id,
+                "group": session.group,
+                "website": condition.website,
+                "network": condition.network,
+                "stack_a": condition.stack_a,
+                "stack_b": condition.stack_b,
+                "left_is_a": int(trial.left_is_a),
+                "answer": trial.answer,
+                "vote": trial.vote,
+                "confidence": round(trial.confidence, 4),
+                "replays": trial.replays,
+                "duration_s": round(trial.duration_s, 3),
+            })
+    return _write_csv(AB_VOTE_FIELDS, rows)
+
+
+def rating_votes_csv(sessions: Sequence[RatingSession]) -> str:
+    """One row per rating vote."""
+    rows = []
+    for session in sessions:
+        for trial in session.trials:
+            condition = trial.condition
+            rows.append({
+                "participant": session.participant_id,
+                "group": session.group,
+                "website": condition.website,
+                "network": condition.network,
+                "stack": condition.stack,
+                "context": trial.context,
+                "speed_score": trial.speed_score,
+                "quality_score": trial.quality_score,
+                "replays": trial.replays,
+                "duration_s": round(trial.duration_s, 3),
+            })
+    return _write_csv(RATING_VOTE_FIELDS, rows)
+
+
+def participants_csv(all_sessions: Sequence, valid_sessions: Sequence,
+                     study: str) -> str:
+    """One row per participant with their filter verdict."""
+    valid_ids = {(s.group, s.participant_id) for s in valid_sessions}
+    rows = []
+    for session in all_sessions:
+        rows.append({
+            "participant": session.participant_id,
+            "group": session.group,
+            "study": study,
+            "gender": session.gender,
+            "age_group": session.age_group,
+            "valid": int((session.group, session.participant_id)
+                         in valid_ids),
+        })
+    return _write_csv(PARTICIPANT_FIELDS, rows)
+
+
+def conditions_csv(testbed: Testbed,
+                   conditions: Iterable) -> str:
+    """Technical metrics of every shown condition."""
+    rows = []
+    for website, network, stack in conditions:
+        recording = testbed.recording(website, network, stack)
+        metrics = recording.selected_metrics
+        rows.append({
+            "website": website,
+            "network": network,
+            "stack": stack,
+            "FVC": round(metrics["FVC"], 4),
+            "SI": round(metrics["SI"], 4),
+            "VC85": round(metrics["VC85"], 4),
+            "LVC": round(metrics["LVC"], 4),
+            "PLT": round(metrics["PLT"], 4),
+            "video_duration_s": round(recording.video_duration, 3),
+        })
+    return _write_csv(CONDITION_FIELDS, rows)
+
+
+def export_campaign(campaign, testbed: Testbed,
+                    directory: Union[str, Path]) -> List[Path]:
+    """Write the full data release of a campaign; returns written paths.
+
+    Produces, per group: ``ab_votes_<group>.csv`` and
+    ``rating_votes_<group>.csv`` (filtered sessions only, like the
+    published data) and ``participants_<group>_<study>.csv`` (all
+    entrants with their filter verdict), plus one ``conditions.csv``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    def emit(name: str, content: str) -> None:
+        path = directory / name
+        path.write_text(content)
+        written.append(path)
+
+    shown = set()
+    for group, result in campaign.ab.items():
+        kept = campaign.ab_filtered[group]
+        emit(f"ab_votes_{group}.csv", ab_votes_csv(kept))
+        emit(f"participants_{group}_ab.csv",
+             participants_csv(result.sessions, kept, "ab"))
+        for session in kept:
+            for trial in session.trials:
+                c = trial.condition
+                shown.add((c.website, c.network, c.stack_a))
+                shown.add((c.website, c.network, c.stack_b))
+    for group, result in campaign.rating.items():
+        kept = campaign.rating_filtered[group]
+        emit(f"rating_votes_{group}.csv", rating_votes_csv(kept))
+        emit(f"participants_{group}_rating.csv",
+             participants_csv(result.sessions, kept, "rating"))
+        for session in kept:
+            for trial in session.trials:
+                c = trial.condition
+                shown.add((c.website, c.network, c.stack))
+    emit("conditions.csv", conditions_csv(testbed, sorted(shown)))
+    return written

@@ -1,0 +1,256 @@
+"""Psychometric models standing in for human participants.
+
+The paper's finding chain is: users *notice* SI-sized differences in a
+side-by-side comparison (Figure 4) but *rate* videos almost identically
+in isolation (Figure 5), and their ratings correlate best with the Speed
+Index (Figure 6). We therefore model perception on the visual-progress
+signal itself:
+
+* **Just-noticeable difference (A/B)**: Weber-law detector on the Speed
+  Index. The effective evidence is ``|ΔSI| / (T0 + w * min(SI))`` — a
+  difference is easy to see when it is large relative to both an absolute
+  floor (T0, sub-300 ms changes are hard to see in a video) and the
+  overall pace of the loading process. Detection follows a logistic
+  psychometric function with per-participant thresholds.
+* **Absolute category rating**: satisfaction follows a logistic opinion
+  curve on SI anchored at a context-dependent reference (people at work
+  expect snappier pages than people on a plane), plus participant bias
+  and vote noise. The loading-process *quality* answer additionally
+  penalises a stally curve (big gap between first and last visual
+  change).
+
+All constants live in :class:`PerceptionParams`; defaults were calibrated
+once against Figures 4 and 5 and are not fitted per run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.study.design import SCALE_MAX, SCALE_MIN
+from repro.testbed.harness import RecordingSummary
+
+
+@dataclass(frozen=True)
+class PerceptionParams:
+    """Calibration constants of both perception models."""
+
+    # -- A/B just-noticeable-difference model --
+    #: Absolute floor of visible SI difference (seconds).
+    jnd_absolute_floor: float = 0.18
+    #: Weber weight on the pace of the faster video.
+    jnd_weber_weight: float = 0.35
+    #: Population mean / sd of the detection threshold (evidence units).
+    jnd_threshold_mean: float = 0.35
+    jnd_threshold_sd: float = 0.12
+    #: Slope of the logistic psychometric function.
+    jnd_slope: float = 0.12
+    #: P(vote "no difference") when nothing was detected.
+    undetected_same_prob: float = 0.72
+    #: Confusion scale: with weak evidence the faster side is mistaken.
+    confusion_scale: float = 3.0
+
+    # -- rating (ACR) model --
+    #: SI giving the scale midpoint, per context.
+    rating_reference_si: Tuple[Tuple[str, float], ...] = (
+        ("work", 1.5),
+        ("free_time", 1.7),
+        ("plane", 5.0),
+    )
+    #: Steepness of the opinion curve.
+    rating_beta: float = 1.3
+    #: Population sd of per-participant bias (scale points).
+    rating_bias_sd: float = 4.0
+    #: Per-vote noise sd (scale points) for a diligent participant.
+    rating_noise_sd: float = 5.5
+    #: Penalty weight for a stally loading process (quality question).
+    quality_stall_penalty: float = 7.0
+    #: Anything below this SI feels instant in a video (seconds).
+    perceptual_floor: float = 0.4
+    #: Single-stimulus compression: without a reference, users
+    #: under-respond to deviations from the page's expected pace —
+    #: perceived pace = anchor * (si/anchor)^gamma. This is what makes
+    #: isolated ratings protocol-blind (the paper's headline finding)
+    #: while side-by-side comparisons still reveal the difference.
+    single_stimulus_gamma: float = 0.18
+    #: Per-website rating offset sd: sites differ in how pleasing their
+    #: loading looks, independent of speed. Identical across stacks, so
+    #: it never biases protocol comparisons — but it caps how well any
+    #: technical metric can correlate with votes on fast networks.
+    site_appeal_sd: float = 8.0
+    #: Salience decay: on slow networks the (un)loading dominates the
+    #: viewer's attention, so content appeal matters less. Appeal is
+    #: weighted by 1 / (1 + anchor/scale).
+    appeal_salience_scale: float = 4.0
+
+    def reference_si(self, context: str) -> float:
+        for name, value in self.rating_reference_si:
+            if name == context:
+                return value
+        raise KeyError(f"unknown context {context!r}")
+
+
+DEFAULT_PARAMS = PerceptionParams()
+
+
+def evidence(si_a: float, si_b: float,
+             params: PerceptionParams = DEFAULT_PARAMS) -> float:
+    """Signed detection evidence: positive means A is visibly faster."""
+    delta = si_b - si_a
+    floor = params.jnd_absolute_floor
+    pace = params.jnd_weber_weight * max(min(si_a, si_b), 0.0)
+    return delta / (floor + pace)
+
+
+def detection_probability(evidence_magnitude: float, threshold: float,
+                          params: PerceptionParams = DEFAULT_PARAMS) -> float:
+    """Psychometric function: P(difference is perceived)."""
+    x = (evidence_magnitude - threshold) / params.jnd_slope
+    # Logistic, numerically clamped.
+    if x > 35:
+        return 1.0
+    if x < -35:
+        return 0.0
+    return 1.0 / (1.0 + math.exp(-x))
+
+
+def ab_vote(
+    rec_a: RecordingSummary,
+    rec_b: RecordingSummary,
+    threshold: float,
+    rng: np.random.Generator,
+    params: PerceptionParams = DEFAULT_PARAMS,
+) -> Tuple[str, float]:
+    """Simulate one A/B answer.
+
+    Returns ``(vote, confidence)`` with vote in {"a", "b", "same"} and
+    confidence in [0, 1].
+    """
+    signed = evidence(rec_a.si, rec_b.si, params)
+    magnitude = abs(signed)
+    p_detect = detection_probability(magnitude, threshold, params)
+    detected = rng.random() < p_detect
+
+    if not detected:
+        if rng.random() < params.undetected_same_prob:
+            return "same", float(rng.uniform(0.3, 0.7))
+        return ("a" if rng.random() < 0.5 else "b"), float(rng.uniform(0.0, 0.4))
+
+    confusion = 0.5 * math.exp(-params.confusion_scale * magnitude)
+    faster = "a" if signed > 0 else "b"
+    slower = "b" if faster == "a" else "a"
+    vote = faster if rng.random() >= confusion else slower
+    confidence = min(1.0, 0.4 + 0.5 * magnitude + float(rng.normal(0, 0.08)))
+    return vote, max(0.0, confidence)
+
+
+def _perceptual_si(si: float, floor: float) -> float:
+    """Smooth lower bound: speeds below the floor all feel instant."""
+    return math.sqrt(si * si + floor * floor)
+
+
+def true_opinion(si: float, context: str,
+                 params: PerceptionParams = DEFAULT_PARAMS,
+                 anchor_si: Optional[float] = None) -> float:
+    """Noise-free opinion score (10..70) for a stimulus in a context.
+
+    ``anchor_si`` is the pace the viewer expects for this page on this
+    network (in the studies: the across-stack median SI of the
+    condition). In single-stimulus mode the perceived pace is compressed
+    towards that anchor — users notice that a news site on plane WiFi is
+    slow, but barely register which protocol served it.
+    """
+    if si < 0:
+        raise ValueError("SI must be non-negative")
+    floor = params.perceptual_floor
+    si_eff = _perceptual_si(si, floor)
+    if anchor_si is not None and anchor_si >= 0:
+        anchor_eff = _perceptual_si(anchor_si, floor)
+        si_eff = anchor_eff * (si_eff / anchor_eff) ** \
+            params.single_stimulus_gamma
+    ref = params.reference_si(context)
+    ratio = (si_eff / ref) ** params.rating_beta
+    span = SCALE_MAX - SCALE_MIN
+    return SCALE_MIN + span / (1.0 + ratio)
+
+
+def website_appeal(website: str, params: PerceptionParams = DEFAULT_PARAMS,
+                   seed: int = 0) -> float:
+    """Deterministic per-site rating offset (content appeal).
+
+    The same for every stack and network, so it cannot bias the protocol
+    comparison; it models that votes partially reflect how pleasant a
+    page's loading *looks*, which is what keeps metric-vote correlations
+    away from -1.0 on fast networks (Figure 6, DSL column).
+    """
+    from repro.util.rng import spawn_rng
+
+    rng = spawn_rng(seed, "site-appeal-v2", website)
+    return float(rng.normal(0.0, params.site_appeal_sd))
+
+
+def condition_appeal(website: str, network: str,
+                     params: PerceptionParams = DEFAULT_PARAMS,
+                     seed: int = 0) -> float:
+    """Per-(site, network) vote idiosyncrasy.
+
+    How a page's structure reads at a given pace is partly idiosyncratic
+    (the paper's banner-popup example in Section 4.2: raters keyed on
+    different moments of structurally odd loads). Constant across stacks
+    — so ANOVA and the A/B comparisons are untouched — but different per
+    network, further bounding metric-vote correlations.
+    """
+    from repro.util.rng import spawn_rng
+
+    rng = spawn_rng(seed, "condition-appeal", website, network)
+    return float(rng.normal(0.0, 0.5 * params.site_appeal_sd))
+
+
+def stall_score(recording: RecordingSummary) -> float:
+    """How stally the loading process looked (0 smooth .. 1 very stally)."""
+    metrics = recording.selected_metrics
+    lvc = metrics["LVC"]
+    fvc = metrics["FVC"]
+    if lvc <= 0:
+        return 0.0
+    spread = (lvc - fvc) / lvc
+    return min(max((spread - 0.4) / 0.6, 0.0), 1.0)
+
+
+def rating_votes(
+    recording: RecordingSummary,
+    context: str,
+    bias: float,
+    noise_scale: float,
+    rng: np.random.Generator,
+    params: PerceptionParams = DEFAULT_PARAMS,
+    heavy_tailed: bool = False,
+    anchor_si: Optional[float] = None,
+) -> Tuple[float, float]:
+    """Simulate (speed_score, quality_score) on the 10..70 scale.
+
+    ``heavy_tailed`` switches the vote noise to a Student-t (df=2), which
+    makes the resulting group distribution non-normal — the property the
+    paper observed for the voluntary Internet group.
+    """
+    base = true_opinion(recording.si, context, params, anchor_si=anchor_si)
+    pace = anchor_si if anchor_si is not None else recording.si
+    salience = 1.0 / (1.0 + max(pace, 0.0) / params.appeal_salience_scale)
+    base += salience * (website_appeal(recording.website, params)
+                        + condition_appeal(recording.website,
+                                           recording.network, params))
+
+    def noise() -> float:
+        if heavy_tailed:
+            return float(rng.standard_t(2)) * noise_scale
+        return float(rng.normal(0.0, noise_scale))
+
+    speed = base + bias + noise()
+    quality = base + bias - params.quality_stall_penalty * \
+        stall_score(recording) + noise()
+    clip = lambda v: float(min(max(v, SCALE_MIN), SCALE_MAX))
+    return clip(round(speed)), clip(round(quality))

@@ -1,0 +1,188 @@
+"""Study 2 (Rating): do users care?
+
+Single-stimulus presentation: one recording at a time, rated for
+i) satisfaction with the loading speed and ii) the general quality of the
+loading process, on the 10..70 seven-point linear scale, within one of
+three imagined environments (at work / free time / on a plane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.study.design import (
+    CONTEXTS,
+    RATING_VIDEO_COUNTS,
+    RatingCondition,
+    StudyPlan,
+)
+from repro.study.participants import GROUPS, Participant
+from repro.study.perception import DEFAULT_PARAMS, PerceptionParams, rating_votes
+from repro.study.session import SessionEvents, ViolationPlan, realize_events
+from repro.testbed.harness import Testbed
+from repro.util.rng import SeedSequenceFactory, spawn_rng
+
+
+@dataclass
+class RatingTrial:
+    """One rated video."""
+
+    condition: RatingCondition
+    context: str
+    speed_score: float      # 10..70
+    quality_score: float    # 10..70
+    replays: int
+    duration_s: float
+
+
+@dataclass
+class RatingSession:
+    """One participant's completed rating study."""
+
+    participant_id: int
+    group: str
+    trials: List[RatingTrial]
+    events: SessionEvents
+    gender: str
+    age_group: str
+
+    @property
+    def mean_trial_duration(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(t.duration_s for t in self.trials) / len(self.trials)
+
+
+@dataclass
+class RatingStudyResult:
+    """All sessions of one group's rating study."""
+
+    group: str
+    sessions: List[RatingSession]
+    plan: StudyPlan
+
+    def all_trials(self) -> List[RatingTrial]:
+        return [t for s in self.sessions for t in s.trials]
+
+
+def run_rating_study(
+    testbed: Testbed,
+    group: str = "microworker",
+    plan: Optional[StudyPlan] = None,
+    participants: Optional[int] = None,
+    seed: int = 0,
+    params: PerceptionParams = DEFAULT_PARAMS,
+) -> RatingStudyResult:
+    """Simulate the rating study for one subject group."""
+    behavior = GROUPS[group]
+    plan = plan if plan is not None else StudyPlan()
+    n = participants if participants is not None \
+        else behavior.participants_rating
+    counts = RATING_VIDEO_COUNTS[group]
+    pools = {context: plan.rating_pool(group, context)
+             for context in CONTEXTS}
+    for context, pool in pools.items():
+        if not pool:
+            raise ValueError(f"rating pool for {context!r} is empty")
+
+    anchors = _AnchorCache(testbed, list(plan.stacks))
+    factory = SeedSequenceFactory(
+        spawn_rng(seed, "rating", group).integers(2**31))
+    sessions: List[RatingSession] = []
+    for pid in range(n):
+        rng = factory.rng()
+        participant = Participant(pid, behavior, rng)
+        plan_v = ViolationPlan.draw(behavior, "rating", rng,
+                                    participant.diligence)
+        trials: List[RatingTrial] = []
+        for context, count in counts.items():
+            pool = pools[context]
+            take = min(count, len(pool))
+            indices = rng.choice(len(pool), size=take, replace=False)
+            for index in indices:
+                condition = pool[int(index)]
+                trials.append(_run_trial(testbed, condition, context,
+                                         participant, plan_v, rng, params,
+                                         anchors))
+        events = realize_events(plan_v, [t.duration_s for t in trials], rng)
+        sessions.append(RatingSession(
+            participant_id=pid,
+            group=group,
+            trials=trials,
+            events=events,
+            gender=participant.gender,
+            age_group=participant.age_group,
+        ))
+    return RatingStudyResult(group=group, sessions=sessions, plan=plan)
+
+
+class _AnchorCache:
+    """Expected pace per (website, network): across-stack median SI.
+
+    Models the viewer's internal reference for "how fast such a page
+    loads on such a network" in single-stimulus presentation.
+    """
+
+    def __init__(self, testbed: Testbed, stacks: List[str]):
+        self._testbed = testbed
+        self._stacks = stacks
+        self._cache: dict = {}
+
+    def anchor(self, website: str, network: str) -> float:
+        key = (website, network)
+        if key not in self._cache:
+            values = sorted(
+                self._testbed.recording(website, network, stack).si
+                for stack in self._stacks
+            )
+            self._cache[key] = values[len(values) // 2]
+        return self._cache[key]
+
+
+def _run_trial(
+    testbed: Testbed,
+    condition: RatingCondition,
+    context: str,
+    participant: Participant,
+    plan_v: ViolationPlan,
+    rng: np.random.Generator,
+    params: PerceptionParams,
+    anchors: _AnchorCache,
+) -> RatingTrial:
+    recording = testbed.recording(condition.website, condition.network,
+                                  condition.stack)
+    if plan_v.is_rusher:
+        return RatingTrial(
+            condition=condition,
+            context=context,
+            speed_score=float(rng.integers(10, 71)),
+            quality_score=float(rng.integers(10, 71)),
+            replays=0,
+            duration_s=float(rng.uniform(1.0, 4.0)),
+        )
+
+    noise_scale = params.rating_noise_sd * participant.group.noise_multiplier
+    speed, quality = rating_votes(
+        recording, context,
+        bias=participant.rating_bias,
+        noise_scale=noise_scale,
+        rng=rng,
+        params=params,
+        heavy_tailed=participant.group.heavy_tailed,
+        anchor_si=anchors.anchor(condition.website, condition.network),
+    )
+    replays = int(rng.poisson(0.25 * participant.group.replay_rate))
+    duration = (recording.video_duration * (1 + replays)
+                + float(rng.lognormal(
+                    np.log(participant.group.decision_time_rating), 0.35)))
+    return RatingTrial(
+        condition=condition,
+        context=context,
+        speed_score=speed,
+        quality_score=quality,
+        replays=replays,
+        duration_s=duration,
+    )

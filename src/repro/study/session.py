@@ -1,0 +1,161 @@
+"""Session event logs: the TheFragebogen-style instrumentation.
+
+The study frontend records, per participant session: video play/stall
+events, window focus, vote timestamps relative to the video's first
+visual change, total and per-question durations, and the outcomes of the
+embedded control video and control questions. The R1-R7 filters operate
+exclusively on these logs.
+
+Generation happens in two steps so behaviour and log stay consistent:
+:meth:`ViolationPlan.draw` decides *what kind of participant this session
+has* (a rusher who votes before the first visual change also produces
+garbage votes), trials are generated accordingly, and
+:func:`realize_events` turns the plan plus the observed trial durations
+into the concrete log that the R1-R7 filters inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.study.participants import GroupBehavior
+
+#: R3 threshold: focus loss longer than this (seconds) invalidates.
+FOCUS_LOSS_LIMIT = 10.0
+#: R5 thresholds.
+STUDY_DURATION_LIMIT = 25 * 60.0
+QUESTION_DURATION_LIMIT = 2 * 60.0
+
+#: Colour-blind-safe browser-frame palette for the control question.
+FRAME_COLORS = ("red", "green", "blue")
+
+
+@dataclass(frozen=True)
+class ViolationPlan:
+    """Which filter rules this session will violate."""
+
+    not_played: bool = False          # R1
+    stalled: bool = False             # R2
+    focus_loss: bool = False          # R3
+    vote_before_fvc: bool = False     # R4
+    overtime: bool = False            # R5
+    control_video_wrong: bool = False  # R6
+    control_question_wrong: bool = False  # R7
+
+    @property
+    def is_rusher(self) -> bool:
+        """Does this participant click through without watching?"""
+        return self.vote_before_fvc or self.control_video_wrong
+
+    @property
+    def any(self) -> bool:
+        return any((self.not_played, self.stalled, self.focus_loss,
+                    self.vote_before_fvc, self.overtime,
+                    self.control_video_wrong, self.control_question_wrong))
+
+    @staticmethod
+    def draw(group: GroupBehavior, study: str, rng: np.random.Generator,
+             diligence: float) -> "ViolationPlan":
+        """Sample a plan from the group's calibrated rates.
+
+        Behavioural violations scale with the participant's carelessness;
+        technical ones (stalls, overtime) do not.
+        """
+        rates = group.violations(study)
+        carelessness = min(2.0, (1.0 - diligence) / 0.25)
+
+        def behavioural(rate: float) -> bool:
+            scaled = rate * (0.4 + 0.6 * carelessness) if rate > 0 else 0.0
+            return bool(rng.random() < min(scaled, 0.97))
+
+        def technical(rate: float) -> bool:
+            return bool(rng.random() < rate)
+
+        return ViolationPlan(
+            not_played=behavioural(rates.not_played),
+            stalled=technical(rates.stalled),
+            focus_loss=behavioural(rates.focus_loss),
+            vote_before_fvc=behavioural(rates.vote_before_fvc),
+            overtime=technical(rates.overtime),
+            control_video_wrong=behavioural(rates.control_video_wrong),
+            control_question_wrong=behavioural(rates.control_question_wrong),
+        )
+
+
+@dataclass
+class SessionEvents:
+    """Behavioural log of one participant session."""
+
+    all_videos_played: bool = True
+    any_video_stalled: bool = False
+    max_focus_loss_s: float = 0.0
+    any_vote_before_fvc: bool = False
+    total_duration_s: float = 0.0
+    max_question_duration_s: float = 0.0
+    control_video_correct: bool = True
+    control_questions_correct: bool = True
+    frame_colors: List[str] = field(default_factory=list)
+
+
+def realize_events(
+    plan: ViolationPlan,
+    trial_durations: List[float],
+    rng: np.random.Generator,
+) -> SessionEvents:
+    """Concrete event log for a session following ``plan``."""
+    events = SessionEvents()
+    events.all_videos_played = not plan.not_played
+    events.any_video_stalled = plan.stalled
+    if plan.focus_loss:
+        events.max_focus_loss_s = float(
+            rng.uniform(FOCUS_LOSS_LIMIT + 1.0, FOCUS_LOSS_LIMIT + 120.0))
+    else:
+        events.max_focus_loss_s = float(
+            rng.uniform(0.0, FOCUS_LOSS_LIMIT * 0.8))
+    events.any_vote_before_fvc = plan.vote_before_fvc
+    events.control_video_correct = not plan.control_video_wrong
+    events.control_questions_correct = not plan.control_question_wrong
+
+    base_total = float(sum(trial_durations))
+    if plan.overtime:
+        events.total_duration_s = STUDY_DURATION_LIMIT + float(
+            rng.uniform(30.0, 600.0))
+        events.max_question_duration_s = QUESTION_DURATION_LIMIT + float(
+            rng.uniform(5.0, 60.0))
+    else:
+        events.total_duration_s = min(base_total,
+                                      STUDY_DURATION_LIMIT * 0.9)
+        events.max_question_duration_s = min(
+            float(max(trial_durations, default=10.0)),
+            QUESTION_DURATION_LIMIT * 0.9,
+        )
+    events.frame_colors = [str(rng.choice(FRAME_COLORS))
+                           for _ in trial_durations]
+    return events
+
+
+@dataclass
+class Demographics:
+    """Aggregate demographics of a set of sessions (Section 4.2)."""
+
+    male_share: float
+    age_distribution: List[tuple]
+
+    @staticmethod
+    def from_sessions(sessions) -> "Demographics":
+        if not sessions:
+            return Demographics(0.0, [])
+        males = sum(1 for s in sessions if s.gender == "male")
+        ages: dict = {}
+        for session in sessions:
+            ages[session.age_group] = ages.get(session.age_group, 0) + 1
+        total = len(sessions)
+        return Demographics(
+            male_share=males / total,
+            age_distribution=sorted(
+                (name, count / total) for name, count in ages.items()
+            ),
+        )

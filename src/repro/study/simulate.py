@@ -1,0 +1,110 @@
+"""Full campaign orchestration: both studies, all three groups.
+
+One call reproduces the complete data collection of the paper: the lab,
+µWorker and Internet groups each run the A/B and the rating study, the
+R1-R7 filters produce the Table 3 funnel, and the filtered sessions feed
+the Figure 3-6 analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.study.ab import AbSession, AbStudyResult, run_ab_study
+from repro.study.design import StudyPlan
+from repro.study.filtering import FilterFunnel, apply_filters
+from repro.study.participants import GROUPS
+from repro.study.perception import DEFAULT_PARAMS, PerceptionParams
+from repro.study.rating import RatingSession, RatingStudyResult, run_rating_study
+from repro.testbed.harness import Testbed
+
+GROUP_ORDER = ("lab", "microworker", "internet")
+
+
+@dataclass
+class CampaignResult:
+    """Everything the paper's evaluation section consumes."""
+
+    plan: StudyPlan
+    ab: Dict[str, AbStudyResult]
+    rating: Dict[str, RatingStudyResult]
+    ab_filtered: Dict[str, List[AbSession]]
+    rating_filtered: Dict[str, List[RatingSession]]
+    funnels: List[FilterFunnel]
+
+    def funnel(self, group: str, study: str) -> FilterFunnel:
+        for funnel in self.funnels:
+            if funnel.group == group and funnel.study == study:
+                return funnel
+        raise KeyError(f"no funnel for {group}/{study}")
+
+
+def run_campaign(
+    testbed: Testbed,
+    plan: Optional[StudyPlan] = None,
+    seed: int = 0,
+    participants_scale: float = 1.0,
+    params: PerceptionParams = DEFAULT_PARAMS,
+    groups: Tuple[str, ...] = GROUP_ORDER,
+) -> CampaignResult:
+    """Run the complete measurement campaign.
+
+    ``participants_scale`` scales every group's Table 3 participation
+    (e.g. 0.2 for a fast smoke campaign). The lab group is never scaled
+    below 10 participants so its confidence intervals stay meaningful.
+    """
+    if participants_scale <= 0:
+        raise ValueError("participants_scale must be positive")
+    plan = plan if plan is not None else StudyPlan()
+
+    ab_results: Dict[str, AbStudyResult] = {}
+    rating_results: Dict[str, RatingStudyResult] = {}
+    ab_filtered: Dict[str, List[AbSession]] = {}
+    rating_filtered: Dict[str, List[RatingSession]] = {}
+    funnels: List[FilterFunnel] = []
+
+    for group in groups:
+        behavior = GROUPS[group]
+        n_ab = _scaled(behavior.participants_ab, participants_scale)
+        n_rating = _scaled(behavior.participants_rating, participants_scale)
+
+        ab_result = run_ab_study(testbed, group, plan,
+                                 participants=n_ab, seed=seed, params=params)
+        kept_ab, funnel_ab = apply_filters(ab_result.sessions, group, "ab")
+        ab_results[group] = ab_result
+        ab_filtered[group] = kept_ab
+        funnels.append(funnel_ab)
+
+        rating_result = run_rating_study(testbed, group, plan,
+                                         participants=n_rating, seed=seed,
+                                         params=params)
+        kept_rating, funnel_rating = apply_filters(
+            rating_result.sessions, group, "rating")
+        rating_results[group] = rating_result
+        rating_filtered[group] = kept_rating
+        funnels.append(funnel_rating)
+
+    return CampaignResult(
+        plan=plan,
+        ab=ab_results,
+        rating=rating_results,
+        ab_filtered=ab_filtered,
+        rating_filtered=rating_filtered,
+        funnels=funnels,
+    )
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(10, int(round(count * scale)))
+
+
+#: The paper's Table 3 reference values, for side-by-side reports.
+PAPER_TABLE3: Dict[Tuple[str, str], List[int]] = {
+    ("lab", "ab"): [35, 35, 35, 35, 35, 35, 35, 35],
+    ("lab", "rating"): [35, 35, 35, 35, 35, 35, 35, 35],
+    ("microworker", "ab"): [487, 471, 441, 355, 268, 268, 239, 233],
+    ("microworker", "rating"): [1563, 1494, 1321, 1034, 733, 723, 661, 614],
+    ("internet", "ab"): [218, 217, 210, 196, 171, 170, 159, 155],
+    ("internet", "rating"): [209, 204, 194, 172, 152, 151, 140, 138],
+}

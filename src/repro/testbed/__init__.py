@@ -1,0 +1,12 @@
+"""Testbed orchestration: condition sweeps with caching.
+
+Mirrors the paper's measurement campaign: every (website, network, stack)
+condition is recorded ``runs`` times, a typical run is selected, and the
+result is summarised for the user studies and analyses. Sweeps are cached
+on disk because the full 36 x 4 x 5 grid is tens of thousands of page
+loads.
+"""
+
+from repro.testbed.harness import RecordingSummary, Testbed
+
+__all__ = ["Testbed", "RecordingSummary"]

@@ -1,0 +1,228 @@
+"""Condition sweep harness with a JSON disk cache."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import fmean
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.browser.metrics import VisualCurve, VisualMetrics
+from repro.browser.recorder import record_website
+from repro.netem.profiles import NETWORKS, NetworkProfile, network_by_name
+from repro.transport.config import STACKS, StackConfig, stack_by_name
+from repro.web.corpus import CORPUS_SITE_NAMES, build_site
+
+#: Bump when simulator behaviour changes to invalidate stale caches.
+CACHE_VERSION = 11
+
+
+@dataclass
+class RecordingSummary:
+    """Serializable essence of one condition's recording.
+
+    Carries what the user studies and analyses need: the shown (typical)
+    run's visual curve and metrics, per-run metric samples for averaging,
+    and transport counters for the retransmission analysis (Section 4.3).
+    """
+
+    website: str
+    network: str
+    stack: str
+    runs: int
+    selection_metric: str
+    selected_metrics: Dict[str, float]
+    selected_curve: List[Tuple[float, float]]
+    run_metrics: List[Dict[str, float]]
+    mean_retransmissions: float
+    mean_segments_sent: float
+    completed_fraction: float
+
+    @property
+    def condition_key(self) -> Tuple[str, str, str]:
+        return (self.website, self.network, self.stack)
+
+    @property
+    def video_duration(self) -> float:
+        """Clip length: last visual change plus a one-second tail."""
+        return self.selected_metrics["LVC"] + 1.0
+
+    @property
+    def fvc(self) -> float:
+        return self.selected_metrics["FVC"]
+
+    @property
+    def si(self) -> float:
+        return self.selected_metrics["SI"]
+
+    def curve(self) -> VisualCurve:
+        return VisualCurve(self.selected_curve)
+
+    def mean_metric(self, name: str) -> float:
+        return fmean(m[name] for m in self.run_metrics)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "website": self.website,
+            "network": self.network,
+            "stack": self.stack,
+            "runs": self.runs,
+            "selection_metric": self.selection_metric,
+            "selected_metrics": self.selected_metrics,
+            "selected_curve": [[t, v] for t, v in self.selected_curve],
+            "run_metrics": self.run_metrics,
+            "mean_retransmissions": self.mean_retransmissions,
+            "mean_segments_sent": self.mean_segments_sent,
+            "completed_fraction": self.completed_fraction,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "RecordingSummary":
+        return cls(
+            website=str(data["website"]),
+            network=str(data["network"]),
+            stack=str(data["stack"]),
+            runs=int(data["runs"]),
+            selection_metric=str(data["selection_metric"]),
+            selected_metrics={k: float(v) for k, v in
+                              dict(data["selected_metrics"]).items()},
+            selected_curve=[(float(t), float(v))
+                            for t, v in list(data["selected_curve"])],
+            run_metrics=[{k: float(v) for k, v in m.items()}
+                         for m in list(data["run_metrics"])],
+            mean_retransmissions=float(data["mean_retransmissions"]),
+            mean_segments_sent=float(data["mean_segments_sent"]),
+            completed_fraction=float(data["completed_fraction"]),
+        )
+
+
+class Testbed:
+    """Produces and caches recordings for study conditions."""
+
+    #: Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        corpus_seed: int = 0,
+        runs: int = 7,
+        seed: int = 0,
+        cache_dir: Optional[str] = None,
+        timeout: float = 180.0,
+        selection_metric: str = "PLT",
+    ):
+        if runs < 1:
+            raise ValueError("runs must be at least 1")
+        self.corpus_seed = corpus_seed
+        self.runs = runs
+        self.seed = seed
+        self.timeout = timeout
+        self.selection_metric = selection_metric
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+        self._cache_dir = Path(cache_dir)
+        self._memory: Dict[Tuple[str, str, str], RecordingSummary] = {}
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def _cache_path(self, website: str, network: str, stack: str) -> Path:
+        safe_stack = stack.replace("+", "p")
+        name = (f"v{CACHE_VERSION}_c{self.corpus_seed}_s{self.seed}_"
+                f"r{self.runs}_{self.selection_metric}_"
+                f"{website}_{network}_{safe_stack}.json")
+        return self._cache_dir / name
+
+    def _load_cached(self, website: str, network: str,
+                     stack: str) -> Optional[RecordingSummary]:
+        path = self._cache_path(website, network, stack)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as handle:
+                return RecordingSummary.from_json(json.load(handle))
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+            return None
+
+    def _store(self, summary: RecordingSummary) -> None:
+        self._cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(summary.website, summary.network, summary.stack)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(summary.to_json(), handle)
+        os.replace(tmp, path)
+
+    # -- recording ----------------------------------------------------------------
+
+    def recording(self, website: str, network: str,
+                  stack: str) -> RecordingSummary:
+        """Recording for one condition (memoised, then disk-cached)."""
+        key = (website, network, stack)
+        if key in self._memory:
+            return self._memory[key]
+        cached = self._load_cached(*key)
+        if cached is not None:
+            self._memory[key] = cached
+            return cached
+        summary = self._produce(website, network, stack)
+        self._store(summary)
+        self._memory[key] = summary
+        return summary
+
+    def _produce(self, website: str, network: str,
+                 stack: str) -> RecordingSummary:
+        site = build_site(website, seed=self.corpus_seed)
+        profile = network_by_name(network)
+        stack_cfg = stack_by_name(stack)
+        recording = record_website(
+            site, profile, stack_cfg,
+            runs=self.runs, seed=self.seed,
+            selection_metric=self.selection_metric,
+            timeout=self.timeout,
+        )
+        selected = recording.selected
+        return RecordingSummary(
+            website=website,
+            network=profile.name,
+            stack=stack_cfg.name,
+            runs=self.runs,
+            selection_metric=self.selection_metric,
+            selected_metrics=selected.metrics.as_dict(),
+            selected_curve=selected.curve.points,
+            run_metrics=[r.metrics.as_dict() for r in recording.runs],
+            mean_retransmissions=fmean(
+                r.transport.retransmissions for r in recording.runs
+            ),
+            mean_segments_sent=fmean(
+                r.transport.packets_or_segments_sent for r in recording.runs
+            ),
+            completed_fraction=fmean(
+                1.0 if r.completed else 0.0 for r in recording.runs
+            ),
+        )
+
+    # -- sweeps ---------------------------------------------------------------------
+
+    def sweep(
+        self,
+        sites: Optional[Sequence[str]] = None,
+        networks: Optional[Sequence[str]] = None,
+        stacks: Optional[Sequence[str]] = None,
+    ) -> List[RecordingSummary]:
+        """Record every requested condition (defaults: full paper grid)."""
+        sites = list(sites) if sites is not None else list(CORPUS_SITE_NAMES)
+        networks = list(networks) if networks is not None else \
+            [p.name for p in NETWORKS]
+        stacks = list(stacks) if stacks is not None else \
+            [s.name for s in STACKS]
+        out: List[RecordingSummary] = []
+        for site in sites:
+            for network in networks:
+                for stack in stacks:
+                    out.append(self.recording(site, network, stack))
+        return out
+
+    def index(self) -> Dict[Tuple[str, str, str], RecordingSummary]:
+        """All conditions recorded so far, keyed by (site, network, stack)."""
+        return dict(self._memory)

@@ -1,0 +1,45 @@
+"""Transport stacks built from scratch: TCP(+TLS) and QUIC.
+
+The paper compares five stack configurations (Table 1):
+
+========== =====================================================
+TCP        Stock TCP (Linux): IW10, Cubic, no pacing
+TCP+       IW32, pacing, Cubic, tuned buffers, no slow start after idle
+TCP+BBR    TCP+, but with BBRv1 as congestion control
+QUIC       Stock Google QUIC: IW32, pacing, Cubic
+QUIC+BBR   QUIC, but with BBRv1 as congestion control
+========== =====================================================
+
+This package implements both protocols at packet granularity over the
+:mod:`repro.netem` emulator: handshakes (2-RTT TCP+TLS1.3 vs 1-RTT QUIC),
+SACK-based loss recovery, receive-window flow control, idle-restart
+behaviour, and — the key architectural difference — ordered-bytestream
+delivery for TCP (head-of-line blocking) versus independent stream
+delivery for QUIC.
+"""
+
+from repro.transport.config import (
+    QUIC,
+    QUIC_BBR,
+    STACKS,
+    TCP,
+    TCP_BBR,
+    TCP_PLUS,
+    StackConfig,
+    stack_by_name,
+)
+from repro.transport.quic import QuicConnection
+from repro.transport.tcp import TcpConnection
+
+__all__ = [
+    "StackConfig",
+    "TCP",
+    "TCP_PLUS",
+    "TCP_BBR",
+    "QUIC",
+    "QUIC_BBR",
+    "STACKS",
+    "stack_by_name",
+    "TcpConnection",
+    "QuicConnection",
+]

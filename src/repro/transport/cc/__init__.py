@@ -1,0 +1,17 @@
+"""Congestion-control algorithms shared by the TCP and QUIC stacks."""
+
+from repro.transport.cc.base import CongestionController
+from repro.transport.cc.bbr import BbrV1
+from repro.transport.cc.cubic import Cubic
+
+__all__ = ["CongestionController", "Cubic", "BbrV1", "make_controller"]
+
+
+def make_controller(name: str, mss: int, initial_window_segments: int):
+    """Factory: build a controller by algorithm name ("cubic" or "bbr")."""
+    lowered = name.lower()
+    if lowered == "cubic":
+        return Cubic(mss=mss, initial_window_segments=initial_window_segments)
+    if lowered in ("bbr", "bbrv1", "bbr1"):
+        return BbrV1(mss=mss, initial_window_segments=initial_window_segments)
+    raise ValueError(f"unknown congestion controller {name!r}")

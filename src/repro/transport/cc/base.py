@@ -1,0 +1,72 @@
+"""Interface between the loss-recovery machinery and a CC algorithm."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+
+class CongestionController(abc.ABC):
+    """Congestion-control algorithm driven by sender events.
+
+    The transport calls the ``on_*`` hooks; the controller exposes a
+    congestion window in bytes and, optionally, a pacing rate in
+    bytes/second. All times are simulator seconds.
+    """
+
+    def __init__(self, mss: int, initial_window_segments: int):
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        if initial_window_segments <= 0:
+            raise ValueError("initial window must be positive")
+        self.mss = mss
+        self.initial_window = initial_window_segments * mss
+        self.cwnd = self.initial_window
+
+    # -- events -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_ack(self, now: float, acked_bytes: int, rtt_sample: Optional[float],
+               bytes_in_flight: int,
+               delivery_rate: Optional[float] = None) -> None:
+        """New data was acknowledged.
+
+        ``delivery_rate`` is a BBR-style sample in bytes/second measured by
+        the transport (delivered-bytes delta over the acked packet's
+        flight time); rate-based controllers rely on it.
+        """
+
+    @abc.abstractmethod
+    def on_loss_event(self, now: float, lost_bytes: int,
+                      bytes_in_flight: int) -> None:
+        """One or more packets were declared lost (a congestion event)."""
+
+    def on_rto(self, now: float) -> None:
+        """Retransmission timeout fired: collapse the window."""
+        self.cwnd = self.mss
+
+    def on_idle_restart(self) -> None:
+        """Connection was idle longer than an RTO (stock TCP resets cwnd)."""
+        self.cwnd = min(self.cwnd, self.initial_window)
+
+    def on_packet_sent(self, now: float, size: int,
+                       bytes_in_flight: int) -> None:
+        """A packet left the sender (BBR tracks this; Cubic ignores it)."""
+
+    # -- queries ------------------------------------------------------------
+
+    def can_send(self, bytes_in_flight: int) -> bool:
+        """True when the window allows at least one more segment."""
+        return bytes_in_flight + self.mss <= self.congestion_window()
+
+    def congestion_window(self) -> int:
+        """Current window in bytes."""
+        return max(self.cwnd, self.mss)
+
+    def pacing_rate(self, smoothed_rtt: float) -> Optional[float]:
+        """Bytes/second pacing rate, or None to let the pacer derive one."""
+        return None
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.lower()

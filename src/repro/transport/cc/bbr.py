@@ -1,0 +1,231 @@
+"""BBRv1 congestion control (Cardwell et al.), model-based.
+
+The paper uses BBRv1 for the TCP+BBR and QUIC+BBR stacks ("BBRv2 was not
+yet available at the time of testing"). This implementation follows the
+published v1 design: a windowed-max bottleneck-bandwidth filter, a
+windowed-min RTT filter, the STARTUP / DRAIN / PROBE_BW / PROBE_RTT state
+machine, and gain-based pacing. Because BBR is rate- not loss-based, it
+keeps its window through the random loss of the in-flight networks — the
+behaviour behind the paper's "BBR again makes the difference in the plane
+environment" findings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.transport.cc.base import CongestionController
+
+STARTUP_GAIN = 2.885  # 2/ln(2)
+DRAIN_GAIN = 1.0 / STARTUP_GAIN
+PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+CWND_GAIN = 2.0
+MIN_RTT_WINDOW = 10.0  # seconds
+BW_FILTER_LEN = 10     # round trips
+PROBE_RTT_DURATION = 0.2
+MIN_PIPE_SEGMENTS = 4
+
+
+class WindowedMaxFilter:
+    """Max of samples over the last ``window`` rounds."""
+
+    def __init__(self, window: int):
+        self._window = window
+        self._samples: Deque[Tuple[int, float]] = deque()
+
+    def update(self, round_count: int, value: float) -> None:
+        while self._samples and self._samples[0][0] <= round_count - self._window:
+            self._samples.popleft()
+        while self._samples and self._samples[-1][1] <= value:
+            self._samples.pop()
+        self._samples.append((round_count, value))
+
+    def get(self) -> float:
+        return self._samples[0][1] if self._samples else 0.0
+
+
+class BbrV1(CongestionController):
+    """BBR version 1."""
+
+    def __init__(self, mss: int, initial_window_segments: int = 32):
+        super().__init__(mss, initial_window_segments)
+        self._state = "STARTUP"
+        self._pacing_gain = STARTUP_GAIN
+        self._cwnd_gain = STARTUP_GAIN
+        self._btl_bw = WindowedMaxFilter(BW_FILTER_LEN)
+        self._min_rtt: float = float("inf")
+        self._min_rtt_stamp: float = 0.0
+        self._min_rtt_expired = False
+        self._probe_rtt_done_stamp: Optional[float] = None
+        self._round_count = 0
+        self._next_round_delivered = 0
+        self._delivered = 0
+        self._full_bw: float = 0.0
+        self._full_bw_count = 0
+        self._cycle_index = 0
+        self._cycle_stamp = 0.0
+        self._prior_cwnd = 0
+
+    # -- state inspection (used by tests) ------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        """Current bandwidth estimate, bytes/second."""
+        return self._btl_bw.get()
+
+    @property
+    def min_rtt_estimate(self) -> float:
+        return self._min_rtt
+
+    # -- events ----------------------------------------------------------------
+
+    def on_ack(self, now: float, acked_bytes: int, rtt_sample: Optional[float],
+               bytes_in_flight: int,
+               delivery_rate: Optional[float] = None) -> None:
+        if acked_bytes <= 0:
+            return
+        self._delivered += acked_bytes
+
+        # PROBE_RTT eligibility is decided on the *pre-update* filter age
+        # (Linux checks filter_expired before refreshing the estimate).
+        self._min_rtt_expired = (self._min_rtt != float("inf")
+                                 and now - self._min_rtt_stamp
+                                 > MIN_RTT_WINDOW)
+        if rtt_sample is not None and rtt_sample > 0:
+            if rtt_sample <= self._min_rtt or self._min_rtt_expired:
+                self._min_rtt = rtt_sample
+                self._min_rtt_stamp = now
+        if delivery_rate is not None and delivery_rate > 0:
+            self._btl_bw.update(self._round_count, delivery_rate)
+        elif rtt_sample is not None and rtt_sample > 0:
+            # Fallback when the transport provides no rate sample.
+            self._btl_bw.update(self._round_count,
+                                acked_bytes / max(rtt_sample, 1e-6))
+
+        # Round accounting: a round ends once everything that was in
+        # flight at the start of the round has been delivered (one RTT of
+        # data), matching BBR's packet-conservation round trips.
+        if self._delivered >= self._next_round_delivered:
+            self._round_count += 1
+            self._next_round_delivered = self._delivered + max(
+                bytes_in_flight, self.mss
+            )
+            self._check_full_pipe()
+
+        self._advance_state_machine(now, bytes_in_flight)
+        self._set_cwnd()
+
+    def on_loss_event(self, now: float, lost_bytes: int,
+                      bytes_in_flight: int) -> None:
+        # BBRv1 mostly ignores loss; it only reacts to actual RTOs.
+        return
+
+    def on_rto(self, now: float) -> None:
+        self._prior_cwnd = self.congestion_window()
+        self.cwnd = self.mss
+
+    def on_idle_restart(self) -> None:
+        # BBR does not collapse the window after idle; pacing resumes at
+        # the estimated bottleneck rate.
+        return
+
+    # -- state machine -----------------------------------------------------------
+
+    def _check_full_pipe(self) -> None:
+        if self._state != "STARTUP":
+            return
+        bw = self._btl_bw.get()
+        if bw > self._full_bw * 1.25:
+            self._full_bw = bw
+            self._full_bw_count = 0
+            return
+        self._full_bw_count += 1
+        if self._full_bw_count >= 3:
+            self._state = "DRAIN"
+            self._pacing_gain = DRAIN_GAIN
+            self._cwnd_gain = STARTUP_GAIN
+
+    def _advance_state_machine(self, now: float, bytes_in_flight: int) -> None:
+        if self._state == "DRAIN":
+            if bytes_in_flight <= self._bdp(1.0):
+                self._enter_probe_bw(now)
+        elif self._state == "PROBE_BW":
+            self._maybe_cycle(now, bytes_in_flight)
+            if self._min_rtt_expired:
+                self._enter_probe_rtt(now)
+        elif self._state == "PROBE_RTT":
+            if self._probe_rtt_done_stamp is None:
+                self._probe_rtt_done_stamp = now + PROBE_RTT_DURATION
+            elif now >= self._probe_rtt_done_stamp:
+                self._min_rtt_stamp = now
+                self._probe_rtt_done_stamp = None
+                self._enter_probe_bw(now)
+
+    def _enter_probe_bw(self, now: float) -> None:
+        self._state = "PROBE_BW"
+        self._cwnd_gain = CWND_GAIN
+        self._cycle_index = 2  # start in a neutral phase
+        self._pacing_gain = PROBE_BW_GAINS[self._cycle_index]
+        self._cycle_stamp = now
+        if self._prior_cwnd:
+            self.cwnd = max(self.cwnd, self._prior_cwnd)
+            self._prior_cwnd = 0
+
+    def _enter_probe_rtt(self, now: float) -> None:
+        self._state = "PROBE_RTT"
+        self._prior_cwnd = self.congestion_window()
+        self._pacing_gain = 1.0
+        self._cwnd_gain = 1.0
+        self._probe_rtt_done_stamp = None
+
+    def _maybe_cycle(self, now: float, bytes_in_flight: int) -> None:
+        rtt = self._min_rtt if self._min_rtt != float("inf") else 0.1
+        elapsed = now - self._cycle_stamp
+        gain = PROBE_BW_GAINS[self._cycle_index]
+        should_advance = elapsed > rtt
+        if gain == 0.75:
+            # Leave the drain phase as soon as the excess queue is gone.
+            should_advance = elapsed > rtt or bytes_in_flight <= self._bdp(1.0)
+        if should_advance:
+            self._cycle_index = (self._cycle_index + 1) % len(PROBE_BW_GAINS)
+            self._pacing_gain = PROBE_BW_GAINS[self._cycle_index]
+            self._cycle_stamp = now
+
+    # -- window / pacing ------------------------------------------------------------
+
+    def _bdp(self, gain: float) -> float:
+        bw = self._btl_bw.get()
+        rtt = self._min_rtt
+        if bw <= 0 or rtt == float("inf"):
+            return float(self.initial_window)
+        return gain * bw * rtt
+
+    def _set_cwnd(self) -> None:
+        if self._state == "PROBE_RTT":
+            self.cwnd = max(MIN_PIPE_SEGMENTS * self.mss, self.mss)
+            return
+        target = int(self._bdp(self._cwnd_gain))
+        target = max(target, MIN_PIPE_SEGMENTS * self.mss)
+        if self._full_bw_count >= 3 or self._state != "STARTUP":
+            self.cwnd = target
+        else:
+            # In startup never shrink below what slow-start style growth gives.
+            self.cwnd = max(self.cwnd, target)
+
+    def pacing_rate(self, smoothed_rtt: float) -> Optional[float]:
+        bw = self._btl_bw.get()
+        if bw <= 0:
+            # No estimate yet: pace the initial window over the handshake RTT.
+            if smoothed_rtt > 0:
+                return STARTUP_GAIN * self.initial_window / smoothed_rtt
+            return None
+        return self._pacing_gain * bw
+
+    @property
+    def name(self) -> str:
+        return "bbr"

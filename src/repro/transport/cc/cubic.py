@@ -1,0 +1,141 @@
+"""CUBIC congestion control (RFC 8312) with fast convergence.
+
+This is the default algorithm of both the Linux TCP stack and Google
+QUIC at the time of the paper, so it is what four of the five Table 1
+stacks run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.transport.cc.base import CongestionController
+
+#: CUBIC scaling constant (RFC 8312 recommends 0.4).
+CUBIC_C = 0.4
+#: Multiplicative decrease factor.
+BETA_CUBIC = 0.7
+#: HyStart: do not exit slow start below this window.
+HYSTART_LOW_WINDOW_SEGMENTS = 16
+#: HyStart delay threshold floor (seconds).
+HYSTART_DELAY_FLOOR = 0.004
+
+
+class Cubic(CongestionController):
+    """CUBIC with HyStart delay detection and fast convergence.
+
+    Linux ships HyStart enabled by default: slow start exits once the RTT
+    rises measurably above its floor, *before* the doubling window
+    overflows a shallow bottleneck queue. Without it, IW32 stacks drown
+    12 ms buffers (the paper's DSL) in their second slow-start round.
+    """
+
+    def __init__(self, mss: int, initial_window_segments: int = 10):
+        super().__init__(mss, initial_window_segments)
+        self.ssthresh: float = float("inf")
+        self._w_max: float = 0.0
+        self._k: float = 0.0
+        self._epoch_start: Optional[float] = None
+        self._last_loss_time: Optional[float] = None
+        self._acked_bytes_in_round = 0
+        self._base_rtt: float = float("inf")
+        self.hystart_exits = 0
+
+    # -- events -------------------------------------------------------------
+
+    def on_ack(self, now: float, acked_bytes: int, rtt_sample: Optional[float],
+               bytes_in_flight: int,
+               delivery_rate: Optional[float] = None) -> None:
+        if acked_bytes <= 0:
+            return
+        if rtt_sample is not None and rtt_sample > 0:
+            self._base_rtt = min(self._base_rtt, rtt_sample)
+        if self.cwnd < self.ssthresh:
+            if self._hystart_should_exit(rtt_sample):
+                self.hystart_exits += 1
+                self.ssthresh = float(self.cwnd)
+                self._begin_epoch(now)
+                return
+            # Slow start: one MSS per acked MSS (byte counting).
+            self.cwnd += acked_bytes
+            if self.cwnd >= self.ssthresh:
+                self.cwnd = int(self.ssthresh)
+                self._begin_epoch(now)
+            return
+        if self._epoch_start is None:
+            self._begin_epoch(now)
+        rtt = rtt_sample if rtt_sample else 0.1
+        target = self._window_at(now - self._epoch_start + rtt)
+        if target > self.cwnd:
+            # Grow towards target within one RTT.
+            self.cwnd += int(
+                max(1.0, (target - self.cwnd) / max(self.cwnd, 1) * acked_bytes)
+            )
+        else:
+            # TCP-friendly region / plateau: grow slowly (1 MSS / 100 acks).
+            self._acked_bytes_in_round += acked_bytes
+            if self._acked_bytes_in_round >= 100 * self.mss:
+                self.cwnd += self.mss
+                self._acked_bytes_in_round = 0
+
+    def on_loss_event(self, now: float, lost_bytes: int,
+                      bytes_in_flight: int) -> None:
+        # At most one window reduction per round trip (loss event, not per
+        # packet): ignore losses within ~one srtt of the previous event.
+        if self._last_loss_time is not None and now - self._last_loss_time < 0.05:
+            return
+        self._last_loss_time = now
+        current = float(self.congestion_window())
+        if current < self._w_max:
+            # Fast convergence: release bandwidth for newer flows.
+            self._w_max = current * (1.0 + BETA_CUBIC) / 2.0
+        else:
+            self._w_max = current
+        self.cwnd = max(int(current * BETA_CUBIC), 2 * self.mss)
+        self.ssthresh = max(float(self.cwnd), 2.0 * self.mss)
+        self._epoch_start = None
+
+    def on_rto(self, now: float) -> None:
+        self.ssthresh = max(self.congestion_window() * BETA_CUBIC, 2.0 * self.mss)
+        self.cwnd = self.mss
+        self._epoch_start = None
+        self._last_loss_time = now
+
+    def _hystart_should_exit(self, rtt_sample: Optional[float]) -> bool:
+        """Delay-increase detection (the HyStart 'Delay' heuristic)."""
+        if rtt_sample is None or self._base_rtt == float("inf"):
+            return False
+        if self.cwnd < HYSTART_LOW_WINDOW_SEGMENTS * self.mss:
+            return False
+        threshold = self._base_rtt + max(HYSTART_DELAY_FLOOR,
+                                         self._base_rtt / 8.0)
+        return rtt_sample > threshold
+
+    # -- cubic window function ------------------------------------------------
+
+    def _begin_epoch(self, now: float) -> None:
+        self._epoch_start = now
+        self._acked_bytes_in_round = 0
+        w_max_segments = max(self._w_max, float(self.cwnd)) / self.mss
+        cwnd_segments = self.cwnd / self.mss
+        self._k = ((w_max_segments - cwnd_segments) / CUBIC_C) ** (1.0 / 3.0) \
+            if w_max_segments > cwnd_segments else 0.0
+
+    def _window_at(self, t: float) -> float:
+        """W_cubic(t) in bytes."""
+        w_max_segments = max(self._w_max, float(self.cwnd)) / self.mss
+        segments = CUBIC_C * (t - self._k) ** 3 + w_max_segments
+        return segments * self.mss
+
+    # -- pacing --------------------------------------------------------------
+
+    def pacing_rate(self, smoothed_rtt: float) -> Optional[float]:
+        """Linux-style Cubic pacing: 2x cwnd/srtt in slow start, 1.2x after."""
+        if smoothed_rtt <= 0:
+            return None
+        gain = 2.0 if self.cwnd < self.ssthresh else 1.2
+        return gain * self.congestion_window() / smoothed_rtt
+
+    @property
+    def name(self) -> str:
+        return "cubic"

@@ -1,0 +1,177 @@
+"""Protocol stack configurations from Table 1 of the paper.
+
+========== =============================================================
+TCP        Stock TCP (Linux): IW10, Cubic, no pacing, slow start after
+           idle, autotuned (initially small) buffers, 3 SACK blocks.
+TCP+       IW32, pacing, Cubic, tuned buffers (sized to the BDP),
+           no slow start after idle.
+TCP+BBR    TCP+, but with BBRv1 as congestion control.
+QUIC       Stock Google QUIC: IW32, pacing, Cubic, 1-RTT handshake,
+           independent streams, large ACK ranges.
+QUIC+BBR   QUIC, but with BBRv1 as congestion control.
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.util.units import MSS_BYTES
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """One row of Table 1: a fully parameterised Web protocol stack."""
+
+    name: str
+    transport: str                 # "tcp" or "quic"
+    congestion_control: str        # "cubic" or "bbr"
+    initial_window_segments: int
+    pacing: bool
+    tuned_buffers: bool
+    slow_start_after_idle: bool
+    max_sack_ranges: int
+    description: str = ""
+    mss: int = MSS_BYTES
+    #: 0-RTT resumption (TLS early-data style). The paper argues real
+    #: deployments cannot enable this broadly yet (replay attacks,
+    #: Section 3), so no Table 1 stack uses it — it exists for the
+    #: future-work ablation: what the studies would compare once 0-RTT
+    #: is deployable.
+    zero_rtt: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("tcp", "quic"):
+            raise ValueError(f"transport must be tcp or quic, got {self.transport}")
+        if self.congestion_control not in ("cubic", "bbr"):
+            raise ValueError(
+                f"congestion control must be cubic or bbr, got "
+                f"{self.congestion_control}"
+            )
+        if self.initial_window_segments <= 0:
+            raise ValueError("initial window must be positive")
+        if self.max_sack_ranges <= 0:
+            raise ValueError("max SACK ranges must be positive")
+
+    @property
+    def is_quic(self) -> bool:
+        return self.transport == "quic"
+
+    @property
+    def handshake_rtts(self) -> int:
+        """RTTs before the first HTTP request can leave the client.
+
+        The paper compares a 1-RTT QUIC handshake against TCP+TLS 1.3
+        without TFO or early-data, i.e. 2 RTTs; with 0-RTT resumption the
+        request leaves immediately.
+        """
+        if self.zero_rtt:
+            return 0
+        return 1 if self.is_quic else 2
+
+    def table_row(self) -> Dict[str, str]:
+        """Row for the Table 1 report."""
+        return {
+            "Protocol": self.name,
+            "Description": self.description,
+        }
+
+
+TCP = StackConfig(
+    name="TCP",
+    transport="tcp",
+    congestion_control="cubic",
+    initial_window_segments=10,
+    pacing=False,
+    tuned_buffers=False,
+    slow_start_after_idle=True,
+    max_sack_ranges=3,
+    description="Stock TCP (Linux): IW10, Cubic",
+)
+
+TCP_PLUS = StackConfig(
+    name="TCP+",
+    transport="tcp",
+    congestion_control="cubic",
+    initial_window_segments=32,
+    pacing=True,
+    tuned_buffers=True,
+    slow_start_after_idle=False,
+    max_sack_ranges=3,
+    description="IW32, Pacing, Cubic, tuned buffers, no slow start after idle",
+)
+
+TCP_BBR = StackConfig(
+    name="TCP+BBR",
+    transport="tcp",
+    congestion_control="bbr",
+    initial_window_segments=32,
+    pacing=True,
+    tuned_buffers=True,
+    slow_start_after_idle=False,
+    max_sack_ranges=3,
+    description="TCP+, but with BBRv1 as congestion control",
+)
+
+QUIC = StackConfig(
+    name="QUIC",
+    transport="quic",
+    congestion_control="cubic",
+    initial_window_segments=32,
+    pacing=True,
+    tuned_buffers=True,
+    slow_start_after_idle=False,
+    max_sack_ranges=256,
+    description="Stock Google QUIC: IW 32, Pacing, Cubic",
+)
+
+QUIC_BBR = StackConfig(
+    name="QUIC+BBR",
+    transport="quic",
+    congestion_control="bbr",
+    initial_window_segments=32,
+    pacing=True,
+    tuned_buffers=True,
+    slow_start_after_idle=False,
+    max_sack_ranges=256,
+    description="QUIC, but with BBRv1 as congestion control",
+)
+
+#: All Table 1 stacks in paper order.
+STACKS: Tuple[StackConfig, ...] = (TCP, TCP_PLUS, TCP_BBR, QUIC, QUIC_BBR)
+
+#: Future-work variant (Section 3): QUIC with 0-RTT resumption, as a
+#: repeat-visit scenario would see it. Not part of Table 1.
+QUIC_0RTT = StackConfig(
+    name="QUIC-0RTT",
+    transport="quic",
+    congestion_control="cubic",
+    initial_window_segments=32,
+    pacing=True,
+    tuned_buffers=True,
+    slow_start_after_idle=False,
+    max_sack_ranges=256,
+    description="QUIC with 0-RTT connection resumption (repeat visit)",
+    zero_rtt=True,
+)
+
+#: The protocol pairs compared side-by-side in the A/B study (Figure 4).
+AB_PAIRS: Tuple[Tuple[StackConfig, StackConfig], ...] = (
+    (TCP_PLUS, TCP),
+    (QUIC, TCP),
+    (QUIC, TCP_PLUS),
+    (QUIC_BBR, TCP_BBR),
+)
+
+_BY_NAME: Dict[str, StackConfig] = {s.name.upper(): s for s in STACKS}
+_BY_NAME[QUIC_0RTT.name.upper()] = QUIC_0RTT
+
+
+def stack_by_name(name: str) -> StackConfig:
+    """Look up a Table 1 stack by name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        known = ", ".join(s.name for s in STACKS)
+        raise KeyError(f"unknown stack {name!r}; known: {known}") from None

@@ -1,0 +1,75 @@
+"""Packet pacing.
+
+The paper's TCP+ matches gQUIC's pacing behaviour "with Linux's defaults
+of an initial quantum of ten and a refill quantum of two segments": the
+pacer may burst ten segments at connection start, afterwards it releases
+packets in bursts of at most two segments at the pacing rate. Stock TCP
+disables pacing and sends entire windows back-to-back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Pacer:
+    """Token-style pacer gating when the next packet may leave.
+
+    The transport asks :meth:`next_send_time` before each transmission and
+    reports each send with :meth:`on_packet_sent`.
+    """
+
+    def __init__(self, enabled: bool, mss: int,
+                 initial_quantum_segments: int = 10,
+                 refill_quantum_segments: int = 2):
+        self.enabled = enabled
+        self.mss = mss
+        self._initial_quantum = initial_quantum_segments * mss
+        self._quantum = refill_quantum_segments * mss
+        self._budget = float(self._initial_quantum)
+        self._last_update: Optional[float] = None
+        self._rate: Optional[float] = None
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Most recently configured pacing rate (bytes/second)."""
+        return self._rate
+
+    def set_rate(self, rate: Optional[float]) -> None:
+        """Update the pacing rate (None disables rate accumulation)."""
+        self._rate = rate if rate and rate > 0 else None
+
+    def _refill(self, now: float) -> None:
+        if self._last_update is None:
+            self._last_update = now
+            return
+        if self._rate is not None:
+            self._budget += (now - self._last_update) * self._rate
+            cap = max(self._quantum, self._initial_quantum)
+            self._budget = min(self._budget, float(cap))
+        self._last_update = now
+
+    def next_send_time(self, now: float, size: int) -> float:
+        """Earliest time a packet of ``size`` bytes may be sent.
+
+        Returns ``now`` when sending is allowed immediately.
+        """
+        if not self.enabled or self._rate is None:
+            return now
+        self._refill(now)
+        if self._budget >= size:
+            return now
+        deficit = size - self._budget
+        return now + deficit / self._rate
+
+    def on_packet_sent(self, now: float, size: int) -> None:
+        """Account a transmission against the budget."""
+        if not self.enabled:
+            return
+        self._refill(now)
+        self._budget -= size
+
+    def reset_initial_quantum(self) -> None:
+        """Restore the start-of-connection burst allowance (after idle)."""
+        self._budget = float(self._initial_quantum)
+        self._last_update = None

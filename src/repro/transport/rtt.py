@@ -1,0 +1,53 @@
+"""RTT estimation and retransmission timeout per RFC 6298."""
+
+from __future__ import annotations
+
+
+class RttEstimator:
+    """Smoothed RTT / RTT variance tracker with RTO computation.
+
+    Matches the classic TCP estimator (alpha=1/8, beta=1/4) that both the
+    Linux stack and Google QUIC's loss detection use.
+    """
+
+    #: Linux's minimum RTO (and a good stand-in for QUIC's PTO floor).
+    MIN_RTO = 0.2
+    MAX_RTO = 60.0
+    INITIAL_RTO = 1.0
+
+    def __init__(self):
+        self.srtt: float = 0.0
+        self.rttvar: float = 0.0
+        self.min_rtt: float = float("inf")
+        self.latest_rtt: float = 0.0
+        self._has_sample = False
+
+    @property
+    def has_sample(self) -> bool:
+        """True once at least one RTT sample was taken."""
+        return self._has_sample
+
+    def on_sample(self, rtt: float) -> None:
+        """Feed a new RTT measurement (seconds, from a non-retransmitted ack)."""
+        if rtt <= 0:
+            raise ValueError(f"rtt sample must be positive, got {rtt}")
+        self.latest_rtt = rtt
+        self.min_rtt = min(self.min_rtt, rtt)
+        if not self._has_sample:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+            self._has_sample = True
+            return
+        self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+        self.srtt = 0.875 * self.srtt + 0.125 * rtt
+
+    def rto(self) -> float:
+        """Current retransmission timeout."""
+        if not self._has_sample:
+            return self.INITIAL_RTO
+        rto = self.srtt + max(4.0 * self.rttvar, 0.001)
+        return min(max(rto, self.MIN_RTO), self.MAX_RTO)
+
+    def smoothed(self, default: float = INITIAL_RTO) -> float:
+        """Smoothed RTT, or ``default`` before the first sample."""
+        return self.srtt if self._has_sample else default

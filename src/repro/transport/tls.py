@@ -1,0 +1,62 @@
+"""TLS 1.3 handshake model.
+
+Chromium in June 2019 did not support TLS 1.3 early-data and TFO is
+barely deployable, so the paper compares a 1-RTT QUIC handshake against a
+2-RTT TCP+TLS 1.3 setup. We model the handshake flights as real packets
+(so they are subject to loss and serialisation on slow links) using
+representative flight sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: TCP SYN / SYN-ACK / pure ACK wire size.
+TCP_CONTROL_PACKET_BYTES = 40
+
+#: TLS 1.3 ClientHello wire size (with typical extensions).
+CLIENT_HELLO_BYTES = 350
+
+#: TLS 1.3 server flight: ServerHello + EncryptedExtensions + Certificate
+#: (+chain) + CertificateVerify + Finished. Realistic certificate chains
+#: put this at 2-3 packets.
+SERVER_FLIGHT_BYTES = 3400
+
+#: Client Finished (can be coalesced with the first request flight).
+CLIENT_FINISHED_BYTES = 80
+
+#: QUIC client Initial: gQUIC pads the first packet to full size to
+#: mitigate amplification.
+QUIC_INITIAL_BYTES = 1350
+
+#: QUIC server handshake flight (REJ/SHLO + certs), also 2-3 packets.
+QUIC_SERVER_FLIGHT_BYTES = 3400
+
+
+@dataclass(frozen=True)
+class HandshakeProfile:
+    """Packet sizes of each handshake flight for one protocol family."""
+
+    client_first_bytes: int
+    server_flight_bytes: int
+    client_final_bytes: int
+    rtts_before_request: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.rtts_before_request}-RTT"
+
+
+TCP_TLS13 = HandshakeProfile(
+    client_first_bytes=TCP_CONTROL_PACKET_BYTES,   # SYN
+    server_flight_bytes=SERVER_FLIGHT_BYTES,       # (after SYNACK) TLS flight
+    client_final_bytes=CLIENT_FINISHED_BYTES,
+    rtts_before_request=2,
+)
+
+QUIC_CRYPTO = HandshakeProfile(
+    client_first_bytes=QUIC_INITIAL_BYTES,
+    server_flight_bytes=QUIC_SERVER_FLIGHT_BYTES,
+    client_final_bytes=0,                          # coalesced with request
+    rtts_before_request=1,
+)

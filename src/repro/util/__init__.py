@@ -1,0 +1,24 @@
+"""Shared utilities: deterministic RNG management, units, small helpers."""
+
+from repro.util.rng import SeedSequenceFactory, spawn_rng
+from repro.util.units import (
+    BYTES_PER_KB,
+    BYTES_PER_MB,
+    MTU_BYTES,
+    Mbps,
+    bytes_per_second,
+    ms,
+    seconds_to_ms,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "spawn_rng",
+    "BYTES_PER_KB",
+    "BYTES_PER_MB",
+    "MTU_BYTES",
+    "Mbps",
+    "bytes_per_second",
+    "ms",
+    "seconds_to_ms",
+]

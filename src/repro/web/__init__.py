@@ -1,0 +1,22 @@
+"""Website models and the 36-site study corpus.
+
+The paper replays 36 real websites chosen (following Wijnants et al. [23])
+for high variation in page size, object count and the number of contacted
+hosts. The originals cannot be redistributed, so :mod:`repro.web.corpus`
+builds 36 deterministic synthetic sites that span the same diversity and
+keep the named sites the paper's evaluation discusses, with matching
+qualitative traits.
+"""
+
+from repro.web.corpus import CORPUS_SITE_NAMES, LAB_SITE_NAMES, build_corpus, build_site
+from repro.web.objects import WebObject
+from repro.web.website import Website
+
+__all__ = [
+    "WebObject",
+    "Website",
+    "build_corpus",
+    "build_site",
+    "CORPUS_SITE_NAMES",
+    "LAB_SITE_NAMES",
+]

@@ -1,0 +1,350 @@
+"""The 36-site study corpus.
+
+Each site is described by a :class:`SiteSpec` (page weight, object count,
+host count, structural style) and expanded into a concrete
+:class:`~repro.web.website.Website` deterministically from the corpus
+seed. Twelve entries are the named sites the paper's evaluation discusses,
+with their documented qualitative traits; the remainder span the Alexa/Moz
+diversity in size, object count and multi-server spread described in
+Wijnants et al. [23] and the authors' testbed paper [24].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.util.rng import spawn_rng
+from repro.web.objects import WebObject
+from repro.web.website import Website
+
+KB = 1_000
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Generator parameters for one synthetic site."""
+
+    name: str
+    total_kb: int          # approximate page weight (body bytes)
+    n_objects: int         # total object count including the root
+    n_hosts: int           # distinct contacted hosts
+    html_kb: int           # size of the root document
+    image_share: float = 0.55   # fraction of non-root objects that are images
+    third_party_share: float = 0.4  # objects served off the primary host
+    deep_chains: bool = False       # scripts that discover more resources
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ValueError("need at least the root object")
+        if self.n_hosts < 1:
+            raise ValueError("need at least one host")
+        if self.n_hosts > self.n_objects:
+            raise ValueError("cannot contact more hosts than objects")
+
+
+#: The five sites of the controlled lab study (Section 4.1).
+LAB_SITE_NAMES = (
+    "wikipedia.org", "gov.uk", "etsy.com", "demorgen.be", "nytimes.com",
+)
+
+#: Named sites with traits taken from the paper's discussion.
+_NAMED_SPECS = (
+    SiteSpec("wikipedia.org", total_kb=700, n_objects=22, n_hosts=3,
+             html_kb=80, image_share=0.5, third_party_share=0.1),
+    SiteSpec("gov.uk", total_kb=350, n_objects=16, n_hosts=2,
+             html_kb=40, image_share=0.4, third_party_share=0.1),
+    SiteSpec("etsy.com", total_kb=2600, n_objects=110, n_hosts=18,
+             html_kb=60, image_share=0.7, third_party_share=0.45),
+    SiteSpec("demorgen.be", total_kb=3100, n_objects=130, n_hosts=24,
+             html_kb=90, image_share=0.6, third_party_share=0.55,
+             deep_chains=True),
+    SiteSpec("nytimes.com", total_kb=3400, n_objects=150, n_hosts=26,
+             html_kb=120, image_share=0.55, third_party_share=0.5,
+             deep_chains=True),
+    # "Spotify.com ... the website is small, but the browser has to
+    # contact many hosts."
+    SiteSpec("spotify.com", total_kb=550, n_objects=40, n_hosts=16,
+             html_kb=30, image_share=0.45, third_party_share=0.7),
+    # "Apache.org, a relatively small website in terms of size and
+    # resources."
+    SiteSpec("apache.org", total_kb=280, n_objects=11, n_hosts=2,
+             html_kb=35, image_share=0.5, third_party_share=0.1),
+    SiteSpec("w3.org", total_kb=320, n_objects=14, n_hosts=2,
+             html_kb=45, image_share=0.4, third_party_share=0.1),
+    # "Wordpress.com ... a website with few resources, small in size, and
+    # less than ten contacted hosts."
+    SiteSpec("wordpress.com", total_kb=420, n_objects=18, n_hosts=7,
+             html_kb=35, image_share=0.5, third_party_share=0.35),
+    SiteSpec("gravatar.com", total_kb=260, n_objects=12, n_hosts=4,
+             html_kb=25, image_share=0.5, third_party_share=0.3),
+    SiteSpec("google.com", total_kb=380, n_objects=12, n_hosts=3,
+             html_kb=50, image_share=0.4, third_party_share=0.2),
+    SiteSpec("nature.com", total_kb=1900, n_objects=90, n_hosts=20,
+             html_kb=85, image_share=0.55, third_party_share=0.5,
+             deep_chains=True),
+)
+
+#: Generated fillers spanning the remaining diversity (24 sites).
+_FILLER_PARAMS: Tuple[Tuple[int, int, int, int, float, float, bool], ...] = (
+    # total_kb, objects, hosts, html_kb, image_share, third_party, deep
+    (150, 6, 1, 20, 0.4, 0.0, False),
+    (240, 9, 2, 30, 0.45, 0.1, False),
+    (400, 20, 5, 40, 0.5, 0.3, False),
+    (520, 28, 8, 45, 0.55, 0.35, False),
+    (640, 25, 4, 55, 0.5, 0.2, False),
+    (760, 35, 10, 50, 0.6, 0.4, False),
+    (880, 40, 6, 60, 0.55, 0.3, False),
+    (1000, 45, 12, 65, 0.6, 0.45, False),
+    (1150, 55, 9, 70, 0.55, 0.35, True),
+    (1300, 60, 14, 70, 0.6, 0.5, False),
+    (1500, 65, 11, 80, 0.6, 0.4, True),
+    (1700, 70, 16, 80, 0.6, 0.5, False),
+    (1900, 80, 13, 85, 0.65, 0.45, True),
+    (2100, 85, 18, 90, 0.6, 0.5, False),
+    (2300, 95, 15, 95, 0.65, 0.45, True),
+    (2600, 100, 20, 100, 0.6, 0.55, False),
+    (2900, 110, 22, 100, 0.65, 0.5, True),
+    (3200, 120, 17, 110, 0.6, 0.5, True),
+    (3600, 130, 25, 115, 0.65, 0.55, True),
+    (4000, 140, 21, 120, 0.6, 0.5, True),
+    (4500, 150, 28, 125, 0.65, 0.55, True),
+    (5000, 160, 24, 130, 0.6, 0.5, True),
+    (5600, 170, 30, 135, 0.65, 0.6, True),
+    (6200, 180, 27, 140, 0.6, 0.55, True),
+)
+
+
+def _filler_specs() -> Tuple[SiteSpec, ...]:
+    specs = []
+    for index, params in enumerate(_FILLER_PARAMS):
+        total_kb, n_objects, n_hosts, html_kb, img, tp, deep = params
+        specs.append(SiteSpec(
+            name=f"site-{index + 1:02d}.example",
+            total_kb=total_kb,
+            n_objects=n_objects,
+            n_hosts=n_hosts,
+            html_kb=html_kb,
+            image_share=img,
+            third_party_share=tp,
+            deep_chains=deep,
+        ))
+    return tuple(specs)
+
+
+SITE_SPECS: Tuple[SiteSpec, ...] = _NAMED_SPECS + _filler_specs()
+CORPUS_SITE_NAMES: Tuple[str, ...] = tuple(s.name for s in SITE_SPECS)
+
+_SPEC_BY_NAME: Dict[str, SiteSpec] = {s.name: s for s in SITE_SPECS}
+
+
+def build_site(name: str, seed: int = 0) -> Website:
+    """Expand one named spec into a concrete Website, deterministically."""
+    try:
+        spec = _SPEC_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(CORPUS_SITE_NAMES[:5]) + ", ..."
+        raise KeyError(f"unknown site {name!r}; corpus has {known}") from None
+    return _expand(spec, spawn_rng(seed, "corpus", spec.name))
+
+
+def build_corpus(seed: int = 0) -> List[Website]:
+    """Build all 36 corpus sites."""
+    return [build_site(name, seed) for name in CORPUS_SITE_NAMES]
+
+
+# -- expansion ---------------------------------------------------------------
+
+
+def _expand(spec: SiteSpec, rng: np.random.Generator) -> Website:
+    primary = spec.name
+    hosts = [primary] + [
+        f"cdn{i}.{spec.name}" if i <= max(1, spec.n_hosts // 3)
+        else f"thirdparty{i}.example"
+        for i in range(1, spec.n_hosts)
+    ]
+
+    objects: List[WebObject] = []
+    root = WebObject(
+        object_id=0,
+        url=f"https://{primary}/",
+        host=primary,
+        size=spec.html_kb * KB,
+        resource_type="html",
+        parent_id=None,
+        render_weight=0.25,
+        progressive=True,
+        server_delay_s=_delay(rng, base=0.004),
+    )
+    objects.append(root)
+
+    n_children = spec.n_objects - 1
+    if n_children == 0:
+        return Website(spec.name, tuple(objects))
+
+    budget = max(spec.total_kb - spec.html_kb, n_children) * KB
+    sizes = _split_budget(budget, n_children, rng)
+    types = _assign_types(n_children, spec, rng)
+    object_hosts = _assign_hosts(types, hosts, spec, rng)
+
+    # Scripts that will discover further resources (deep chains).
+    chain_parents: List[int] = []
+
+    for index in range(n_children):
+        object_id = index + 1
+        rtype = types[index]
+        parent_id = 0
+        discovery = float(rng.uniform(0.05, 0.95))
+        render_blocking = False
+        render_weight = 0.0
+        progressive = False
+
+        if rtype == "css":
+            discovery = float(rng.uniform(0.02, 0.15))
+            render_blocking = True
+        elif rtype == "js":
+            discovery = float(rng.uniform(0.05, 0.4))
+            render_blocking = bool(rng.random() < 0.5)
+            if spec.deep_chains and rng.random() < 0.4:
+                chain_parents.append(object_id)
+        elif rtype == "font":
+            discovery = float(rng.uniform(0.05, 0.2))
+        elif rtype == "image":
+            render_weight = float(rng.uniform(0.2, 1.0))
+            progressive = True
+            # Late-discovered images model below-the-fold content.
+            if discovery > 0.7:
+                render_weight *= 0.3
+        else:  # other (xhr, json, tracking pixels)
+            discovery = float(rng.uniform(0.3, 1.0))
+
+        if spec.deep_chains and chain_parents and rtype in ("image", "other"):
+            if rng.random() < 0.3:
+                parent_id = int(rng.choice(chain_parents))
+                discovery = float(rng.uniform(0.5, 1.0))
+
+        objects.append(WebObject(
+            object_id=object_id,
+            url=f"https://{object_hosts[index]}/r/{object_id}.{rtype}",
+            host=object_hosts[index],
+            size=sizes[index],
+            resource_type=rtype,
+            parent_id=parent_id,
+            discovery_fraction=discovery,
+            render_weight=render_weight,
+            render_blocking=render_blocking,
+            progressive=progressive,
+            server_delay_s=_delay(rng),
+        ))
+
+    _add_tail_loads(objects, spec, hosts, rng)
+    site = Website(spec.name, tuple(objects))
+    _check_expansion(site, spec)
+    return site
+
+
+def _add_tail_loads(objects: List[WebObject], spec: SiteSpec,
+                    hosts: List[str], rng: np.random.Generator) -> None:
+    """Repurpose late non-visual objects into heavy tail loads.
+
+    Real pages keep transferring (analytics beacons, prefetches, lazy
+    bundles) long after the viewport is stable; this is exactly why PLT
+    correlates poorly with perception (Figure 6). We inflate a couple of
+    the latest-discovered invisible objects so PLT gains a tail that the
+    visual metrics do not see.
+    """
+    candidates = [i for i, obj in enumerate(objects)
+                  if obj.resource_type == "other"
+                  and obj.discovery_fraction > 0.6
+                  and obj.render_weight == 0.0]
+    if not candidates:
+        return
+    n_tail = min(len(candidates), 1 + int(rng.integers(2)))
+    picks = rng.choice(candidates, size=n_tail, replace=False)
+    # Tail sizes are drawn independently of the page weight: lazy bundles
+    # and beacons are a property of the site's tooling, not its visible
+    # size — this is precisely what decouples PLT from the visual pace.
+    for index in picks:
+        obj = objects[int(index)]
+        tail_bytes = min(int(rng.lognormal(mean=11.8, sigma=0.8)), 700_000)
+        objects[int(index)] = WebObject(
+            object_id=obj.object_id,
+            url=obj.url,
+            host=obj.host,
+            size=max(obj.size, tail_bytes),
+            resource_type=obj.resource_type,
+            parent_id=obj.parent_id,
+            discovery_fraction=max(obj.discovery_fraction, 0.85),
+            render_weight=0.0,
+            render_blocking=False,
+            progressive=False,
+            server_delay_s=obj.server_delay_s,
+        )
+
+
+def _delay(rng: np.random.Generator, base: float = 0.002) -> float:
+    """Deterministic small server think time (Mahimahi serves from disk)."""
+    return float(base + rng.uniform(0.0, 0.006))
+
+
+def _split_budget(budget: int, n: int, rng: np.random.Generator) -> List[int]:
+    """Split a byte budget into n lognormal-ish object sizes (>= 400 B)."""
+    raw = rng.lognormal(mean=0.0, sigma=1.1, size=n)
+    shares = raw / raw.sum()
+    sizes = [max(400, int(budget * share)) for share in shares]
+    return sizes
+
+
+def _assign_types(n: int, spec: SiteSpec, rng: np.random.Generator) -> List[str]:
+    types: List[str] = []
+    n_css = max(1, int(n * 0.08))
+    n_js = max(1, int(n * 0.18))
+    n_font = max(0, int(n * 0.04))
+    n_img = max(1, int(n * spec.image_share))
+    for _ in range(n_css):
+        types.append("css")
+    for _ in range(n_js):
+        types.append("js")
+    for _ in range(n_font):
+        types.append("font")
+    while len(types) < n:
+        types.append("image" if len(types) < n_css + n_js + n_font + n_img
+                     else "other")
+    types = types[:n]
+    rng.shuffle(types)
+    return types
+
+
+def _assign_hosts(types: List[str], hosts: List[str], spec: SiteSpec,
+                  rng: np.random.Generator) -> List[str]:
+    """Distribute objects over hosts; every host gets at least one object."""
+    n = len(types)
+    assignment: List[str] = []
+    for rtype in types:
+        if len(hosts) == 1 or rng.random() > spec.third_party_share:
+            assignment.append(hosts[0])
+        else:
+            assignment.append(hosts[1 + int(rng.integers(len(hosts) - 1))])
+    # Guarantee full host usage so host_count matches the spec.
+    missing = [h for h in hosts if h not in set(assignment)]
+    if missing and n >= len(hosts):
+        slots = rng.choice(n, size=len(missing), replace=False)
+        for host, slot in zip(missing, slots):
+            assignment[int(slot)] = host
+    return assignment
+
+
+def _check_expansion(site: Website, spec: SiteSpec) -> None:
+    """Internal consistency guard for generated sites."""
+    if site.object_count != spec.n_objects:
+        raise AssertionError(
+            f"{spec.name}: expected {spec.n_objects} objects, "
+            f"got {site.object_count}"
+        )
+    if site.host_count > spec.n_hosts:
+        raise AssertionError(
+            f"{spec.name}: more hosts than specified "
+            f"({site.host_count} > {spec.n_hosts})"
+        )

@@ -1,0 +1,78 @@
+"""Serialise websites to and from a HAR-flavoured JSON format.
+
+Mahimahi users record real sites; users of this library may want to feed
+their own page descriptions into the testbed. The schema is a pragmatic
+subset of a HAR file: one entry per object with url, host, size, type and
+the dependency/rendering attributes our browser model needs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.web.objects import WebObject
+from repro.web.website import Website
+
+SCHEMA_VERSION = 1
+
+
+def website_to_dict(site: Website) -> Dict[str, object]:
+    """JSON-serialisable description of a website."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": site.name,
+        "objects": [
+            {
+                "id": o.object_id,
+                "url": o.url,
+                "host": o.host,
+                "size": o.size,
+                "type": o.resource_type,
+                "parent": o.parent_id,
+                "discovery": o.discovery_fraction,
+                "render_weight": o.render_weight,
+                "render_blocking": o.render_blocking,
+                "progressive": o.progressive,
+                "server_delay_s": o.server_delay_s,
+            }
+            for o in site.objects
+        ],
+    }
+
+
+def website_from_dict(data: Dict[str, object]) -> Website:
+    """Inverse of :func:`website_to_dict` (validates via the model)."""
+    schema = data.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {schema}")
+    objects: List[WebObject] = []
+    for entry in data["objects"]:  # type: ignore[index]
+        objects.append(WebObject(
+            object_id=int(entry["id"]),
+            url=str(entry["url"]),
+            host=str(entry["host"]),
+            size=int(entry["size"]),
+            resource_type=str(entry["type"]),
+            parent_id=None if entry["parent"] is None
+            else int(entry["parent"]),
+            discovery_fraction=float(entry.get("discovery", 0.0)),
+            render_weight=float(entry.get("render_weight", 0.0)),
+            render_blocking=bool(entry.get("render_blocking", False)),
+            progressive=bool(entry.get("progressive", False)),
+            server_delay_s=float(entry.get("server_delay_s", 0.002)),
+        ))
+    return Website(str(data["name"]), tuple(objects))
+
+
+def save_website(site: Website, path: Union[str, Path]) -> None:
+    """Write a website description to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(website_to_dict(site), handle, indent=1)
+
+
+def load_website(path: Union[str, Path]) -> Website:
+    """Read a website description from a JSON file."""
+    with open(path) as handle:
+        return website_from_dict(json.load(handle))

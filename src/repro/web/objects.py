@@ -1,0 +1,53 @@
+"""Resource objects making up a website."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+RESOURCE_TYPES = ("html", "css", "js", "font", "image", "other")
+
+
+@dataclass(frozen=True)
+class WebObject:
+    """One fetchable resource of a page.
+
+    Discovery: an object becomes known to the browser once
+    ``discovery_fraction`` of its parent's body has been delivered (HTML
+    parsing / script execution discovering sub-resources). The root
+    document has no parent and is requested at navigation start.
+
+    Rendering: ``render_weight`` is the object's share of the final visual
+    appearance. ``progressive`` objects (HTML, images) contribute
+    proportionally to received bytes; others contribute all-or-nothing on
+    completion. ``render_blocking`` objects gate first paint (stylesheets
+    and synchronous scripts in the head).
+    """
+
+    object_id: int
+    url: str
+    host: str
+    size: int
+    resource_type: str
+    parent_id: Optional[int] = None
+    discovery_fraction: float = 0.0
+    render_weight: float = 0.0
+    render_blocking: bool = False
+    progressive: bool = False
+    server_delay_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.resource_type not in RESOURCE_TYPES:
+            raise ValueError(f"unknown resource type {self.resource_type!r}")
+        if self.size <= 0:
+            raise ValueError("object size must be positive")
+        if not 0.0 <= self.discovery_fraction <= 1.0:
+            raise ValueError("discovery fraction must be in [0, 1]")
+        if self.render_weight < 0:
+            raise ValueError("render weight must be non-negative")
+        if self.parent_id is None and self.resource_type != "html":
+            raise ValueError("only the root HTML document may lack a parent")
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None

@@ -1,0 +1,86 @@
+"""Website: a dependency graph of web objects across origins."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.web.objects import WebObject
+
+
+@dataclass(frozen=True)
+class Website:
+    """An immutable page model.
+
+    Objects are topologically consistent: every ``parent_id`` refers to an
+    object appearing earlier in ``objects``, and exactly one root HTML
+    document exists.
+    """
+
+    name: str
+    objects: Tuple[WebObject, ...]
+
+    def __post_init__(self) -> None:
+        if not self.objects:
+            raise ValueError("a website needs at least one object")
+        roots = [o for o in self.objects if o.is_root]
+        if len(roots) != 1:
+            raise ValueError(f"expected exactly one root object, got {len(roots)}")
+        if not self.objects[0].is_root:
+            raise ValueError("the root object must come first")
+        ids = {o.object_id for o in self.objects}
+        if len(ids) != len(self.objects):
+            raise ValueError("duplicate object ids")
+        seen = set()
+        for obj in self.objects:
+            if obj.parent_id is not None and obj.parent_id not in seen:
+                raise ValueError(
+                    f"object {obj.object_id} references parent "
+                    f"{obj.parent_id} that does not precede it"
+                )
+            seen.add(obj.object_id)
+
+    # -- derived properties --------------------------------------------------
+
+    @property
+    def root(self) -> WebObject:
+        return self.objects[0]
+
+    @property
+    def total_bytes(self) -> int:
+        """Page weight in body bytes."""
+        return sum(o.size for o in self.objects)
+
+    @property
+    def object_count(self) -> int:
+        return len(self.objects)
+
+    @property
+    def hosts(self) -> Tuple[str, ...]:
+        """Distinct contacted hosts, in first-use order."""
+        seen: Dict[str, None] = {}
+        for obj in self.objects:
+            seen.setdefault(obj.host, None)
+        return tuple(seen)
+
+    @property
+    def host_count(self) -> int:
+        return len(self.hosts)
+
+    def objects_by_id(self) -> Dict[int, WebObject]:
+        return {o.object_id: o for o in self.objects}
+
+    def children_of(self, object_id: int) -> List[WebObject]:
+        return [o for o in self.objects if o.parent_id == object_id]
+
+    def total_render_weight(self) -> float:
+        return sum(o.render_weight for o in self.objects)
+
+    def summary(self) -> Dict[str, object]:
+        """Compact descriptive record (used in reports and DESIGN docs)."""
+        return {
+            "name": self.name,
+            "objects": self.object_count,
+            "bytes": self.total_bytes,
+            "hosts": self.host_count,
+        }

@@ -1,0 +1,37 @@
+"""Shared fixtures.
+
+The expensive fixture is a small Testbed (two little sites, two runs per
+condition) cached for the whole session so integration-ish tests do not
+re-simulate the same page loads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netem.engine import EventLoop
+from repro.netem.path import NetworkPath
+from repro.netem.profiles import DSL
+from repro.testbed.harness import Testbed
+
+#: Small sites that load quickly in tests.
+SMALL_SITES = ["gov.uk", "apache.org"]
+
+
+@pytest.fixture
+def loop():
+    return EventLoop()
+
+
+@pytest.fixture
+def dsl_path(loop):
+    return NetworkPath(loop, DSL, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_testbed(tmp_path_factory):
+    """Testbed over two small sites, all networks/stacks, 2 runs each."""
+    cache = tmp_path_factory.mktemp("testbed-cache")
+    testbed = Testbed(runs=2, seed=3, cache_dir=str(cache))
+    testbed.sweep(sites=SMALL_SITES)
+    return testbed

@@ -1,0 +1,279 @@
+"""Statistics building blocks and the figure analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ab import AbShares, ab_vote_shares
+from repro.analysis.agreement import agreement_by_condition, behaviour_statistics
+from repro.analysis.correlation import correlation_heatmap
+from repro.analysis.rating import (
+    anova_by_setting,
+    per_website_differences,
+    rating_means,
+)
+from repro.analysis.stats import (
+    anova_oneway,
+    is_normal,
+    mean_confidence_interval,
+    pearson_r,
+    welch_ttest_p,
+)
+from repro.study.ab import AbSession, AbTrial
+from repro.study.design import AbCondition, RatingCondition
+from repro.study.rating import RatingSession, RatingTrial
+from repro.study.session import SessionEvents
+
+
+class TestMeanCI:
+    def test_mean_and_symmetry(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert ci.mean == pytest.approx(3.0)
+        assert ci.upper - ci.mean == pytest.approx(ci.mean - ci.lower)
+
+    def test_higher_confidence_wider(self):
+        data = list(np.random.default_rng(0).normal(0, 1, 30))
+        narrow = mean_confidence_interval(data, confidence=0.90)
+        wide = mean_confidence_interval(data, confidence=0.99)
+        assert wide.halfwidth > narrow.halfwidth
+
+    def test_single_value(self):
+        ci = mean_confidence_interval([5.0])
+        assert ci.mean == ci.lower == ci.upper == 5.0
+
+    def test_coverage_property(self):
+        """~99% of 99% CIs must contain the true mean."""
+        rng = np.random.default_rng(1)
+        hits = 0
+        for _ in range(300):
+            sample = rng.normal(10.0, 2.0, size=25)
+            ci = mean_confidence_interval(sample, confidence=0.99)
+            hits += ci.contains(10.0)
+        assert hits / 300 > 0.95
+
+    def test_overlaps(self):
+        a = mean_confidence_interval([1, 2, 3])
+        b = mean_confidence_interval([2, 3, 4])
+        c = mean_confidence_interval([100, 101, 102])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+
+class TestNormality:
+    def test_gaussian_accepted(self):
+        data = np.random.default_rng(2).normal(50, 5, size=400)
+        assert is_normal(data)
+
+    def test_heavy_tail_rejected(self):
+        data = np.random.default_rng(2).standard_t(1, size=400)
+        assert not is_normal(data)
+
+    def test_degenerate_treated_as_normal(self):
+        assert is_normal([5.0, 5.0, 5.0, 5.0])
+        assert is_normal([1.0])
+
+
+class TestAnova:
+    def test_detects_difference(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(50, 5, 100)
+        b = rng.normal(60, 5, 100)
+        result = anova_oneway([a, b])
+        assert result is not None
+        assert result.significant(0.01)
+
+    def test_no_difference(self):
+        rng = np.random.default_rng(3)
+        groups = [rng.normal(50, 5, 100) for _ in range(5)]
+        result = anova_oneway(groups)
+        assert result is not None
+        assert not result.significant(0.01)
+
+    def test_degenerate_returns_none(self):
+        assert anova_oneway([[1.0], [2.0]]) is None
+        assert anova_oneway([[1.0, 1.0], [1.0, 1.0]]) is None
+
+
+class TestPearson:
+    def test_perfect_negative(self):
+        assert pearson_r([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_near_zero(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=500)
+        y = rng.normal(size=500)
+        assert abs(pearson_r(x, y)) < 0.15
+
+    def test_degenerate_returns_zero(self):
+        assert pearson_r([1, 1, 1], [1, 2, 3]) == 0.0
+        assert pearson_r([1], [2]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_r([1, 2], [1])
+
+
+class TestWelch:
+    def test_separated_groups_significant(self):
+        rng = np.random.default_rng(5)
+        p = welch_ttest_p(rng.normal(0, 1, 50), rng.normal(3, 1, 50))
+        assert p < 0.01
+
+    def test_same_groups_not_significant(self):
+        rng = np.random.default_rng(5)
+        p = welch_ttest_p(rng.normal(0, 1, 50), rng.normal(0, 1, 50))
+        assert p > 0.1
+
+
+# -- synthetic study data helpers -------------------------------------------
+
+def ab_session(pid, votes, network="DSL", pair=("QUIC", "TCP"),
+               website="w.org", replays=0):
+    condition = AbCondition(website, network, *pair)
+    trials = []
+    for vote in votes:
+        answer = "same" if vote == "same" else (
+            "left" if vote == "a" else "right")
+        trials.append(AbTrial(condition=condition, left_is_a=True,
+                              answer=answer, confidence=0.5,
+                              replays=replays, duration_s=15.0))
+    return AbSession(participant_id=pid, group="test", trials=trials,
+                     events=SessionEvents(), gender="male",
+                     age_group="18-24")
+
+
+def rating_session(pid, scores, context="work", network="DSL",
+                   stack="TCP", website="w.org"):
+    condition = RatingCondition(website, network, stack)
+    trials = [RatingTrial(condition=condition, context=context,
+                          speed_score=s, quality_score=s, replays=0,
+                          duration_s=20.0) for s in scores]
+    return RatingSession(participant_id=pid, group="test", trials=trials,
+                         events=SessionEvents(), gender="female",
+                         age_group="25-44")
+
+
+class TestAbShares:
+    def test_share_computation(self):
+        sessions = [ab_session(0, ["a", "a", "same", "b"])]
+        shares = ab_vote_shares(sessions)
+        cell = shares[("QUIC vs. TCP", "DSL")]
+        assert cell.votes_a == 2
+        assert cell.votes_same == 1
+        assert cell.votes_b == 1
+        assert cell.share_a == pytest.approx(0.5)
+        assert cell.preferred == "a"
+
+    def test_website_filter(self):
+        sessions = [ab_session(0, ["a"], website="x.org"),
+                    ab_session(1, ["b"], website="y.org")]
+        shares = ab_vote_shares(sessions, websites=["x.org"])
+        cell = shares[("QUIC vs. TCP", "DSL")]
+        assert cell.total == 1
+
+    def test_replay_average(self):
+        sessions = [ab_session(0, ["a"], replays=2),
+                    ab_session(1, ["b"], replays=0)]
+        cell = ab_vote_shares(sessions)[("QUIC vs. TCP", "DSL")]
+        assert cell.mean_replays == pytest.approx(1.0)
+
+
+class TestRatingAnalysis:
+    def test_rating_means_cells(self):
+        sessions = [rating_session(0, [50, 60], stack="TCP"),
+                    rating_session(1, [30, 40], stack="QUIC")]
+        cells = rating_means(sessions)
+        by_stack = {c.stack: c for c in cells}
+        assert by_stack["TCP"].mean == pytest.approx(55.0)
+        assert by_stack["QUIC"].mean == pytest.approx(35.0)
+
+    def test_anova_by_setting_detects_stack_gap(self):
+        rng = np.random.default_rng(6)
+        sessions = []
+        for pid in range(40):
+            sessions.append(rating_session(
+                pid, list(rng.normal(55, 4, 3)), stack="TCP"))
+            sessions.append(rating_session(
+                100 + pid, list(rng.normal(40, 4, 3)), stack="QUIC"))
+        results = anova_by_setting(sessions)
+        assert len(results) == 1
+        assert results[0].significant(0.01)
+
+    def test_per_website_differences(self):
+        rng = np.random.default_rng(7)
+        sessions = []
+        for pid in range(30):
+            sessions.append(rating_session(
+                pid, list(rng.normal(60, 3, 3)), stack="QUIC",
+                website="fast.org"))
+            sessions.append(rating_session(
+                100 + pid, list(rng.normal(45, 3, 3)), stack="TCP",
+                website="fast.org"))
+        diffs = per_website_differences(sessions, alpha=0.05)
+        assert any(d.website == "fast.org" and d.faster_stack == "QUIC"
+                   for d in diffs)
+
+    def test_quality_score_selector(self):
+        sessions = [rating_session(0, [50])]
+        sessions[0].trials[0].quality_score = 20
+        cells = rating_means(sessions, which="quality")
+        assert cells[0].mean == 20
+
+
+class TestAgreement:
+    def test_agreement_rows(self):
+        lab = [rating_session(0, [50, 52]), rating_session(1, [48, 51])]
+        mw = [rating_session(2, [49, 53])]
+        inet = [rating_session(3, [20, 70, 50])]
+        rows = agreement_by_condition(lab, mw, inet)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.lab is not None
+        assert row.microworker_within_lab_ci is not None
+        assert row.internet_median == 50
+
+    def test_behaviour_statistics(self):
+        sessions = [rating_session(0, [50, 60]),
+                    rating_session(1, [55, 65])]
+        stats = behaviour_statistics(sessions, "test", "rating")
+        assert stats.sessions == 2
+        assert stats.mean_seconds_per_video == pytest.approx(20.0)
+        assert stats.demographics.male_share == 0.0
+
+    def test_behaviour_statistics_empty(self):
+        with pytest.raises(ValueError):
+            behaviour_statistics([], "g", "rating")
+
+
+class TestCorrelationHeatmap:
+    def test_heatmap_from_testbed(self, small_testbed):
+        """Votes constructed to follow SI must correlate negatively."""
+        sessions = []
+        pid = 0
+        for website in ("gov.uk", "apache.org"):
+            for stack in ("TCP", "QUIC"):
+                rec = small_testbed.recording(website, "MSS", stack)
+                score = max(10, min(70, 70 - 2 * rec.si))
+                for _ in range(3):
+                    sessions.append(rating_session(
+                        pid, [score], context="plane", network="MSS",
+                        stack=stack, website=website))
+                    pid += 1
+        heatmap = correlation_heatmap(sessions, small_testbed)
+        r = heatmap.r("TCP", "SI", "MSS")
+        assert r is not None
+        assert r < 0
+
+    def test_mean_r_by_metric(self, small_testbed):
+        sessions = []
+        for pid, website in enumerate(("gov.uk", "apache.org")):
+            rec = small_testbed.recording(website, "MSS", "TCP")
+            sessions.append(rating_session(
+                pid, [70 - rec.si], context="plane", network="MSS",
+                website=website))
+        heatmap = correlation_heatmap(sessions, small_testbed)
+        means = heatmap.mean_r_by_metric()
+        assert set(means) <= {"FVC", "SI", "VC85", "LVC", "PLT"}

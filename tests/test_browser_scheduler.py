@@ -1,0 +1,103 @@
+"""Browser scheduling: handshake slots, low-priority throttling, paint."""
+
+import pytest
+
+from repro.browser.engine import (
+    MAX_CONCURRENT_HANDSHAKES,
+    MAX_LOW_PRIORITY_IN_FLIGHT,
+    PageLoad,
+    load_page,
+)
+from repro.netem.engine import EventLoop
+from repro.netem.path import NetworkPath
+from repro.netem.profiles import DSL, LTE
+from repro.transport.config import QUIC, TCP
+from repro.web.objects import WebObject
+from repro.web.website import Website
+
+
+def many_host_site(n_hosts=12, n_images=24):
+    """One HTML + images spread over many hosts."""
+    objects = [WebObject(
+        object_id=0, url="https://m/", host="host0.example", size=30_000,
+        resource_type="html", render_weight=0.2, progressive=True,
+    )]
+    for i in range(n_images):
+        objects.append(WebObject(
+            object_id=i + 1, url=f"https://m/{i}.png",
+            host=f"host{i % n_hosts}.example", size=25_000,
+            resource_type="image", parent_id=0,
+            discovery_fraction=0.1 + 0.02 * i,
+            render_weight=0.5, progressive=True,
+        ))
+    return Website("many.example", tuple(objects))
+
+
+class TestHandshakeSlots:
+    def test_connections_never_exceed_limit_concurrently(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, LTE, seed=1)
+        site = many_host_site()
+        load = PageLoad(loop, path, QUIC, site, seed=1)
+        peaks = {"max": 0}
+
+        original = load._connection_for
+
+        def tracking(host):
+            conn = original(host)
+            peaks["max"] = max(peaks["max"], load._handshakes_in_progress)
+            return conn
+
+        load._connection_for = tracking
+        load.start()
+        loop.run_until_idle_or(lambda: load._done)
+        assert peaks["max"] <= MAX_CONCURRENT_HANDSHAKES
+
+    def test_all_hosts_eventually_contacted(self):
+        result = load_page(many_host_site(), LTE, QUIC, seed=1)
+        assert result.completed
+        assert result.transport.connections == 12
+
+
+class TestLowPriorityThrottle:
+    def test_in_flight_images_bounded(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=1)
+        site = many_host_site(n_hosts=3, n_images=30)
+        load = PageLoad(loop, path, TCP, site, seed=1)
+        peaks = {"max": 0}
+
+        original = load._submit_request
+
+        def tracking(obj):
+            original(obj)
+            peaks["max"] = max(peaks["max"], load._low_priority_in_flight)
+
+        load._submit_request = tracking
+        load.start()
+        loop.run_until_idle_or(lambda: load._done)
+        assert load._done
+        assert peaks["max"] <= MAX_LOW_PRIORITY_IN_FLIGHT + \
+            MAX_CONCURRENT_HANDSHAKES  # deferred slots may briefly add
+
+    def test_throttled_objects_still_complete(self):
+        result = load_page(many_host_site(n_hosts=3, n_images=30), DSL,
+                           TCP, seed=1)
+        assert result.completed
+        assert result.objects_loaded == result.objects_total
+
+
+class TestPaintGating:
+    def test_progressive_curve_granularity(self):
+        """Progressive rendering produces many small steps, not one jump."""
+        result = load_page(many_host_site(), LTE, TCP, seed=2)
+        assert len(result.curve) > 10
+
+    def test_final_completeness_is_one(self):
+        result = load_page(many_host_site(), LTE, TCP, seed=2)
+        assert result.curve.final_value() == pytest.approx(1.0)
+
+    def test_fvc_after_connection_setup(self):
+        result = load_page(many_host_site(), LTE, TCP, seed=2)
+        setup = min(result.connection_setup_times.values())
+        assert result.metrics.fvc > setup

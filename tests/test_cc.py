@@ -1,0 +1,208 @@
+"""Congestion control: Cubic, BBRv1 and the pacer."""
+
+import pytest
+
+from repro.transport.cc import BbrV1, Cubic, make_controller
+from repro.transport.cc.bbr import WindowedMaxFilter
+from repro.transport.pacing import Pacer
+
+MSS = 1460
+
+
+class TestFactory:
+    def test_cubic(self):
+        cc = make_controller("cubic", MSS, 10)
+        assert isinstance(cc, Cubic)
+        assert cc.congestion_window() == 10 * MSS
+
+    def test_bbr_aliases(self):
+        for name in ("bbr", "BBRv1", "bbr1"):
+            assert isinstance(make_controller(name, MSS, 32), BbrV1)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_controller("reno", MSS, 10)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Cubic(mss=0, initial_window_segments=10)
+        with pytest.raises(ValueError):
+            Cubic(mss=MSS, initial_window_segments=0)
+
+
+class TestCubic:
+    def test_slow_start_doubles_per_window(self):
+        cc = Cubic(MSS, 10)
+        start = cc.congestion_window()
+        cc.on_ack(0.1, start, 0.1, start)
+        assert cc.congestion_window() == 2 * start
+
+    def test_loss_event_multiplicative_decrease(self):
+        cc = Cubic(MSS, 10)
+        cc.cwnd = 100 * MSS
+        cc.on_loss_event(1.0, MSS, 50 * MSS)
+        assert cc.congestion_window() == pytest.approx(70 * MSS, rel=0.01)
+        assert cc.ssthresh == pytest.approx(cc.congestion_window(), rel=0.01)
+
+    def test_one_reduction_per_round(self):
+        cc = Cubic(MSS, 10)
+        cc.cwnd = 100 * MSS
+        cc.on_loss_event(1.0, MSS, 50 * MSS)
+        after_first = cc.congestion_window()
+        cc.on_loss_event(1.01, MSS, 50 * MSS)  # same loss episode
+        assert cc.congestion_window() == after_first
+
+    def test_rto_collapses_window(self):
+        cc = Cubic(MSS, 10)
+        cc.cwnd = 100 * MSS
+        cc.on_rto(1.0)
+        assert cc.congestion_window() == MSS
+
+    def test_congestion_avoidance_grows_to_wmax(self):
+        cc = Cubic(MSS, 10)
+        cc.cwnd = 100 * MSS
+        cc.on_loss_event(1.0, MSS, 50 * MSS)
+        reduced = cc.congestion_window()
+        now = 1.0
+        for _ in range(400):
+            now += 0.05
+            cc.on_ack(now, 2 * MSS, 0.05, reduced)
+        assert cc.congestion_window() > reduced
+
+    def test_window_never_below_two_mss(self):
+        cc = Cubic(MSS, 10)
+        cc.cwnd = 3 * MSS
+        cc.on_loss_event(1.0, MSS, MSS)
+        assert cc.congestion_window() >= 2 * MSS
+
+    def test_idle_restart_resets_to_initial(self):
+        cc = Cubic(MSS, 10)
+        cc.cwnd = 100 * MSS
+        cc.on_idle_restart()
+        assert cc.congestion_window() == 10 * MSS
+
+    def test_pacing_rate_gain_shifts_after_slow_start(self):
+        cc = Cubic(MSS, 10)
+        in_ss = cc.pacing_rate(0.1)
+        cc.on_loss_event(1.0, MSS, 10 * MSS)  # leaves slow start
+        in_ca = cc.pacing_rate(0.1)
+        assert in_ss == pytest.approx(2.0 * 10 * MSS / 0.1)
+        assert in_ca == pytest.approx(1.2 * cc.congestion_window() / 0.1)
+
+
+class TestWindowedMaxFilter:
+    def test_max_of_window(self):
+        f = WindowedMaxFilter(window=3)
+        f.update(0, 10.0)
+        f.update(1, 5.0)
+        f.update(2, 8.0)
+        assert f.get() == 10.0
+
+    def test_old_samples_expire(self):
+        f = WindowedMaxFilter(window=3)
+        f.update(0, 10.0)
+        f.update(3, 5.0)
+        assert f.get() == 5.0
+
+    def test_empty(self):
+        assert WindowedMaxFilter(3).get() == 0.0
+
+
+class TestBbr:
+    def _drive(self, cc, bw, rtt, rounds=40):
+        """Feed consistent delivery-rate samples."""
+        now = 0.0
+        for _ in range(rounds):
+            now += rtt
+            cc.on_packet_sent(now, MSS, int(bw * rtt))
+            cc.on_ack(now, 10 * MSS, rtt, int(bw * rtt), delivery_rate=bw)
+        return now
+
+    def test_startup_exits_on_bw_plateau(self):
+        cc = BbrV1(MSS, 32)
+        self._drive(cc, bw=1_000_000, rtt=0.05)
+        assert cc.state in ("DRAIN", "PROBE_BW")
+
+    def test_bandwidth_estimate_tracks_samples(self):
+        cc = BbrV1(MSS, 32)
+        self._drive(cc, bw=2_000_000, rtt=0.05)
+        assert cc.bottleneck_bandwidth == pytest.approx(2_000_000)
+
+    def test_min_rtt_tracked(self):
+        cc = BbrV1(MSS, 32)
+        self._drive(cc, bw=1_000_000, rtt=0.08)
+        assert cc.min_rtt_estimate == pytest.approx(0.08)
+
+    def test_cwnd_converges_to_two_bdp(self):
+        cc = BbrV1(MSS, 32)
+        self._drive(cc, bw=1_000_000, rtt=0.05, rounds=80)
+        bdp = 1_000_000 * 0.05
+        assert cc.congestion_window() == pytest.approx(2 * bdp, rel=0.25)
+
+    def test_loss_ignored(self):
+        cc = BbrV1(MSS, 32)
+        self._drive(cc, bw=1_000_000, rtt=0.05)
+        before = cc.congestion_window()
+        cc.on_loss_event(10.0, 5 * MSS, int(1_000_000 * 0.05))
+        assert cc.congestion_window() == before
+
+    def test_rto_collapses_then_recovers(self):
+        cc = BbrV1(MSS, 32)
+        self._drive(cc, bw=1_000_000, rtt=0.05)
+        cc.on_rto(10.0)
+        assert cc.congestion_window() == MSS
+        self._drive(cc, bw=1_000_000, rtt=0.05, rounds=5)
+        assert cc.congestion_window() > 10 * MSS
+
+    def test_pacing_rate_uses_gain(self):
+        cc = BbrV1(MSS, 32)
+        self._drive(cc, bw=1_000_000, rtt=0.05)
+        rate = cc.pacing_rate(0.05)
+        assert rate is not None
+        assert 0.7 * 1_000_000 <= rate <= 3.0 * 1_000_000
+
+    def test_idle_restart_keeps_window(self):
+        cc = BbrV1(MSS, 32)
+        self._drive(cc, bw=1_000_000, rtt=0.05)
+        before = cc.congestion_window()
+        cc.on_idle_restart()
+        assert cc.congestion_window() == before
+
+
+class TestPacer:
+    def test_disabled_pacer_never_delays(self):
+        pacer = Pacer(enabled=False, mss=MSS)
+        pacer.set_rate(1.0)
+        assert pacer.next_send_time(5.0, 10 * MSS) == 5.0
+
+    def test_initial_quantum_burst(self):
+        pacer = Pacer(enabled=True, mss=MSS)
+        pacer.set_rate(1e6)
+        # Ten segments may leave immediately.
+        now = 0.0
+        for _ in range(10):
+            assert pacer.next_send_time(now, MSS) == now
+            pacer.on_packet_sent(now, MSS)
+        # The eleventh is delayed.
+        assert pacer.next_send_time(now, MSS) > now
+
+    def test_budget_refills_at_rate(self):
+        pacer = Pacer(enabled=True, mss=MSS)
+        pacer.set_rate(1e6)
+        now = 0.0
+        for _ in range(10):
+            pacer.on_packet_sent(now, MSS)
+        release = pacer.next_send_time(now, MSS)
+        assert release == pytest.approx(MSS / 1e6, rel=0.2)
+
+    def test_no_rate_means_no_delay(self):
+        pacer = Pacer(enabled=True, mss=MSS)
+        assert pacer.next_send_time(1.0, MSS) == 1.0
+
+    def test_reset_initial_quantum(self):
+        pacer = Pacer(enabled=True, mss=MSS)
+        pacer.set_rate(1e6)
+        for _ in range(10):
+            pacer.on_packet_sent(0.0, MSS)
+        pacer.reset_initial_quantum()
+        assert pacer.next_send_time(0.0, MSS) == 0.0

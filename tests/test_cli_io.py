@@ -1,0 +1,84 @@
+"""CLI commands and website JSON import/export."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.web.corpus import build_site
+from repro.web.io import (
+    load_website,
+    save_website,
+    website_from_dict,
+    website_to_dict,
+)
+
+
+class TestWebsiteIO:
+    def test_round_trip(self, tmp_path):
+        site = build_site("gov.uk", seed=0)
+        path = tmp_path / "gov.json"
+        save_website(site, path)
+        restored = load_website(path)
+        assert restored.name == site.name
+        assert restored.summary() == site.summary()
+        assert [(o.object_id, o.size, o.host) for o in restored.objects] \
+            == [(o.object_id, o.size, o.host) for o in site.objects]
+
+    def test_dict_round_trip_preserves_render_attrs(self):
+        site = build_site("wikipedia.org", seed=1)
+        restored = website_from_dict(website_to_dict(site))
+        for original, copy in zip(site.objects, restored.objects):
+            assert original.render_weight == copy.render_weight
+            assert original.render_blocking == copy.render_blocking
+            assert original.progressive == copy.progressive
+
+    def test_schema_version_checked(self):
+        data = website_to_dict(build_site("gov.uk", seed=0))
+        data["schema"] = 99
+        with pytest.raises(ValueError):
+            website_from_dict(data)
+
+    def test_invalid_payload_rejected_by_model(self):
+        data = website_to_dict(build_site("gov.uk", seed=0))
+        data["objects"][0]["size"] = 0
+        with pytest.raises(ValueError):
+            website_from_dict(data)
+
+
+class TestCli:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "QUIC+BBR" in out
+
+    def test_sites(self, capsys):
+        assert main(["sites"]) == 0
+        out = capsys.readouterr().out
+        assert "wikipedia.org" in out
+        assert out.count(".example") >= 20
+
+    def test_load(self, capsys):
+        assert main(["load", "gov.uk", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "DSL" in out and "MSS" in out
+        assert "QUIC+BBR" in out
+
+    def test_export(self, tmp_path, capsys):
+        path = tmp_path / "site.json"
+        assert main(["export", "apache.org", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["name"] == "apache.org"
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["load", "not-a-site.example"])
+
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("tables", "sites", "load", "sweep", "study",
+                        "export"):
+            assert command in text

@@ -1,0 +1,131 @@
+"""Study designs: pools, counts, scales, Table 1 stacks."""
+
+import pytest
+
+from repro.study.design import (
+    AB_VIDEO_COUNTS,
+    CONTEXTS,
+    PARTICIPATION,
+    RATING_VIDEO_COUNTS,
+    SCALE_LABELS,
+    AbCondition,
+    RatingCondition,
+    StudyPlan,
+    scale_label,
+)
+from repro.transport.config import AB_PAIRS, STACKS, stack_by_name
+from repro.web.corpus import LAB_SITE_NAMES
+
+
+class TestScale:
+    def test_seven_labels(self):
+        assert len(SCALE_LABELS) == 7
+        assert SCALE_LABELS[0] == "extremely bad"
+        assert SCALE_LABELS[-1] == "ideal"
+
+    def test_scale_label_mapping(self):
+        assert scale_label(10) == "extremely bad"
+        assert scale_label(40) == "fair"
+        assert scale_label(70) == "ideal"
+        assert scale_label(54) == "good"
+
+    def test_scale_label_clipping(self):
+        assert scale_label(-5) == "extremely bad"
+        assert scale_label(99) == "ideal"
+
+
+class TestCountsMatchPaper:
+    def test_ab_video_counts(self):
+        assert AB_VIDEO_COUNTS == {"lab": 28, "microworker": 26,
+                                   "internet": 14}
+
+    def test_rating_video_counts(self):
+        assert RATING_VIDEO_COUNTS["lab"] == \
+            {"work": 11, "free_time": 11, "plane": 5}
+        assert RATING_VIDEO_COUNTS["internet"] == \
+            {"work": 6, "free_time": 6, "plane": 3}
+
+    def test_participation_matches_table3(self):
+        assert PARTICIPATION["microworker"] == {"ab": 487, "rating": 1563}
+        assert PARTICIPATION["internet"] == {"ab": 218, "rating": 209}
+        assert PARTICIPATION["lab"] == {"ab": 35, "rating": 35}
+
+    def test_contexts_use_correct_networks(self):
+        assert CONTEXTS["work"] == ("DSL", "LTE")
+        assert CONTEXTS["free_time"] == ("DSL", "LTE")
+        assert CONTEXTS["plane"] == ("DA2GC", "MSS")
+
+
+class TestTable1:
+    def test_five_stacks(self):
+        assert [s.name for s in STACKS] == \
+            ["TCP", "TCP+", "TCP+BBR", "QUIC", "QUIC+BBR"]
+
+    def test_stock_tcp_parameters(self):
+        tcp = stack_by_name("TCP")
+        assert tcp.initial_window_segments == 10
+        assert not tcp.pacing
+        assert tcp.slow_start_after_idle
+        assert tcp.congestion_control == "cubic"
+        assert tcp.handshake_rtts == 2
+
+    def test_tuned_tcp_matches_gquic_parameters(self):
+        plus = stack_by_name("TCP+")
+        quic = stack_by_name("QUIC")
+        assert plus.initial_window_segments == \
+            quic.initial_window_segments == 32
+        assert plus.pacing and quic.pacing
+        assert not plus.slow_start_after_idle
+
+    def test_bbr_variants(self):
+        assert stack_by_name("TCP+BBR").congestion_control == "bbr"
+        assert stack_by_name("QUIC+BBR").congestion_control == "bbr"
+
+    def test_quic_one_rtt(self):
+        assert stack_by_name("QUIC").handshake_rtts == 1
+
+    def test_sack_range_difference(self):
+        assert stack_by_name("TCP").max_sack_ranges == 3
+        assert stack_by_name("QUIC").max_sack_ranges > 3
+
+    def test_four_ab_pairs(self):
+        labels = [(a.name, b.name) for a, b in AB_PAIRS]
+        assert labels == [("TCP+", "TCP"), ("QUIC", "TCP"),
+                          ("QUIC", "TCP+"), ("QUIC+BBR", "TCP+BBR")]
+
+
+class TestStudyPlan:
+    def test_default_pools_cover_grid(self):
+        plan = StudyPlan()
+        pool = plan.ab_pool("microworker")
+        assert len(pool) == 36 * 4 * 4  # sites x networks x pairs
+
+    def test_lab_restricted_to_lab_sites(self):
+        plan = StudyPlan()
+        sites = {c.website for c in plan.ab_pool("lab")}
+        assert sites == set(LAB_SITE_NAMES)
+
+    def test_rating_pool_respects_context_networks(self):
+        plan = StudyPlan(sites=["gov.uk", "apache.org"])
+        work = plan.rating_pool("microworker", "work")
+        plane = plan.rating_pool("microworker", "plane")
+        assert {c.network for c in work} == {"DSL", "LTE"}
+        assert {c.network for c in plane} == {"DA2GC", "MSS"}
+
+    def test_unknown_context(self):
+        with pytest.raises(KeyError):
+            StudyPlan().rating_pool("lab", "commute")
+
+    def test_required_recordings(self):
+        plan = StudyPlan(sites=["gov.uk"], networks=["DSL"],
+                         stacks=["TCP", "QUIC"])
+        assert plan.required_recordings() == [
+            ("gov.uk", "DSL", "QUIC"), ("gov.uk", "DSL", "TCP"),
+        ]
+
+    def test_condition_labels(self):
+        cond = AbCondition("gov.uk", "DSL", "QUIC", "TCP")
+        assert cond.pair_label == "QUIC vs. TCP"
+        assert cond.key == ("gov.uk", "DSL", "QUIC", "TCP")
+        rating = RatingCondition("gov.uk", "MSS", "QUIC")
+        assert rating.key == ("gov.uk", "MSS", "QUIC")

@@ -1,0 +1,110 @@
+"""Discrete-event loop."""
+
+import pytest
+
+from repro.netem.engine import EventLoop
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self, loop):
+        seen = []
+        loop.call_at(2.0, lambda: seen.append("b"))
+        loop.call_at(1.0, lambda: seen.append("a"))
+        loop.call_at(3.0, lambda: seen.append("c"))
+        loop.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self, loop):
+        seen = []
+        for tag in range(5):
+            loop.call_at(1.0, lambda t=tag: seen.append(t))
+        loop.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self, loop):
+        times = []
+        loop.call_at(0.5, lambda: times.append(loop.now))
+        loop.call_at(1.5, lambda: times.append(loop.now))
+        loop.run()
+        assert times == [0.5, 1.5]
+
+    def test_call_later_relative(self, loop):
+        seen = []
+        loop.call_at(1.0, lambda: loop.call_later(0.5, lambda: seen.append(loop.now)))
+        loop.run()
+        assert seen == [1.5]
+
+    def test_scheduling_in_past_raises(self, loop):
+        loop.call_at(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.call_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self, loop):
+        with pytest.raises(ValueError):
+            loop.call_later(-0.1, lambda: None)
+
+    def test_events_processed_counter(self, loop):
+        for _ in range(4):
+            loop.call_later(0.1, lambda: None)
+        loop.run()
+        assert loop.events_processed == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, loop):
+        seen = []
+        handle = loop.call_at(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        loop.run()
+        assert seen == []
+
+    def test_cancel_idempotent(self, loop):
+        handle = loop.call_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        loop.run()
+
+    def test_peek_skips_cancelled(self, loop):
+        first = loop.call_at(1.0, lambda: None)
+        loop.call_at(2.0, lambda: None)
+        first.cancel()
+        assert loop.peek_time() == 2.0
+
+
+class TestRunModes:
+    def test_run_until_stops_before_later_events(self, loop):
+        seen = []
+        loop.call_at(1.0, lambda: seen.append(1))
+        loop.call_at(5.0, lambda: seen.append(5))
+        loop.run(until=2.0)
+        assert seen == [1]
+        assert loop.now == 2.0
+
+    def test_run_until_idle_or_predicate(self, loop):
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            loop.call_later(0.1, tick)
+
+        loop.call_later(0.1, tick)
+        done = loop.run_until_idle_or(lambda: state["count"] >= 3, until=10.0)
+        assert done
+        assert state["count"] == 3
+
+    def test_run_until_idle_or_drains(self, loop):
+        loop.call_at(1.0, lambda: None)
+        done = loop.run_until_idle_or(lambda: False, until=10.0)
+        assert not done
+
+    def test_livelock_guard(self, loop):
+        def forever():
+            loop.call_later(0.0001, forever)
+
+        loop.call_later(0.0001, forever)
+        with pytest.raises(RuntimeError):
+            loop.run(max_events=1000)
+
+    def test_step_returns_false_when_empty(self, loop):
+        assert loop.step() is False

@@ -1,0 +1,132 @@
+"""Study-data release CSVs and markdown reports."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.ab import AbShares, ab_vote_shares
+from repro.analysis.correlation import CorrelationHeatmap
+from repro.analysis.rating import rating_means
+from repro.report.markdown import (
+    md_figure4,
+    md_figure5,
+    md_figure6,
+    md_table,
+    md_table1,
+    md_table2,
+    md_table3,
+)
+from repro.study.design import StudyPlan
+from repro.study.export import (
+    ab_votes_csv,
+    conditions_csv,
+    export_campaign,
+    participants_csv,
+    rating_votes_csv,
+)
+from repro.study.filtering import FilterFunnel
+from repro.study.simulate import run_campaign
+
+from tests.conftest import SMALL_SITES
+
+
+@pytest.fixture(scope="module")
+def campaign(small_testbed):
+    plan = StudyPlan(sites=SMALL_SITES)
+    return run_campaign(small_testbed, plan, seed=3,
+                        participants_scale=0.05)
+
+
+def parse(text):
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+class TestCsvExport:
+    def test_ab_votes_rows(self, campaign):
+        sessions = campaign.ab_filtered["microworker"]
+        rows = parse(ab_votes_csv(sessions))
+        expected = sum(len(s.trials) for s in sessions)
+        assert len(rows) == expected
+        assert set(rows[0]) == {
+            "participant", "group", "website", "network", "stack_a",
+            "stack_b", "left_is_a", "answer", "vote", "confidence",
+            "replays", "duration_s",
+        }
+        assert all(r["vote"] in ("a", "b", "same") for r in rows)
+
+    def test_rating_votes_rows(self, campaign):
+        sessions = campaign.rating_filtered["microworker"]
+        rows = parse(rating_votes_csv(sessions))
+        assert rows
+        for row in rows[:20]:
+            assert 10 <= float(row["speed_score"]) <= 70
+            assert row["context"] in ("work", "free_time", "plane")
+
+    def test_participants_valid_flag(self, campaign):
+        all_sessions = campaign.ab["microworker"].sessions
+        kept = campaign.ab_filtered["microworker"]
+        rows = parse(participants_csv(all_sessions, kept, "ab"))
+        assert len(rows) == len(all_sessions)
+        valid = sum(int(r["valid"]) for r in rows)
+        assert valid == len(kept)
+
+    def test_conditions_metrics(self, campaign, small_testbed):
+        rows = parse(conditions_csv(
+            small_testbed, [("gov.uk", "DSL", "TCP")]))
+        assert len(rows) == 1
+        assert float(rows[0]["SI"]) > 0
+        assert float(rows[0]["PLT"]) >= float(rows[0]["LVC"]) - 1e6
+
+    def test_export_campaign_writes_files(self, campaign, small_testbed,
+                                          tmp_path):
+        written = export_campaign(campaign, small_testbed, tmp_path)
+        names = {p.name for p in written}
+        assert "ab_votes_microworker.csv" in names
+        assert "rating_votes_internet.csv" in names
+        assert "participants_lab_ab.csv" in names
+        assert "conditions.csv" in names
+        for path in written:
+            assert path.stat().st_size > 0
+        conditions = parse((tmp_path / "conditions.csv").read_text())
+        assert {r["website"] for r in conditions} <= set(SMALL_SITES)
+
+
+class TestMarkdown:
+    def test_md_table_shape(self):
+        text = md_table(("a", "b"), [(1, 2), (3, 4)])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_md_tables_contain_paper_values(self):
+        assert "IW32" in md_table1()
+        assert "0.468 Mbps" in md_table2()
+
+    def test_md_table3(self):
+        funnel = FilterFunnel(group="g", study="ab", initial=100,
+                              after_rule=[90, 80, 70, 60, 50, 40, 30])
+        text = md_table3([funnel])
+        assert "| g | ab | 100 |" in text
+        assert "30" in text
+
+    def test_md_figure4(self, campaign):
+        shares = ab_vote_shares(campaign.ab_filtered["microworker"])
+        text = md_figure4(shares)
+        assert "QUIC vs. TCP" in text
+        assert "%" in text
+
+    def test_md_figure5(self, campaign):
+        cells = rating_means(campaign.rating_filtered["microworker"])
+        text = md_figure5(cells)
+        assert "plane" in text
+        assert "99% CI" in text
+
+    def test_md_figure6(self):
+        heatmap = CorrelationHeatmap(
+            values={("TCP", "SI", "MSS"): -0.89},
+            stacks=("TCP",), networks=("MSS",))
+        text = md_figure6(heatmap)
+        assert "**TCP**" in text
+        assert "-0.89" in text

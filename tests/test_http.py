@@ -1,0 +1,185 @@
+"""HTTP/2 and HTTP/3 mappings: requests, responses, priorities, events."""
+
+import numpy as np
+import pytest
+
+from repro.http.base import open_connection
+from repro.http.h2 import H2Connection
+from repro.http.h3 import H3Connection
+from repro.http.messages import (
+    FRAME_BYTES,
+    HttpRequest,
+    HttpResponseEvents,
+    priority_for,
+)
+from repro.http.server import OriginServer
+from repro.netem.engine import EventLoop
+from repro.netem.path import NetworkPath
+from repro.netem.profiles import DSL
+from repro.transport.config import QUIC, TCP, TCP_PLUS
+
+
+def run_requests(stack, requests, profile=DSL, seed=0, until=30.0):
+    """Drive a connection through a list of (size, type) requests.
+
+    Returns dict url -> dict(first_byte, progress[], complete).
+    """
+    loop = EventLoop()
+    path = NetworkPath(loop, profile, seed=seed)
+    conn = open_connection(path, stack, OriginServer("origin.test"))
+    results = {}
+
+    for index, (size, rtype) in enumerate(requests):
+        url = f"https://origin.test/r{index}"
+        record = {"first_byte": None, "progress": [], "complete": None}
+        results[url] = record
+
+        events = HttpResponseEvents(
+            on_first_byte=lambda t, r=record: r.__setitem__("first_byte", t),
+            on_progress=lambda t, done, r=record: r["progress"].append(
+                (t, done)),
+            on_complete=lambda t, r=record: r.__setitem__("complete", t),
+        )
+        conn.request(HttpRequest(url=url, body_bytes=size,
+                                 resource_type=rtype, events=events))
+    loop.run(until=until)
+    return results
+
+
+class TestPriorities:
+    def test_priority_mapping(self):
+        assert priority_for("html") == 0
+        assert priority_for("css") == 1
+        assert priority_for("js") == 1
+        assert priority_for("font") == 1
+        assert priority_for("image") == 2
+        assert priority_for("other") == 2
+
+
+@pytest.mark.parametrize("stack", [TCP, QUIC], ids=["h2", "h3"])
+class TestRequestResponse:
+    def test_single_response_completes(self, stack):
+        results = run_requests(stack, [(50_000, "html")])
+        record = next(iter(results.values()))
+        assert record["complete"] is not None
+        assert record["progress"][-1][1] == 50_000
+
+    def test_event_ordering(self, stack):
+        results = run_requests(stack, [(100_000, "html")])
+        record = next(iter(results.values()))
+        assert record["first_byte"] <= record["progress"][0][0]
+        assert record["progress"] == sorted(record["progress"])
+        assert record["complete"] == record["progress"][-1][0]
+
+    def test_progress_frame_granularity(self, stack):
+        results = run_requests(stack, [(5 * FRAME_BYTES, "image")])
+        record = next(iter(results.values()))
+        done_values = [d for _, d in record["progress"]]
+        assert done_values == [FRAME_BYTES * i for i in range(1, 6)]
+
+    def test_many_concurrent_responses(self, stack):
+        results = run_requests(stack, [(20_000, "image")] * 8)
+        assert all(r["complete"] is not None for r in results.values())
+
+    def test_critical_resources_finish_first(self, stack):
+        """One big image and one CSS issued together: CSS (priority 1)
+        completes before the bulk image (priority 2)."""
+        results = run_requests(stack, [(400_000, "image"), (30_000, "css")])
+        records = list(results.values())
+        image, css = records[0], records[1]
+        assert css["complete"] < image["complete"]
+
+    def test_queued_before_establishment(self, stack):
+        # request() before connect() must transparently queue.
+        results = run_requests(stack, [(10_000, "html"), (10_000, "css")])
+        assert all(r["complete"] is not None for r in results.values())
+
+
+class TestFactory:
+    def test_open_connection_dispatches(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        assert isinstance(
+            open_connection(path, TCP, OriginServer("a")), H2Connection)
+        assert isinstance(
+            open_connection(path, QUIC, OriginServer("a")), H3Connection)
+
+
+class TestH2Specifics:
+    def test_responses_share_one_tcp_connection(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        conn = open_connection(path, TCP, OriginServer("origin.test"))
+        done = []
+        for i in range(4):
+            events = HttpResponseEvents(
+                on_complete=lambda t, i=i: done.append(i))
+            conn.request(HttpRequest(url=f"u{i}", body_bytes=10_000,
+                                     resource_type="image", events=events))
+        loop.run(until=20.0)
+        assert sorted(done) == [0, 1, 2, 3]
+        # One flow id handles everything.
+        assert conn.transport.flow_id is not None
+
+    def test_server_backlog_bounded(self):
+        """The H2 server writes lazily: backlog stays near the low-water
+        mark instead of buffering whole megabyte responses."""
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        conn = open_connection(path, TCP, OriginServer("origin.test"))
+        max_backlog = {"v": 0}
+
+        def sample():
+            max_backlog["v"] = max(max_backlog["v"],
+                                   conn.transport.server_sender.backlog)
+            loop.call_later(0.005, sample)
+
+        conn.request(HttpRequest(url="big", body_bytes=2_000_000,
+                                 resource_type="image"))
+        loop.call_later(0.01, sample)
+        loop.run(until=3.0)
+        assert max_backlog["v"] <= H2Connection.low_water + FRAME_BYTES + 1500
+
+
+class TestH3Specifics:
+    def test_each_request_gets_own_stream(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        conn = open_connection(path, QUIC, OriginServer("origin.test"))
+        for i in range(3):
+            conn.request(HttpRequest(url=f"u{i}", body_bytes=5_000,
+                                     resource_type="image"))
+        loop.run(until=10.0)
+        assert len(conn.transport.client.send_streams) == 3
+
+
+class TestServerJitter:
+    def test_jitter_changes_delay(self):
+        request = HttpRequest(url="u", body_bytes=100,
+                              server_delay_s=0.01)
+        plain = OriginServer("h")
+        assert plain.processing_delay(request) == 0.01
+        jittered = OriginServer("h", jitter_rng=np.random.default_rng(1))
+        values = {jittered.processing_delay(request) for _ in range(5)}
+        assert len(values) > 1
+        assert all(v > 0 for v in values)
+
+    def test_zero_scale_disables_jitter(self):
+        request = HttpRequest(url="u", body_bytes=100, server_delay_s=0.01)
+        server = OriginServer("h", jitter_rng=np.random.default_rng(1),
+                              jitter_scale=0.0)
+        assert server.processing_delay(request) == 0.01
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            OriginServer("h", jitter_scale=-1.0)
+
+
+class TestRequestValidation:
+    def test_zero_body_rejected(self):
+        with pytest.raises(ValueError):
+            HttpRequest(url="u", body_bytes=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            HttpRequest(url="u", body_bytes=10, server_delay_s=-1.0)

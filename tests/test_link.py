@@ -1,0 +1,152 @@
+"""Emulated link: serialisation, queueing, loss, droptail."""
+
+import numpy as np
+import pytest
+
+from repro.netem.engine import EventLoop
+from repro.netem.link import EmulatedLink, LinkConfig
+from repro.netem.packet import Packet
+
+
+def make_link(loop, delivered, rate=1e6, delay=0.01, queue_ms=100,
+              loss=0.0, queue_bytes=None, seed=0):
+    config = LinkConfig(rate_bytes_per_s=rate, propagation_delay_s=delay,
+                        queue_ms=queue_ms, loss_rate=loss,
+                        queue_bytes=queue_bytes)
+    return EmulatedLink(loop, config, delivered.append,
+                        rng=np.random.default_rng(seed))
+
+
+class TestTiming:
+    def test_single_packet_latency(self):
+        loop = EventLoop()
+        delivered = []
+        link = make_link(loop, delivered, rate=1e6, delay=0.01)
+        link.send(Packet(size=1000, payload="x"))
+        loop.run()
+        # 1000 bytes at 1 MB/s = 1 ms serialisation + 10 ms propagation.
+        assert loop.now == pytest.approx(0.011)
+        assert len(delivered) == 1
+
+    def test_back_to_back_serialisation(self):
+        loop = EventLoop()
+        delivered = []
+        link = make_link(loop, delivered, rate=1e6, delay=0.0)
+        times = []
+        original_deliver = link._deliver
+
+        def capture(packet):
+            times.append(loop.now)
+            original_deliver(packet)
+
+        link._deliver = capture
+        for _ in range(3):
+            link.send(Packet(size=1000, payload="x"))
+        loop.run()
+        assert times == pytest.approx([0.001, 0.002, 0.003])
+
+    def test_queue_drains_over_time(self):
+        loop = EventLoop()
+        delivered = []
+        link = make_link(loop, delivered, rate=1e6, delay=0.0, queue_ms=100)
+        for _ in range(5):
+            link.send(Packet(size=1000, payload="x"))
+        assert link.queued_bytes == 5000
+        loop.run()
+        assert link.queued_bytes == 0
+        assert len(delivered) == 5
+
+
+class TestDroptail:
+    def test_overflow_dropped(self):
+        loop = EventLoop()
+        delivered = []
+        # 10 ms at 1 MB/s = 10 kB of queue.
+        link = make_link(loop, delivered, rate=1e6, delay=0.0, queue_ms=10)
+        accepted = [link.send(Packet(size=1500, payload=i))
+                    for i in range(10)]
+        loop.run()
+        assert not all(accepted)
+        assert link.stats.packets_queue_dropped > 0
+        assert len(delivered) == 10 - link.stats.packets_queue_dropped
+
+    def test_explicit_queue_bytes_override(self):
+        loop = EventLoop()
+        delivered = []
+        link = make_link(loop, delivered, rate=1e6, delay=0.0, queue_ms=10,
+                         queue_bytes=50_000)
+        for i in range(10):
+            assert link.send(Packet(size=1500, payload=i))
+        loop.run()
+        assert link.stats.packets_queue_dropped == 0
+
+    def test_max_queue_stat(self):
+        loop = EventLoop()
+        delivered = []
+        link = make_link(loop, delivered, rate=1e6, delay=0.0, queue_ms=100)
+        for _ in range(4):
+            link.send(Packet(size=1000, payload="x"))
+        loop.run()
+        assert link.stats.max_queue_bytes == 4000
+
+
+class TestLoss:
+    def test_zero_loss_delivers_all(self):
+        loop = EventLoop()
+        delivered = []
+        link = make_link(loop, delivered, loss=0.0)
+        for i in range(50):
+            link.send(Packet(size=100, payload=i))
+        loop.run()
+        assert len(delivered) == 50
+
+    def test_loss_rate_statistics(self):
+        loop = EventLoop()
+        delivered = []
+        link = make_link(loop, delivered, loss=0.2, queue_ms=10_000, seed=1)
+        n = 3000
+        for i in range(n):
+            link.send(Packet(size=100, payload=i))
+        loop.run()
+        observed = link.stats.packets_random_lost / n
+        assert 0.15 < observed < 0.25
+        assert len(delivered) == n - link.stats.packets_random_lost
+
+    def test_loss_deterministic_per_seed(self):
+        outcomes = []
+        for _ in range(2):
+            loop = EventLoop()
+            delivered = []
+            link = make_link(loop, delivered, loss=0.3, seed=42)
+            for i in range(100):
+                link.send(Packet(size=100, payload=i))
+            loop.run()
+            outcomes.append([p.payload for p in delivered])
+        assert outcomes[0] == outcomes[1]
+
+
+class TestValidation:
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            LinkConfig(rate_bytes_per_s=0, propagation_delay_s=0, queue_ms=10)
+
+    def test_bad_loss(self):
+        with pytest.raises(ValueError):
+            LinkConfig(rate_bytes_per_s=1, propagation_delay_s=0,
+                       queue_ms=10, loss_rate=1.0)
+
+    def test_bad_queue_bytes(self):
+        with pytest.raises(ValueError):
+            LinkConfig(rate_bytes_per_s=1, propagation_delay_s=0,
+                       queue_ms=10, queue_bytes=0)
+
+    def test_bad_packet_size(self):
+        with pytest.raises(ValueError):
+            Packet(size=0, payload="x")
+
+    def test_stats_properties(self):
+        loop = EventLoop()
+        delivered = []
+        link = make_link(loop, delivered)
+        assert link.stats.loss_fraction == 0.0
+        assert link.stats.mean_queue_delay == 0.0

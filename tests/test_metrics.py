@@ -1,0 +1,132 @@
+"""Visual-progress curves and the FVC/LVC/SI/VC85/PLT metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.browser.metrics import VisualCurve, VisualMetrics, compute_metrics
+
+
+class TestVisualCurve:
+    def test_value_at(self):
+        curve = VisualCurve([(1.0, 0.2), (2.0, 0.7), (3.0, 1.0)])
+        assert curve.value_at(0.5) == 0.0
+        assert curve.value_at(1.0) == 0.2
+        assert curve.value_at(2.5) == 0.7
+        assert curve.value_at(9.9) == 1.0
+
+    def test_first_change(self):
+        curve = VisualCurve([(1.5, 0.3)])
+        assert curve.first_change() == 1.5
+        assert VisualCurve().first_change() is None
+
+    def test_last_change(self):
+        curve = VisualCurve([(1.0, 0.5), (4.0, 1.0)])
+        assert curve.last_change() == 4.0
+
+    def test_first_time_at_least(self):
+        curve = VisualCurve([(1.0, 0.5), (2.0, 0.9), (3.0, 1.0)])
+        assert curve.first_time_at_least(0.85) == 2.0
+        assert curve.first_time_at_least(0.95) == 3.0
+
+    def test_speed_index_simple(self):
+        # 0 until t=1, then complete: SI = 1.0 x 1 second.
+        curve = VisualCurve([(1.0, 1.0)])
+        assert curve.speed_index() == pytest.approx(1.0)
+
+    def test_speed_index_two_steps(self):
+        curve = VisualCurve([(1.0, 0.5), (2.0, 1.0)])
+        # 1s fully incomplete + 1s half incomplete.
+        assert curve.speed_index() == pytest.approx(1.5)
+
+    def test_faster_curve_has_lower_si(self):
+        fast = VisualCurve([(0.5, 0.8), (1.0, 1.0)])
+        slow = VisualCurve([(2.0, 0.8), (4.0, 1.0)])
+        assert fast.speed_index() < slow.speed_index()
+
+    def test_monotonicity_enforced(self):
+        curve = VisualCurve([(1.0, 0.5)])
+        with pytest.raises(ValueError):
+            curve.add(2.0, 0.4)
+        with pytest.raises(ValueError):
+            curve.add(0.5, 0.9)
+
+    def test_value_bounds_enforced(self):
+        curve = VisualCurve()
+        with pytest.raises(ValueError):
+            curve.add(1.0, 1.5)
+
+    def test_duplicate_value_collapsed(self):
+        curve = VisualCurve([(1.0, 0.5), (2.0, 0.5)])
+        assert len(curve) == 1
+
+
+class TestComputeMetrics:
+    def test_full_metric_set(self):
+        curve = VisualCurve([(1.0, 0.3), (2.0, 0.9), (3.0, 1.0)])
+        metrics = compute_metrics(curve, plt=3.5)
+        assert metrics.fvc == 1.0
+        assert metrics.lvc == 3.0
+        assert metrics.vc85 == 2.0
+        assert metrics.plt == 3.5
+        assert metrics.si == pytest.approx(1.0 + 0.7 + 0.1)
+
+    def test_empty_curve_degrades_to_plt(self):
+        metrics = compute_metrics(VisualCurve(), plt=10.0)
+        assert metrics.fvc == metrics.lvc == metrics.si == metrics.plt == 10.0
+
+    def test_vc85_missing_falls_back_to_plt(self):
+        curve = VisualCurve([(1.0, 0.5)])
+        metrics = compute_metrics(curve, plt=9.0)
+        assert metrics.vc85 == 9.0
+
+    def test_as_dict_order(self):
+        curve = VisualCurve([(1.0, 1.0)])
+        metrics = compute_metrics(curve, plt=2.0)
+        assert list(metrics.as_dict()) == ["FVC", "SI", "VC85", "LVC", "PLT"]
+
+    def test_getitem(self):
+        curve = VisualCurve([(1.0, 1.0)])
+        metrics = compute_metrics(curve, plt=2.0)
+        assert metrics["PLT"] == 2.0
+        with pytest.raises(KeyError):
+            metrics["XYZ"]
+
+
+monotone_curves = st.lists(
+    st.tuples(st.floats(0.01, 50.0), st.floats(0.001, 1.0)),
+    min_size=1, max_size=20,
+).map(
+    lambda pts: sorted((t, v) for t, v in pts)
+).map(
+    lambda pts: [(t, max(v for _, v in pts[:i + 1]))
+                 for i, (t, _) in enumerate(pts)]
+)
+
+
+class TestProperties:
+    @given(monotone_curves)
+    @settings(max_examples=200)
+    def test_metric_ordering_invariants(self, points):
+        curve = VisualCurve(points)
+        plt = points[-1][0] + 1.0
+        metrics = compute_metrics(curve, plt)
+        assert metrics.fvc <= metrics.lvc
+        assert metrics.fvc <= metrics.vc85 <= max(metrics.lvc, plt)
+        assert metrics.si >= 0.0
+        assert metrics.lvc <= plt
+
+    @given(monotone_curves, st.floats(0.1, 10.0))
+    @settings(max_examples=100)
+    def test_time_shift_shifts_si(self, points, shift):
+        """Delaying the whole curve increases SI by about the shift."""
+        curve = VisualCurve(points)
+        shifted = VisualCurve([(t + shift, v) for t, v in points])
+        delta = shifted.speed_index() - curve.speed_index()
+        assert delta == pytest.approx(shift, rel=0.01)
+
+    @given(monotone_curves)
+    @settings(max_examples=100)
+    def test_si_bounded_by_lvc(self, points):
+        curve = VisualCurve(points)
+        assert curve.speed_index() <= points[-1][0] + 1e-9

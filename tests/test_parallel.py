@@ -1,0 +1,39 @@
+"""Parallel sweep equivalence."""
+
+import pytest
+
+from repro.testbed.harness import Testbed
+from repro.testbed.parallel import parallel_sweep
+
+
+class TestParallelSweep:
+    def test_results_match_sequential(self, tmp_path):
+        sequential = Testbed(runs=2, seed=5,
+                             cache_dir=str(tmp_path / "seq"))
+        seq = sequential.sweep(sites=["gov.uk"], networks=["DSL"],
+                               stacks=["TCP", "QUIC"])
+
+        parallel_bed = Testbed(runs=2, seed=5,
+                               cache_dir=str(tmp_path / "par"))
+        par = parallel_sweep(parallel_bed, sites=["gov.uk"],
+                             networks=["DSL"], stacks=["TCP", "QUIC"],
+                             processes=2)
+        assert len(par) == len(seq)
+        for a, b in zip(seq, par):
+            assert a.condition_key == b.condition_key
+            assert a.selected_metrics == b.selected_metrics
+
+    def test_single_process_fallback(self, tmp_path):
+        bed = Testbed(runs=2, seed=5, cache_dir=str(tmp_path))
+        out = parallel_sweep(bed, sites=["gov.uk"], networks=["DSL"],
+                             stacks=["TCP"], processes=1)
+        assert len(out) == 1
+
+    def test_cache_shared_after_parallel(self, tmp_path):
+        bed = Testbed(runs=2, seed=5, cache_dir=str(tmp_path))
+        parallel_sweep(bed, sites=["gov.uk"], networks=["DSL"],
+                       stacks=["TCP"], processes=2)
+        # A fresh instance must find the cache on disk.
+        fresh = Testbed(runs=2, seed=5, cache_dir=str(tmp_path))
+        path = fresh._cache_path("gov.uk", "DSL", "TCP")
+        assert path.exists()

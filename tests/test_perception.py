@@ -1,0 +1,202 @@
+"""Psychometric models: JND detection and ACR opinion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.study.perception import (
+    DEFAULT_PARAMS,
+    PerceptionParams,
+    ab_vote,
+    detection_probability,
+    evidence,
+    rating_votes,
+    stall_score,
+    true_opinion,
+    website_appeal,
+)
+from repro.testbed.harness import RecordingSummary
+
+
+def fake_recording(si=1.0, fvc=0.3, lvc=2.0, plt=3.0, website="x.org",
+                   network="DSL", stack="TCP"):
+    metrics = {"FVC": fvc, "SI": si, "VC85": lvc * 0.9, "LVC": lvc,
+               "PLT": plt}
+    return RecordingSummary(
+        website=website, network=network, stack=stack, runs=1,
+        selection_metric="PLT", selected_metrics=metrics,
+        selected_curve=[(fvc, 0.5), (lvc, 1.0)],
+        run_metrics=[metrics], mean_retransmissions=0.0,
+        mean_segments_sent=100.0, completed_fraction=1.0,
+    )
+
+
+class TestEvidence:
+    def test_sign_indicates_faster_side(self):
+        assert evidence(1.0, 2.0) > 0  # a faster
+        assert evidence(2.0, 1.0) < 0  # b faster
+        assert evidence(1.0, 1.0) == 0.0
+
+    def test_relative_scaling(self):
+        """The same absolute gap is more visible on a fast pair."""
+        slow_pair = abs(evidence(10.0, 11.0))
+        fast_pair = abs(evidence(0.5, 1.5))
+        assert fast_pair > slow_pair
+
+    def test_absolute_floor_hides_tiny_gaps(self):
+        assert abs(evidence(0.20, 0.28)) < 1.0
+
+
+class TestDetectionProbability:
+    def test_monotone_in_evidence(self):
+        probs = [detection_probability(e, threshold=0.35)
+                 for e in (0.0, 0.2, 0.4, 0.8, 2.0)]
+        assert probs == sorted(probs)
+
+    def test_threshold_is_midpoint(self):
+        assert detection_probability(0.35, threshold=0.35) == \
+            pytest.approx(0.5)
+
+    def test_extremes_saturate(self):
+        assert detection_probability(100.0, 0.35) == 1.0
+        assert detection_probability(0.0, 100.0) == 0.0
+
+
+class TestAbVote:
+    def test_obvious_difference_detected(self):
+        rng = np.random.default_rng(0)
+        a, b = fake_recording(si=1.0), fake_recording(si=20.0)
+        votes = [ab_vote(a, b, 0.35, rng)[0] for _ in range(100)]
+        assert votes.count("a") > 85
+
+    def test_identical_mostly_same(self):
+        rng = np.random.default_rng(0)
+        a, b = fake_recording(si=1.0), fake_recording(si=1.0)
+        votes = [ab_vote(a, b, 0.35, rng)[0] for _ in range(200)]
+        assert votes.count("same") > 100
+        # Residual guesses split roughly evenly.
+        assert abs(votes.count("a") - votes.count("b")) < 40
+
+    def test_confidence_higher_for_big_gaps(self):
+        rng = np.random.default_rng(0)
+        small_conf = np.mean([
+            ab_vote(fake_recording(si=1.0), fake_recording(si=1.1),
+                    0.35, rng)[1] for _ in range(200)])
+        big_conf = np.mean([
+            ab_vote(fake_recording(si=1.0), fake_recording(si=10.0),
+                    0.35, rng)[1] for _ in range(200)])
+        assert big_conf > small_conf
+
+    def test_high_threshold_blinds(self):
+        rng = np.random.default_rng(0)
+        a, b = fake_recording(si=1.0), fake_recording(si=1.6)
+        votes = [ab_vote(a, b, 5.0, rng)[0] for _ in range(100)]
+        assert votes.count("same") > 50
+
+
+class TestOpinion:
+    def test_monotone_decreasing_in_si(self):
+        scores = [true_opinion(si, "work") for si in (0.1, 0.5, 2.0, 10.0)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_bounded_by_scale(self):
+        assert 10 <= true_opinion(0.0, "work") <= 70
+        assert 10 <= true_opinion(1000.0, "plane") <= 70
+
+    def test_plane_more_tolerant(self):
+        """The same slow load is judged less harshly on a plane."""
+        assert true_opinion(6.0, "plane") > true_opinion(6.0, "work")
+
+    def test_perceptual_floor_flattens_fast_side(self):
+        """Sub-floor speeds are indistinguishable."""
+        a = true_opinion(0.05, "work")
+        b = true_opinion(0.2, "work")
+        assert abs(a - b) < 2.0
+
+    def test_anchor_compresses_deviations(self):
+        anchored = abs(true_opinion(6.0, "plane", anchor_si=9.0)
+                       - true_opinion(12.0, "plane", anchor_si=9.0))
+        free = abs(true_opinion(6.0, "plane") - true_opinion(12.0, "plane"))
+        assert anchored < free
+
+    def test_negative_si_rejected(self):
+        with pytest.raises(ValueError):
+            true_opinion(-1.0, "work")
+
+    def test_unknown_context_rejected(self):
+        with pytest.raises(KeyError):
+            true_opinion(1.0, "subway")
+
+    @given(st.floats(0.0, 100.0), st.floats(0.0, 100.0))
+    @settings(max_examples=200)
+    def test_property_monotone(self, si1, si2):
+        lo, hi = sorted((si1, si2))
+        assert true_opinion(lo, "work") >= true_opinion(hi, "work") - 1e-9
+
+
+class TestAppeal:
+    def test_deterministic_per_site(self):
+        assert website_appeal("etsy.com") == website_appeal("etsy.com")
+
+    def test_varies_across_sites(self):
+        values = {website_appeal(f"site-{i}.example") for i in range(10)}
+        assert len(values) == 10
+
+    def test_zero_mean_population(self):
+        values = [website_appeal(f"s{i}.example") for i in range(300)]
+        assert abs(np.mean(values)) < 1.5
+
+
+class TestRatingVotes:
+    def test_scores_on_scale(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            speed, quality = rating_votes(fake_recording(si=2.0), "work",
+                                          bias=0.0, noise_scale=6.0, rng=rng)
+            assert 10 <= speed <= 70
+            assert 10 <= quality <= 70
+
+    def test_faster_rated_better_on_average(self):
+        rng = np.random.default_rng(0)
+        fast = np.mean([rating_votes(fake_recording(si=0.5), "work", 0.0,
+                                     5.0, rng)[0] for _ in range(300)])
+        slow = np.mean([rating_votes(fake_recording(si=20.0), "work", 0.0,
+                                     5.0, rng)[0] for _ in range(300)])
+        assert fast > slow + 10
+
+    def test_heavy_tailed_flag_changes_distribution(self):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        normal = [rating_votes(fake_recording(), "work", 0.0, 5.0, rng1)[0]
+                  for _ in range(500)]
+        heavy = [rating_votes(fake_recording(), "work", 0.0, 5.0, rng2,
+                              heavy_tailed=True)[0] for _ in range(500)]
+        assert np.std(heavy) > np.std(normal)
+
+    def test_stall_penalises_quality(self):
+        rng = np.random.default_rng(0)
+        smooth = fake_recording(si=2.0, fvc=1.8, lvc=2.0)
+        stally = fake_recording(si=2.0, fvc=0.1, lvc=2.0)
+        assert stall_score(stally) > stall_score(smooth)
+        smooth_quality = np.mean([
+            rating_votes(smooth, "work", 0.0, 3.0, rng)[1]
+            for _ in range(200)])
+        stally_quality = np.mean([
+            rating_votes(stally, "work", 0.0, 3.0, rng)[1]
+            for _ in range(200)])
+        assert smooth_quality > stally_quality
+
+
+class TestParams:
+    def test_reference_lookup(self):
+        assert DEFAULT_PARAMS.reference_si("work") == 1.5
+        with pytest.raises(KeyError):
+            DEFAULT_PARAMS.reference_si("nope")
+
+    def test_custom_params_flow_through(self):
+        strict = PerceptionParams(jnd_threshold_mean=10.0)
+        rng = np.random.default_rng(0)
+        a, b = fake_recording(si=1.0), fake_recording(si=2.0)
+        votes = [ab_vote(a, b, 10.0, rng, strict)[0] for _ in range(50)]
+        assert votes.count("same") > 25

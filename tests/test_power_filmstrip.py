@@ -1,0 +1,88 @@
+"""Power analysis and filmstrip rendering."""
+
+import pytest
+
+from repro.analysis.power import (
+    minimum_detectable_effect,
+    paper_study_power,
+    simulated_power,
+    two_sample_power,
+)
+from repro.browser.filmstrip import GLYPHS, filmstrip, filmstrip_panel
+from repro.browser.metrics import VisualCurve
+
+
+class TestPower:
+    def test_power_increases_with_effect(self):
+        small = two_sample_power(2.0, 100, 10.0).power
+        big = two_sample_power(10.0, 100, 10.0).power
+        assert big > small
+
+    def test_power_increases_with_n(self):
+        few = two_sample_power(5.0, 30, 10.0).power
+        many = two_sample_power(5.0, 300, 10.0).power
+        assert many > few
+
+    def test_analytic_matches_simulation(self):
+        analytic = two_sample_power(6.0, 80, 10.0, alpha=0.01).power
+        simulated = simulated_power(6.0, 80, 10.0, alpha=0.01,
+                                    trials=600, seed=1)
+        assert analytic == pytest.approx(simulated, abs=0.08)
+
+    def test_minimum_detectable_effect_consistent(self):
+        mde = minimum_detectable_effect(per_group_n=100, vote_sd=10.0,
+                                        alpha=0.01, target_power=0.8)
+        assert two_sample_power(mde, 100, 10.0, alpha=0.01).power == \
+            pytest.approx(0.8, abs=0.02)
+
+    def test_paper_study_was_well_powered(self):
+        """With ~675 votes per cell, a one-quality-level (10-point)
+        effect would have been detected essentially surely — the paper's
+        null result is meaningful."""
+        estimate = paper_study_power(effect_points=10.0)
+        assert estimate.power > 0.99
+
+    def test_heavy_tails_reduce_power(self):
+        normal = simulated_power(6.0, 80, 10.0, trials=400, seed=2)
+        heavy = simulated_power(6.0, 80, 10.0, trials=400, seed=2,
+                                heavy_tailed=True)
+        assert heavy < normal
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_sample_power(5.0, 1, 10.0)
+        with pytest.raises(ValueError):
+            two_sample_power(5.0, 10, 0.0)
+
+
+class TestFilmstrip:
+    def test_blank_before_first_paint(self):
+        curve = VisualCurve([(5.0, 1.0)])
+        strip = filmstrip(curve, duration=10.0, width=10)
+        assert strip[:4] == "    "
+        assert strip[-1] == GLYPHS[-1]
+
+    def test_monotone_darkening(self):
+        curve = VisualCurve([(1.0, 0.3), (2.0, 0.6), (3.0, 1.0)])
+        strip = filmstrip(curve, duration=4.0, width=20)
+        ranks = [GLYPHS.index(c) for c in strip]
+        assert ranks == sorted(ranks)
+
+    def test_panel_shared_axis(self):
+        fast = VisualCurve([(1.0, 1.0)])
+        slow = VisualCurve([(8.0, 1.0)])
+        panel = filmstrip_panel([("fast", fast), ("slow", slow)], width=30)
+        lines = panel.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("fast")
+        # The fast row saturates well before the slow one.
+        assert lines[0].count(GLYPHS[-1]) > lines[1].count(GLYPHS[-1])
+
+    def test_validation(self):
+        curve = VisualCurve([(1.0, 1.0)])
+        with pytest.raises(ValueError):
+            filmstrip(curve, duration=0.0)
+        with pytest.raises(ValueError):
+            filmstrip(curve, duration=1.0, width=0)
+        with pytest.raises(ValueError):
+            filmstrip_panel([])

@@ -1,0 +1,163 @@
+"""Table 2 network profiles and the duplex path."""
+
+import pytest
+
+from repro.netem.engine import EventLoop
+from repro.netem.packet import Packet
+from repro.netem.path import NetworkPath
+from repro.netem.profiles import (
+    DA2GC,
+    DSL,
+    LTE,
+    MSS,
+    NETWORKS,
+    NetworkProfile,
+    network_by_name,
+)
+from repro.util.units import Mbps
+
+
+class TestTable2Values:
+    """The profiles must match Table 2 of the paper exactly."""
+
+    def test_dsl(self):
+        assert DSL.uplink_mbps == 5.0
+        assert DSL.downlink_mbps == 25.0
+        assert DSL.min_rtt_ms == 24.0
+        assert DSL.loss_rate == 0.0
+        assert DSL.queue_ms == 12.0
+
+    def test_lte(self):
+        assert LTE.uplink_mbps == 2.8
+        assert LTE.downlink_mbps == 10.5
+        assert LTE.min_rtt_ms == 74.0
+        assert LTE.loss_rate == 0.0
+        assert LTE.queue_ms == 200.0
+
+    def test_da2gc(self):
+        assert DA2GC.uplink_mbps == 0.468
+        assert DA2GC.downlink_mbps == 0.468
+        assert DA2GC.min_rtt_ms == 262.0
+        assert DA2GC.loss_rate == 0.033
+
+    def test_mss(self):
+        assert MSS.uplink_mbps == 1.89
+        assert MSS.downlink_mbps == 1.89
+        assert MSS.min_rtt_ms == 760.0
+        assert MSS.loss_rate == 0.06
+
+    def test_paper_order(self):
+        assert [p.name for p in NETWORKS] == ["DSL", "LTE", "DA2GC", "MSS"]
+
+    def test_lookup_case_insensitive(self):
+        assert network_by_name("dsl") is DSL
+        assert network_by_name("Mss") is MSS
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            network_by_name("5G")
+
+
+class TestLinkConfigs:
+    def test_round_trip_loss_matches_table(self):
+        up, down = MSS.link_configs()
+        survive = (1 - up.loss_rate) * (1 - down.loss_rate)
+        assert 1 - survive == pytest.approx(MSS.loss_rate)
+
+    def test_lossless_profiles(self):
+        for profile in (DSL, LTE):
+            up, down = profile.link_configs()
+            assert up.loss_rate == 0.0
+            assert down.loss_rate == 0.0
+
+    def test_symmetric_queue_bytes(self):
+        up, down = DSL.link_configs()
+        assert up.queue_capacity_bytes == down.queue_capacity_bytes
+        expected = int(Mbps(25.0) * 12.0 / 1e3)
+        assert down.queue_capacity_bytes == expected
+
+    def test_one_way_delay_splits_rtt(self):
+        up, down = LTE.link_configs()
+        assert up.propagation_delay_s + down.propagation_delay_s == \
+            pytest.approx(LTE.min_rtt_s)
+
+    def test_table_row_formatting(self):
+        row = DA2GC.table_row()
+        assert row["Loss"] == "3.3 %"
+        assert row["min. RTT"] == "262 ms"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkProfile("X", 0, 1, 10, 0.0, 10)
+        with pytest.raises(ValueError):
+            NetworkProfile("X", 1, 1, 0, 0.0, 10)
+        with pytest.raises(ValueError):
+            NetworkProfile("X", 1, 1, 10, 1.5, 10)
+
+
+class TestNetworkPath:
+    def test_rtt_round_trip(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        arrival = {}
+        path.register_server(1, lambda p: path.send_to_client(
+            Packet(size=40, payload="pong", flow_id=1)))
+        path.register_client(1, lambda p: arrival.setdefault("t", loop.now))
+        path.send_to_server(Packet(size=40, payload="ping", flow_id=1))
+        loop.run()
+        # One RTT plus two serialisation delays for tiny packets.
+        assert arrival["t"] == pytest.approx(DSL.min_rtt_s, rel=0.05)
+
+    def test_flow_isolation(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        got = []
+        path.register_server(1, lambda p: got.append((1, p.payload)))
+        path.register_server(2, lambda p: got.append((2, p.payload)))
+        path.send_to_server(Packet(size=100, payload="a", flow_id=1))
+        path.send_to_server(Packet(size=100, payload="b", flow_id=2))
+        loop.run()
+        assert sorted(got) == [(1, "a"), (2, "b")]
+
+    def test_unknown_flow_dropped_silently(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        path.send_to_server(Packet(size=100, payload="x", flow_id=99))
+        loop.run()  # must not raise
+
+    def test_duplicate_registration_rejected(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        path.register_client(1, lambda p: None)
+        with pytest.raises(ValueError):
+            path.register_client(1, lambda p: None)
+
+    def test_unregister_idempotent(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        path.register_client(1, lambda p: None)
+        path.unregister(1)
+        path.unregister(1)
+
+    def test_bdp(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, LTE, seed=0)
+        expected = Mbps(10.5) * LTE.min_rtt_s
+        assert path.bdp_bytes() == int(expected)
+
+    def test_shared_bottleneck_contention(self):
+        """Two flows through one path share the downlink queue."""
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        deliveries = {1: [], 2: []}
+        path.register_client(1, lambda p: deliveries[1].append(loop.now))
+        path.register_client(2, lambda p: deliveries[2].append(loop.now))
+        for _ in range(10):
+            path.send_to_client(Packet(size=1500, payload="x", flow_id=1))
+            path.send_to_client(Packet(size=1500, payload="y", flow_id=2))
+        loop.run()
+        all_times = sorted(deliveries[1] + deliveries[2])
+        gaps = [b - a for a, b in zip(all_times, all_times[1:])]
+        serialisation = 1500 / Mbps(25.0)
+        for gap in gaps:
+            assert gap == pytest.approx(serialisation, rel=0.01)

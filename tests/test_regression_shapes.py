@@ -1,0 +1,78 @@
+"""Golden-shape regressions.
+
+These pin the cross-stack orderings that the whole study layer depends
+on. If a transport change silently flips one of these, the user-study
+results drift before any other test notices — this file is the tripwire.
+Uses the shared small testbed (gov.uk + apache.org, 2 runs).
+"""
+
+import pytest
+
+from tests.conftest import SMALL_SITES
+
+
+def si(testbed, site, network, stack):
+    return testbed.recording(site, network, stack).si
+
+
+class TestHandshakeBoundShapes:
+    """Small sites are handshake-bound: the 1-RTT edge must show."""
+
+    @pytest.mark.parametrize("site", SMALL_SITES)
+    @pytest.mark.parametrize("network", ["DSL", "LTE"])
+    def test_quic_fvc_beats_stock_tcp(self, small_testbed, site, network):
+        quic = small_testbed.recording(site, network, "QUIC").fvc
+        tcp = small_testbed.recording(site, network, "TCP").fvc
+        assert quic < tcp * 1.05
+
+
+class TestLossyNetworkShapes:
+    @pytest.mark.parametrize("site", SMALL_SITES)
+    def test_quic_si_wins_on_mss(self, small_testbed, site):
+        assert si(small_testbed, site, "MSS", "QUIC") < \
+            si(small_testbed, site, "MSS", "TCP")
+
+    def test_bbr_tames_the_satellite_for_quic(self, small_testbed):
+        """QUIC+BBR is competitive with QUIC-Cubic on MSS (rate-based CC
+        shrugs off random loss)."""
+        values = [
+            si(small_testbed, site, "MSS", "QUIC+BBR")
+            / si(small_testbed, site, "MSS", "QUIC")
+            for site in SMALL_SITES
+        ]
+        assert min(values) < 1.3
+
+    def test_inflight_much_slower_than_terrestrial(self, small_testbed):
+        for site in SMALL_SITES:
+            for stack in ("TCP", "QUIC"):
+                assert si(small_testbed, site, "DA2GC", stack) > \
+                    4 * si(small_testbed, site, "LTE", stack)
+
+
+class TestRetransmissionShapes:
+    def test_inflight_networks_produce_retransmissions(self, small_testbed):
+        for site in SMALL_SITES:
+            rec = small_testbed.recording(site, "MSS", "TCP")
+            assert rec.mean_retransmissions > 0
+
+    def test_clean_networks_mostly_clean(self, small_testbed):
+        """Small sites on LTE (deep queue, no loss) barely retransmit."""
+        for site in SMALL_SITES:
+            rec = small_testbed.recording(site, "LTE", "TCP")
+            assert rec.mean_retransmissions / \
+                max(rec.mean_segments_sent, 1) < 0.05
+
+
+class TestRecordingSanity:
+    @pytest.mark.parametrize("site", SMALL_SITES)
+    @pytest.mark.parametrize("network", ["DSL", "LTE", "DA2GC", "MSS"])
+    @pytest.mark.parametrize("stack", ["TCP", "TCP+", "TCP+BBR", "QUIC",
+                                       "QUIC+BBR"])
+    def test_metric_invariants_hold_everywhere(self, small_testbed, site,
+                                               network, stack):
+        rec = small_testbed.recording(site, network, stack)
+        m = rec.selected_metrics
+        assert 0 < m["FVC"] <= m["LVC"]
+        assert m["SI"] <= m["LVC"] + 1e-9
+        assert m["LVC"] <= m["PLT"] + 1e-9
+        assert rec.completed_fraction == 1.0

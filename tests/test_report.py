@@ -1,0 +1,111 @@
+"""ASCII report renderers."""
+
+from repro.analysis.ab import AbShares
+from repro.analysis.correlation import CorrelationHeatmap
+from repro.analysis.rating import RatingCell
+from repro.analysis.stats import MeanCI
+from repro.report import (
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.study.filtering import FilterFunnel
+
+
+class TestGenericTable:
+    def test_alignment(self):
+        out = render_table(("A", "Blah"), [("x", 1), ("yyyy", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("A")
+        assert "yyyy" in lines[3]
+
+    def test_header_separator(self):
+        out = render_table(("Head",), [("v",)])
+        separator = out.splitlines()[1]
+        assert set(separator) == {"-"}
+        assert len(separator) >= len("Head")
+
+
+class TestTable1:
+    def test_contains_all_stacks(self):
+        out = render_table1()
+        for stack in ("TCP+BBR", "QUIC+BBR", "Stock Google QUIC"):
+            assert stack in out
+
+    def test_mentions_parameters(self):
+        out = render_table1()
+        assert "IW32" in out
+        assert "Pacing" in out
+
+
+class TestTable2:
+    def test_contains_table2_values(self):
+        out = render_table2()
+        assert "25 Mbps" in out
+        assert "0.468 Mbps" in out
+        assert "760 ms" in out
+        assert "6.0 %" in out
+
+
+class TestTable3:
+    def test_renders_funnel(self):
+        funnel = FilterFunnel(group="microworker", study="ab", initial=487,
+                              after_rule=[471, 441, 355, 268, 268, 239, 233])
+        out = render_table3([funnel])
+        assert "487" in out
+        assert "233" in out
+        assert "R7" in out
+
+    def test_reference_rows(self):
+        funnel = FilterFunnel(group="microworker", study="ab", initial=100,
+                              after_rule=[90, 80, 70, 60, 50, 40, 30])
+        reference = {("microworker", "ab"): [487, 471, 441, 355, 268, 268,
+                                             239, 233]}
+        out = render_table3([funnel], reference=reference)
+        assert "(paper)" in out
+        assert "487" in out
+
+
+class TestFigures:
+    def test_figure4(self):
+        shares = {("QUIC vs. TCP", "DSL"): AbShares(
+            pair_label="QUIC vs. TCP", network="DSL",
+            votes_a=40, votes_same=50, votes_b=10, mean_replays=1.4)}
+        out = render_figure4(shares)
+        assert "QUIC vs. TCP" in out
+        assert "[DSL]" in out
+        assert "40.0%" in out
+        assert "replays 1.40" in out
+
+    def test_figure5(self):
+        cells = [RatingCell(
+            context="plane", network="MSS", stack="QUIC",
+            ci=MeanCI(mean=34.0, lower=30.0, upper=38.0, confidence=0.99,
+                      n=77))]
+        out = render_figure5(cells)
+        assert "[plane / MSS]" in out
+        assert "34.0" in out
+        assert "poor" in out
+
+    def test_figure6(self):
+        heatmap = CorrelationHeatmap(
+            values={("TCP", "SI", "MSS"): -0.89,
+                    ("TCP", "PLT", "MSS"): -0.16},
+            stacks=("TCP",), networks=("MSS",),
+        )
+        out = render_figure6(heatmap)
+        assert "-0.89" in out
+        assert "-0.16" in out
+        assert "[TCP]" in out
+
+    def test_figure6_best_metric(self):
+        heatmap = CorrelationHeatmap(
+            values={("TCP", "SI", "MSS"): -0.89,
+                    ("TCP", "PLT", "MSS"): -0.16},
+            stacks=("TCP",), networks=("MSS",),
+        )
+        assert heatmap.best_metric("TCP", "MSS") == "SI"

@@ -1,0 +1,68 @@
+"""RTT estimation / RTO per RFC 6298."""
+
+import pytest
+
+from repro.transport.rtt import RttEstimator
+
+
+class TestRttEstimator:
+    def test_initial_state(self):
+        est = RttEstimator()
+        assert not est.has_sample
+        assert est.rto() == RttEstimator.INITIAL_RTO
+        assert est.smoothed() == RttEstimator.INITIAL_RTO
+
+    def test_first_sample_initialises(self):
+        est = RttEstimator()
+        est.on_sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        assert est.min_rtt == pytest.approx(0.1)
+
+    def test_ewma_update(self):
+        est = RttEstimator()
+        est.on_sample(0.1)
+        est.on_sample(0.2)
+        assert est.srtt == pytest.approx(0.875 * 0.1 + 0.125 * 0.2)
+
+    def test_min_rtt_tracks_minimum(self):
+        est = RttEstimator()
+        for sample in (0.3, 0.1, 0.2):
+            est.on_sample(sample)
+        assert est.min_rtt == pytest.approx(0.1)
+
+    def test_rto_floor(self):
+        est = RttEstimator()
+        for _ in range(20):
+            est.on_sample(0.001)
+        assert est.rto() == RttEstimator.MIN_RTO
+
+    def test_rto_grows_with_variance(self):
+        stable = RttEstimator()
+        jittery = RttEstimator()
+        for i in range(20):
+            stable.on_sample(0.1)
+            jittery.on_sample(0.05 if i % 2 else 0.3)
+        assert jittery.rto() > stable.rto()
+
+    def test_rto_ceiling(self):
+        est = RttEstimator()
+        est.on_sample(100.0)
+        assert est.rto() == RttEstimator.MAX_RTO
+
+    def test_invalid_sample(self):
+        est = RttEstimator()
+        with pytest.raises(ValueError):
+            est.on_sample(0.0)
+
+    def test_smoothed_default(self):
+        est = RttEstimator()
+        assert est.smoothed(default=0.42) == 0.42
+        est.on_sample(0.1)
+        assert est.smoothed(default=0.42) == pytest.approx(0.1)
+
+    def test_latest_rtt(self):
+        est = RttEstimator()
+        est.on_sample(0.1)
+        est.on_sample(0.25)
+        assert est.latest_rtt == pytest.approx(0.25)

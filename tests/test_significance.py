@@ -1,0 +1,67 @@
+"""Multiple-comparison corrections for the Section 4.4 scan."""
+
+import pytest
+
+from repro.analysis.rating import WebsiteDifference
+from repro.analysis.significance import (
+    benjamini_hochberg,
+    bonferroni,
+    expected_false_positives,
+)
+
+
+def diff(p, website="w.org"):
+    return WebsiteDifference(website=website, network="DSL",
+                             faster_stack="QUIC", slower_stack="TCP",
+                             mean_difference=5.0, p_value=p)
+
+
+class TestBonferroni:
+    def test_scaling(self):
+        out = bonferroni([diff(0.001)], total_tests=100)
+        assert out[0].adjusted_p == pytest.approx(0.1)
+
+    def test_survival(self):
+        out = bonferroni([diff(0.0001), diff(0.01)], total_tests=100,
+                         alpha=0.10)
+        assert out[0].survives
+        assert not out[1].survives
+
+    def test_adjusted_capped_at_one(self):
+        out = bonferroni([diff(0.5)], total_tests=100)
+        assert out[0].adjusted_p == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bonferroni([], total_tests=0)
+
+
+class TestBenjaminiHochberg:
+    def test_ordered_thresholds(self):
+        diffs = [diff(0.001), diff(0.002), diff(0.09)]
+        out = benjamini_hochberg(diffs, total_tests=10, alpha=0.10)
+        assert out[0].survives and out[1].survives
+        assert not out[2].survives
+
+    def test_less_conservative_than_bonferroni(self):
+        diffs = [diff(p) for p in (0.005, 0.008, 0.011, 0.02)]
+        bh = benjamini_hochberg(diffs, total_tests=40, alpha=0.10)
+        bf = bonferroni(diffs, total_tests=40, alpha=0.10)
+        assert sum(c.survives for c in bh) >= sum(c.survives for c in bf)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            benjamini_hochberg([diff(0.1)], total_tests=0)
+
+
+class TestExpectedFalsePositives:
+    def test_scan_size_of_the_paper(self):
+        """36 sites x 4 networks x 4 pairs at alpha=0.1: ~58 expected
+        false positives if all nulls were true — context for the paper's
+        'only a handful of sites differ'."""
+        assert expected_false_positives(36 * 4 * 4, alpha=0.10) == \
+            pytest.approx(57.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_false_positives(-1)

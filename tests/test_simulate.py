@@ -1,0 +1,77 @@
+"""Campaign orchestration details."""
+
+import pytest
+
+from repro.study.design import StudyPlan
+from repro.study.simulate import (
+    GROUP_ORDER,
+    PAPER_TABLE3,
+    CampaignResult,
+    run_campaign,
+)
+
+from tests.conftest import SMALL_SITES
+
+
+@pytest.fixture(scope="module")
+def campaign(small_testbed):
+    plan = StudyPlan(sites=SMALL_SITES)
+    return run_campaign(small_testbed, plan, seed=5,
+                        participants_scale=0.05)
+
+
+class TestCampaign:
+    def test_groups_covered(self, campaign):
+        assert set(campaign.ab) == set(GROUP_ORDER)
+        assert set(campaign.rating) == set(GROUP_ORDER)
+
+    def test_filtered_subsets(self, campaign):
+        for group in GROUP_ORDER:
+            kept = campaign.ab_filtered[group]
+            assert len(kept) <= len(campaign.ab[group].sessions)
+            kept_ids = {s.participant_id for s in kept}
+            all_ids = {s.participant_id
+                       for s in campaign.ab[group].sessions}
+            assert kept_ids <= all_ids
+
+    def test_funnels_indexed(self, campaign):
+        funnel = campaign.funnel("internet", "rating")
+        assert funnel.group == "internet"
+        with pytest.raises(KeyError):
+            campaign.funnel("internet", "nonsense")
+
+    def test_minimum_participants_floor(self, campaign):
+        # scale 0.05 of lab's 35 would be < 2; the floor keeps it >= 10.
+        assert len(campaign.ab["lab"].sessions) >= 10
+
+    def test_deterministic(self, small_testbed):
+        plan = StudyPlan(sites=SMALL_SITES)
+        a = run_campaign(small_testbed, plan, seed=9,
+                         participants_scale=0.03)
+        b = run_campaign(small_testbed, plan, seed=9,
+                         participants_scale=0.03)
+        votes_a = [t.vote for s in a.ab["microworker"].sessions
+                   for t in s.trials]
+        votes_b = [t.vote for s in b.ab["microworker"].sessions
+                   for t in s.trials]
+        assert votes_a == votes_b
+
+    def test_group_subset(self, small_testbed):
+        plan = StudyPlan(sites=SMALL_SITES)
+        partial = run_campaign(small_testbed, plan, seed=1,
+                               participants_scale=0.03,
+                               groups=("lab",))
+        assert set(partial.ab) == {"lab"}
+        assert len(partial.funnels) == 2
+
+
+class TestPaperReference:
+    def test_all_rows_present(self):
+        groups = {g for g, _ in PAPER_TABLE3}
+        assert groups == {"lab", "microworker", "internet"}
+        studies = {s for _, s in PAPER_TABLE3}
+        assert studies == {"ab", "rating"}
+
+    def test_microworker_rating_row_matches_paper(self):
+        assert PAPER_TABLE3[("microworker", "rating")] == \
+            [1563, 1494, 1321, 1034, 733, 723, 661, 614]

@@ -1,0 +1,172 @@
+"""A/B and rating study runners against the shared small testbed."""
+
+import pytest
+
+from repro.study.ab import run_ab_study
+from repro.study.design import (
+    AB_VIDEO_COUNTS,
+    RATING_VIDEO_COUNTS,
+    StudyPlan,
+)
+from repro.study.filtering import apply_filters
+from repro.study.rating import run_rating_study
+from repro.study.simulate import PAPER_TABLE3, run_campaign
+
+from tests.conftest import SMALL_SITES
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return StudyPlan(sites=SMALL_SITES)
+
+
+@pytest.fixture(scope="module")
+def ab_result(small_testbed, plan):
+    return run_ab_study(small_testbed, "microworker", plan,
+                        participants=40, seed=11)
+
+
+@pytest.fixture(scope="module")
+def rating_result(small_testbed, plan):
+    return run_rating_study(small_testbed, "microworker", plan,
+                            participants=40, seed=11)
+
+
+class TestAbStudy:
+    def test_session_count(self, ab_result):
+        assert len(ab_result.sessions) == 40
+
+    def test_trials_per_session(self, ab_result, plan):
+        pool_size = len(plan.ab_pool("microworker"))
+        expected = min(AB_VIDEO_COUNTS["microworker"], pool_size)
+        for session in ab_result.sessions:
+            assert len(session.trials) == expected
+
+    def test_no_duplicate_conditions_within_session(self, ab_result):
+        for session in ab_result.sessions:
+            keys = [t.condition.key for t in session.trials]
+            assert len(keys) == len(set(keys))
+
+    def test_vote_values(self, ab_result):
+        for trial in ab_result.all_trials():
+            assert trial.answer in ("left", "right", "same")
+            assert trial.vote in ("a", "b", "same")
+            assert 0.0 <= trial.confidence <= 1.0
+            assert trial.replays >= 0
+            assert trial.duration_s > 0
+
+    def test_left_right_translation(self, ab_result):
+        """answer/left_is_a/vote must be mutually consistent."""
+        for trial in ab_result.all_trials():
+            if trial.answer == "same":
+                assert trial.vote == "same"
+            elif trial.answer == "left":
+                assert trial.vote == ("a" if trial.left_is_a else "b")
+            else:
+                assert trial.vote == ("b" if trial.left_is_a else "a")
+
+    def test_side_assignment_randomised(self, ab_result):
+        sides = [t.left_is_a for t in ab_result.all_trials()]
+        assert 0.3 < sum(sides) / len(sides) < 0.7
+
+    def test_deterministic_given_seed(self, small_testbed, plan):
+        a = run_ab_study(small_testbed, "microworker", plan,
+                         participants=5, seed=3)
+        b = run_ab_study(small_testbed, "microworker", plan,
+                         participants=5, seed=3)
+        votes_a = [t.vote for t in a.all_trials()]
+        votes_b = [t.vote for t in b.all_trials()]
+        assert votes_a == votes_b
+
+    def test_seed_changes_votes(self, small_testbed, plan):
+        a = run_ab_study(small_testbed, "microworker", plan,
+                         participants=5, seed=3)
+        b = run_ab_study(small_testbed, "microworker", plan,
+                         participants=5, seed=4)
+        assert [t.vote for t in a.all_trials()] != \
+            [t.vote for t in b.all_trials()]
+
+    def test_lab_defaults_to_lab_sites(self, small_testbed):
+        plan_full = StudyPlan(sites=["gov.uk", "apache.org"])
+        result = run_ab_study(small_testbed, "lab", plan_full,
+                              participants=3, seed=0)
+        sites = {t.condition.website for t in result.all_trials()}
+        assert sites <= {"gov.uk"}  # the only lab site in this plan
+
+
+class TestRatingStudy:
+    def test_trials_cover_contexts(self, rating_result):
+        contexts = {t.context for t in rating_result.all_trials()}
+        assert contexts == {"work", "free_time", "plane"}
+
+    def test_context_counts(self, rating_result, plan):
+        counts = RATING_VIDEO_COUNTS["microworker"]
+        for session in rating_result.sessions:
+            by_context = {}
+            for trial in session.trials:
+                by_context[trial.context] = by_context.get(trial.context,
+                                                           0) + 1
+            for context, expected in counts.items():
+                pool = len(plan.rating_pool("microworker", context))
+                assert by_context[context] == min(expected, pool)
+
+    def test_scores_on_scale(self, rating_result):
+        for trial in rating_result.all_trials():
+            assert 10 <= trial.speed_score <= 70
+            assert 10 <= trial.quality_score <= 70
+
+    def test_plane_uses_inflight_networks(self, rating_result):
+        for trial in rating_result.all_trials():
+            if trial.context == "plane":
+                assert trial.condition.network in ("DA2GC", "MSS")
+            else:
+                assert trial.condition.network in ("DSL", "LTE")
+
+    def test_plane_rated_worse_than_work(self, rating_result):
+        kept, _ = apply_filters(rating_result.sessions, "microworker",
+                                "rating")
+        work = [t.speed_score for s in kept for t in s.trials
+                if t.context == "work"]
+        plane = [t.speed_score for s in kept for t in s.trials
+                 if t.context == "plane"]
+        assert sum(work) / len(work) > sum(plane) / len(plane) + 5
+
+
+class TestCampaign:
+    def test_small_campaign_end_to_end(self, small_testbed):
+        plan = StudyPlan(sites=SMALL_SITES)
+        campaign = run_campaign(small_testbed, plan, seed=1,
+                                participants_scale=0.03)
+        assert set(campaign.ab) == {"lab", "microworker", "internet"}
+        assert len(campaign.funnels) == 6
+        funnel = campaign.funnel("microworker", "ab")
+        assert funnel.initial >= 10
+        assert funnel.final <= funnel.initial
+        # Lab sessions are never filtered (supervised study).
+        lab_funnel = campaign.funnel("lab", "ab")
+        assert lab_funnel.final == lab_funnel.initial
+
+    def test_paper_reference_shape(self):
+        for (group, study), row in PAPER_TABLE3.items():
+            assert len(row) == 8
+            assert row == sorted(row, reverse=True)
+
+    def test_invalid_scale(self, small_testbed):
+        with pytest.raises(ValueError):
+            run_campaign(small_testbed, StudyPlan(sites=SMALL_SITES),
+                         participants_scale=0.0)
+
+
+class TestFunnelCalibration:
+    def test_microworker_funnel_tracks_table3(self, small_testbed):
+        """With the full participant count the simulated funnel lands
+        near the paper's Table 3 row."""
+        plan = StudyPlan(sites=SMALL_SITES)
+        result = run_ab_study(small_testbed, "microworker", plan,
+                              participants=487, seed=5)
+        _, funnel = apply_filters(result.sessions, "microworker", "ab")
+        paper = PAPER_TABLE3[("microworker", "ab")]
+        ours = funnel.as_row()
+        assert ours[0] == paper[0]
+        # Final survivors within 25% of the paper.
+        assert abs(ours[-1] - paper[-1]) / paper[-1] < 0.25

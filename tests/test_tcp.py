@@ -1,0 +1,242 @@
+"""TCP connection behaviour over the emulated path."""
+
+import pytest
+
+from repro.netem.engine import EventLoop
+from repro.netem.packet import Packet
+from repro.netem.path import NetworkPath
+from repro.netem.profiles import DSL, MSS, NetworkProfile
+from repro.transport.config import QUIC, TCP, TCP_PLUS
+from repro.transport.tcp import TcpConnection
+
+LOSSY = NetworkProfile(
+    name="DSL", uplink_mbps=5.0, downlink_mbps=25.0, min_rtt_ms=24.0,
+    loss_rate=0.05, queue_ms=12.0,
+)
+
+
+def make_conn(profile=DSL, stack=TCP, seed=0):
+    loop = EventLoop()
+    path = NetworkPath(loop, profile, seed=seed)
+    state = {"client": [], "server": [], "client_bytes": 0, "server_bytes": 0}
+
+    def on_client(delivered, metas):
+        state["client_bytes"] = delivered
+        state["client"].extend(metas)
+
+    def on_server(delivered, metas):
+        state["server_bytes"] = delivered
+        state["server"].extend(metas)
+
+    conn = TcpConnection(path, stack, on_client_data=on_client,
+                         on_server_data=on_server)
+    return loop, path, conn, state
+
+
+class TestHandshake:
+    def test_two_rtt_establishment(self):
+        loop, path, conn, _ = make_conn()
+        established_at = {}
+        conn.connect(lambda: established_at.setdefault("t", loop.now))
+        loop.run(until=5.0)
+        assert conn.established
+        # SYN/SYNACK + TLS flight: two RTTs plus serialisation of ~3 kB.
+        assert established_at["t"] == pytest.approx(2 * DSL.min_rtt_s,
+                                                    rel=0.25)
+
+    def test_connect_twice_rejected(self):
+        loop, path, conn, _ = make_conn()
+        conn.connect(lambda: None)
+        with pytest.raises(RuntimeError):
+            conn.connect(lambda: None)
+
+    def test_write_before_establishment_rejected(self):
+        loop, path, conn, _ = make_conn()
+        with pytest.raises(RuntimeError):
+            conn.server_write(100)
+
+    def test_handshake_survives_loss(self):
+        for seed in range(5):
+            loop, path, conn, _ = make_conn(profile=LOSSY, seed=seed)
+            conn.connect(lambda: None)
+            loop.run(until=30.0)
+            assert conn.established, f"handshake failed with seed {seed}"
+
+    def test_quic_stack_rejected(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, DSL, seed=0)
+        with pytest.raises(ValueError):
+            TcpConnection(path, QUIC, lambda d, m: None, lambda d, m: None)
+
+
+class TestDataTransfer:
+    def test_bulk_delivery_complete(self):
+        loop, path, conn, state = make_conn()
+        conn.connect(lambda: conn.server_write(200_000, meta="done"))
+        loop.run(until=30.0)
+        assert state["client_bytes"] == 200_000
+        assert state["client"] == ["done"]
+
+    def test_request_reaches_server(self):
+        loop, path, conn, state = make_conn()
+        conn.connect(lambda: conn.client_write(350, meta="req"))
+        loop.run(until=5.0)
+        assert state["server_bytes"] == 350
+        assert state["server"] == ["req"]
+
+    def test_metas_delivered_in_order(self):
+        loop, path, conn, state = make_conn()
+
+        def go():
+            for index in range(5):
+                conn.server_write(10_000, meta=index)
+
+        conn.connect(go)
+        loop.run(until=30.0)
+        assert state["client"] == [0, 1, 2, 3, 4]
+
+    def test_throughput_near_link_rate(self):
+        loop, path, conn, state = make_conn(stack=TCP_PLUS)
+        done = {}
+
+        def on_meta(delivered, metas):
+            if metas:
+                done["t"] = loop.now
+
+        conn._path  # connection already wired; patch state capture
+        conn.connect(lambda: conn.server_write(500_000, meta="end"))
+        loop.run(until=30.0)
+        assert state["client_bytes"] == 500_000
+        ideal = 500_000 / (25e6 / 8) + 3 * DSL.min_rtt_s
+        assert loop.now < 3 * ideal
+
+    def test_zero_write_rejected(self):
+        loop, path, conn, _ = make_conn()
+        conn.connect(lambda: None)
+        loop.run(until=2.0)
+        with pytest.raises(ValueError):
+            conn.server_write(0)
+
+
+class TestLossRecovery:
+    def test_delivery_under_random_loss(self):
+        loop, path, conn, state = make_conn(profile=LOSSY, seed=3)
+        conn.connect(lambda: conn.server_write(150_000, meta="end"))
+        loop.run(until=60.0)
+        assert state["client_bytes"] == 150_000
+        assert conn.server_sender.stats.retransmitted_segments > 0
+
+    def test_fast_retransmit_used_before_rto(self):
+        loop, path, conn, _ = make_conn(profile=LOSSY, seed=3)
+        conn.connect(lambda: conn.server_write(150_000))
+        loop.run(until=60.0)
+        stats = conn.server_sender.stats
+        assert stats.fast_retransmits > 0
+
+    def test_delivery_on_inflight_network(self):
+        profile = MSS
+        loop, path, conn, state = make_conn(profile=profile, seed=5)
+        conn.connect(lambda: conn.server_write(100_000, meta="end"))
+        loop.run(until=120.0)
+        assert state["client_bytes"] == 100_000
+
+    def test_ordered_delivery_despite_loss(self):
+        """Bytes are only delivered in order (transport HOL blocking)."""
+        loop, path, conn, state = make_conn(profile=LOSSY, seed=1)
+        watermarks = []
+        original = conn.client_receiver._on_data
+
+        def capture(delivered, metas):
+            watermarks.append(delivered)
+            original(delivered, metas)
+
+        conn.client_receiver._on_data = capture
+        conn.connect(lambda: conn.server_write(100_000))
+        loop.run(until=60.0)
+        assert watermarks == sorted(watermarks)
+        assert watermarks[-1] == 100_000
+
+
+class TestStackDifferences:
+    def test_stock_initial_window_is_10(self):
+        _, _, conn, _ = make_conn(stack=TCP)
+        assert conn.server_sender.cc.initial_window == 10 * TCP.mss
+
+    def test_tuned_initial_window_is_32(self):
+        _, _, conn, _ = make_conn(stack=TCP_PLUS)
+        assert conn.server_sender.cc.initial_window == 32 * TCP_PLUS.mss
+
+    def test_tuned_buffers_larger(self):
+        _, _, stock, _ = make_conn(stack=TCP)
+        _, _, tuned, _ = make_conn(stack=TCP_PLUS)
+        assert tuned.client_receiver.buffer_cap > \
+            stock.client_receiver.buffer_cap
+
+    def test_sack_blocks_limited_to_three(self):
+        loop, path, conn, _ = make_conn(profile=LOSSY, seed=2)
+        max_blocks = {"n": 0}
+        original = conn.server_sender.on_ack
+
+        def capture(segment):
+            max_blocks["n"] = max(max_blocks["n"], len(segment.sack_blocks))
+            original(segment)
+
+        conn.server_sender.on_ack = capture
+        conn.connect(lambda: conn.server_write(300_000))
+        loop.run(until=60.0)
+        assert 0 < max_blocks["n"] <= 3
+
+    def test_faster_completion_with_iw32_on_clean_link(self):
+        def completion(stack):
+            loop, path, conn, state = make_conn(stack=stack)
+            done = {}
+
+            def on_client(delivered, metas):
+                if delivered >= 120_000:
+                    done.setdefault("t", loop.now)
+
+            conn.client_receiver._on_data = on_client
+            conn.connect(lambda: conn.server_write(120_000))
+            loop.run(until=10.0)
+            return done["t"]
+
+        assert completion(TCP_PLUS) <= completion(TCP)
+
+
+class TestIdleRestart:
+    def _run_with_gap(self, stack):
+        loop, path, conn, state = make_conn(stack=stack)
+        cwnds = {}
+
+        def phase_two():
+            cwnds["before"] = conn.server_sender.cc.congestion_window()
+            conn.server_write(50_000, meta="second")
+
+        def go():
+            conn.server_write(200_000, meta="first")
+            loop.call_later(5.0, phase_two)
+
+        conn.connect(go)
+        loop.run(until=20.0)
+        # cwnd at the moment the second burst started.
+        return cwnds["before"], conn
+
+    def test_stock_resets_cwnd_after_idle(self):
+        before, conn = self._run_with_gap(TCP)
+        # After the idle write, the sender should have clamped to IW.
+        assert conn.server_sender.cc.congestion_window() <= max(
+            before, 10 * TCP.mss)
+
+    def test_tuned_keeps_cwnd_after_idle(self):
+        loop, path, conn, state = make_conn(stack=TCP_PLUS)
+        snapshots = []
+
+        def phase_two():
+            snapshots.append(conn.server_sender.cc.congestion_window())
+            conn.server_write(50_000)
+            snapshots.append(conn.server_sender.cc.congestion_window())
+
+        conn.connect(lambda: (conn.server_write(200_000),
+                              loop.call_later(5.0, phase_two)))
+        loop.run(until=20.0)
+        assert snapshots[1] >= snapshots[0]

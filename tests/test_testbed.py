@@ -1,0 +1,80 @@
+"""Testbed harness: caching, serialisation, sweeps."""
+
+import json
+
+import pytest
+
+from repro.testbed.harness import RecordingSummary, Testbed
+
+
+class TestCaching:
+    def test_memoised_identity(self, tmp_path):
+        testbed = Testbed(runs=2, cache_dir=str(tmp_path))
+        a = testbed.recording("gov.uk", "DSL", "TCP")
+        b = testbed.recording("gov.uk", "DSL", "TCP")
+        assert a is b
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        first = Testbed(runs=2, cache_dir=str(tmp_path))
+        original = first.recording("gov.uk", "DSL", "TCP")
+        # A fresh instance must load from disk, not re-simulate.
+        second = Testbed(runs=2, cache_dir=str(tmp_path))
+        loaded = second.recording("gov.uk", "DSL", "TCP")
+        assert loaded.selected_metrics == original.selected_metrics
+        assert loaded.selected_curve == original.selected_curve
+
+    def test_cache_key_includes_runs(self, tmp_path):
+        a = Testbed(runs=2, cache_dir=str(tmp_path))
+        b = Testbed(runs=3, cache_dir=str(tmp_path))
+        path_a = a._cache_path("gov.uk", "DSL", "TCP")
+        path_b = b._cache_path("gov.uk", "DSL", "TCP")
+        assert path_a != path_b
+
+    def test_corrupt_cache_ignored(self, tmp_path):
+        testbed = Testbed(runs=2, cache_dir=str(tmp_path))
+        path = testbed._cache_path("gov.uk", "DSL", "TCP")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        recording = testbed.recording("gov.uk", "DSL", "TCP")
+        assert recording.selected_metrics["PLT"] > 0
+
+    def test_json_round_trip(self, small_testbed):
+        summary = small_testbed.recording("gov.uk", "DSL", "TCP")
+        restored = RecordingSummary.from_json(
+            json.loads(json.dumps(summary.to_json())))
+        assert restored.selected_metrics == summary.selected_metrics
+        assert restored.condition_key == summary.condition_key
+
+
+class TestSweep:
+    def test_sweep_covers_grid(self, small_testbed):
+        out = small_testbed.sweep(sites=["gov.uk"], networks=["DSL"],
+                                  stacks=["TCP", "QUIC"])
+        assert len(out) == 2
+        assert {r.stack for r in out} == {"TCP", "QUIC"}
+
+    def test_index_contains_swept(self, small_testbed):
+        small_testbed.recording("gov.uk", "DSL", "TCP")
+        assert ("gov.uk", "DSL", "TCP") in small_testbed.index()
+
+    def test_invalid_runs(self, tmp_path):
+        with pytest.raises(ValueError):
+            Testbed(runs=0, cache_dir=str(tmp_path))
+
+
+class TestSummaryProperties:
+    def test_properties(self, small_testbed):
+        rec = small_testbed.recording("gov.uk", "MSS", "TCP")
+        assert rec.video_duration >= rec.selected_metrics["LVC"]
+        assert rec.fvc == rec.selected_metrics["FVC"]
+        assert rec.si == rec.selected_metrics["SI"]
+        assert len(rec.run_metrics) == rec.runs
+        assert rec.mean_metric("PLT") > 0
+        assert 0.0 <= rec.completed_fraction <= 1.0
+        curve = rec.curve()
+        assert curve.final_value() > 0
+
+    def test_lossy_network_has_retransmissions(self, small_testbed):
+        rec = small_testbed.recording("gov.uk", "MSS", "TCP")
+        assert rec.mean_retransmissions > 0
+        assert rec.mean_segments_sent > 0

@@ -1,0 +1,126 @@
+"""Trace-driven link emulation (Mahimahi mm-link traces)."""
+
+import pytest
+
+from repro.netem.engine import EventLoop
+from repro.netem.packet import Packet
+from repro.netem.trace import (
+    OPPORTUNITY_BYTES,
+    TraceLink,
+    cellular_like_trace,
+    constant_rate_trace,
+    parse_trace,
+)
+
+
+class TestParse:
+    def test_basic(self):
+        assert parse_trace("1\n2\n5\n") == [1, 2, 5]
+
+    def test_comments_and_blanks(self):
+        assert parse_trace("# header\n1\n\n2  # inline\n") == [1, 2]
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            parse_trace("5\n3\n")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_trace("abc\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_trace("# nothing\n")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            parse_trace("-1\n")
+
+
+class TestSynthesis:
+    def test_constant_rate_mean(self):
+        trace = constant_rate_trace(12.0, duration_ms=1000)
+        rate = len(trace) * OPPORTUNITY_BYTES / 1.0
+        assert rate == pytest.approx(12e6 / 8, rel=0.02)
+
+    def test_cellular_trace_varies(self):
+        trace = cellular_like_trace(10.0, duration_ms=2000, seed=1)
+        gaps = [b - a for a, b in zip(trace, trace[1:])]
+        assert len(set(gaps)) > 3  # not constant
+
+    def test_cellular_deterministic(self):
+        assert cellular_like_trace(5.0, seed=2) == \
+            cellular_like_trace(5.0, seed=2)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            constant_rate_trace(0.0)
+        with pytest.raises(ValueError):
+            cellular_like_trace(5.0, burstiness=1.5)
+
+
+class TestTraceLink:
+    def _run(self, trace, packets, queue_bytes=240_000, until=10.0):
+        loop = EventLoop()
+        delivered = []
+        link = TraceLink(loop, trace, lambda p: delivered.append(
+            (loop.now, p)), queue_bytes=queue_bytes)
+        for packet in packets:
+            link.send(packet)
+        loop.run(until=until)
+        return loop, link, delivered
+
+    def test_delivery_follows_trace(self):
+        trace = [10, 20, 30]  # one packet every 10 ms
+        packets = [Packet(size=1500, payload=i) for i in range(3)]
+        _, _, delivered = self._run(trace, packets)
+        times = [t for t, _ in delivered]
+        assert times == pytest.approx([0.010, 0.020, 0.030])
+
+    def test_trace_loops(self):
+        trace = [10]  # 1500 B every 10 ms, forever
+        packets = [Packet(size=1500, payload=i) for i in range(5)]
+        _, _, delivered = self._run(trace, packets)
+        times = [t for t, _ in delivered]
+        assert times == pytest.approx([0.01, 0.02, 0.03, 0.04, 0.05])
+
+    def test_small_packets_share_opportunity(self):
+        trace = [10]
+        packets = [Packet(size=500, payload=i) for i in range(3)]
+        _, _, delivered = self._run(trace, packets)
+        times = [t for t, _ in delivered]
+        # All three fit in the first 1500-byte opportunity.
+        assert times == pytest.approx([0.01, 0.01, 0.01])
+
+    def test_droptail(self):
+        trace = [1000]  # very slow link
+        packets = [Packet(size=1500, payload=i) for i in range(10)]
+        loop, link, delivered = self._run(trace, packets,
+                                          queue_bytes=4500, until=0.5)
+        assert link.dropped_packets == 7
+
+    def test_mean_rate(self):
+        trace = constant_rate_trace(8.0, duration_ms=1000)
+        loop = EventLoop()
+        link = TraceLink(loop, trace, lambda p: None)
+        assert link.mean_rate_bytes_per_s() == pytest.approx(1e6, rel=0.02)
+
+    def test_idle_then_burst_skips_missed_opportunities(self):
+        trace = [10, 20, 30, 40]
+        loop = EventLoop()
+        delivered = []
+        link = TraceLink(loop, trace, lambda p: delivered.append(loop.now))
+        # Nothing queued until t = 0.035.
+        loop.call_at(0.035, lambda: link.send(
+            Packet(size=1500, payload="late")))
+        loop.run(until=1.0)
+        assert delivered == pytest.approx([0.040])
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            TraceLink(loop, [], lambda p: None)
+        with pytest.raises(ValueError):
+            TraceLink(loop, [10], lambda p: None, queue_bytes=0)
+        with pytest.raises(ValueError):
+            TraceLink(loop, [10], lambda p: None, loss_rate=1.0)

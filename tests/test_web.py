@@ -1,0 +1,190 @@
+"""Website model and the 36-site corpus."""
+
+import pytest
+
+from repro.web.corpus import (
+    CORPUS_SITE_NAMES,
+    LAB_SITE_NAMES,
+    SITE_SPECS,
+    SiteSpec,
+    build_corpus,
+    build_site,
+)
+from repro.web.objects import WebObject
+from repro.web.website import Website
+
+
+def obj(object_id, parent=None, **kwargs):
+    defaults = dict(
+        url=f"https://x/{object_id}",
+        host="x",
+        size=1000,
+        resource_type="image" if parent is not None else "html",
+        parent_id=parent,
+    )
+    defaults.update(kwargs)
+    return WebObject(object_id=object_id, **defaults)
+
+
+class TestWebObject:
+    def test_root_must_be_html(self):
+        with pytest.raises(ValueError):
+            obj(0, resource_type="image")
+
+    def test_size_positive(self):
+        with pytest.raises(ValueError):
+            obj(0, size=0)
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            obj(1, parent=0, resource_type="video")
+
+    def test_discovery_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            obj(1, parent=0, discovery_fraction=1.5)
+
+    def test_is_root(self):
+        assert obj(0).is_root
+        assert not obj(1, parent=0).is_root
+
+
+class TestWebsite:
+    def test_requires_single_root(self):
+        with pytest.raises(ValueError):
+            Website("w", (obj(0), obj(1)))
+
+    def test_root_first(self):
+        with pytest.raises(ValueError):
+            Website("w", (obj(1, parent=0), obj(0)))
+
+    def test_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            Website("w", (obj(0), obj(1, parent=0), obj(1, parent=0)))
+
+    def test_parent_must_precede(self):
+        with pytest.raises(ValueError):
+            Website("w", (obj(0), obj(1, parent=2), obj(2, parent=0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Website("w", ())
+
+    def test_derived_properties(self):
+        site = Website("w", (
+            obj(0, size=5000),
+            obj(1, parent=0, size=2000, host="cdn"),
+            obj(2, parent=0, size=3000),
+        ))
+        assert site.total_bytes == 10_000
+        assert site.object_count == 3
+        assert site.hosts == ("x", "cdn")
+        assert site.host_count == 2
+        assert site.root.object_id == 0
+        assert [o.object_id for o in site.children_of(0)] == [1, 2]
+
+    def test_summary(self):
+        site = Website("w", (obj(0),))
+        assert site.summary() == {"name": "w", "objects": 1,
+                                  "bytes": 1000, "hosts": 1}
+
+
+class TestCorpus:
+    def test_thirty_six_sites(self):
+        assert len(CORPUS_SITE_NAMES) == 36
+        assert len(SITE_SPECS) == 36
+
+    def test_lab_sites_subset(self):
+        assert set(LAB_SITE_NAMES) <= set(CORPUS_SITE_NAMES)
+        assert len(LAB_SITE_NAMES) == 5
+
+    def test_named_sites_present(self):
+        for name in ("wikipedia.org", "spotify.com", "apache.org",
+                     "w3.org", "wordpress.com", "gravatar.com",
+                     "google.com", "nature.com", "etsy.com"):
+            assert name in CORPUS_SITE_NAMES
+
+    def test_deterministic(self):
+        a = build_site("etsy.com", seed=5)
+        b = build_site("etsy.com", seed=5)
+        assert a.summary() == b.summary()
+        assert [(o.size, o.host) for o in a.objects] == \
+            [(o.size, o.host) for o in b.objects]
+
+    def test_seed_changes_details(self):
+        a = build_site("etsy.com", seed=1)
+        b = build_site("etsy.com", seed=2)
+        assert [o.size for o in a.objects] != [o.size for o in b.objects]
+
+    def test_unknown_site(self):
+        with pytest.raises(KeyError):
+            build_site("nonexistent.example")
+
+    def test_counts_match_specs(self):
+        for spec in SITE_SPECS[:12]:
+            site = build_site(spec.name, seed=0)
+            assert site.object_count == spec.n_objects
+            assert site.host_count <= spec.n_hosts
+            # Page weight near the spec; tail loads (size-independent
+            # analytics bundles) may add up to ~1.4 MB on top.
+            assert site.total_bytes >= spec.total_kb * 1000 * 0.5
+            assert site.total_bytes <= spec.total_kb * 1000 * 2.5 + 1_400_000
+
+    def test_paper_traits_spotify(self):
+        """'The website is small, but the browser has to contact many
+        hosts.'"""
+        spotify = build_site("spotify.com", seed=0)
+        etsy = build_site("etsy.com", seed=0)
+        assert spotify.total_bytes < etsy.total_bytes / 2
+        assert spotify.host_count >= 10
+
+    def test_paper_traits_apache(self):
+        """'A relatively small website in terms of size and resources.'"""
+        apache = build_site("apache.org", seed=0)
+        assert apache.object_count <= 15
+        assert apache.host_count <= 3
+
+    def test_paper_traits_wordpress(self):
+        """'Few resources, small in size, and less than ten contacted
+        hosts.'"""
+        wp = build_site("wordpress.com", seed=0)
+        assert wp.object_count <= 20
+        assert wp.host_count < 10
+
+    def test_diversity_of_sizes(self):
+        corpus = build_corpus(seed=0)
+        sizes = sorted(site.total_bytes for site in corpus)
+        assert sizes[0] < 400_000
+        assert sizes[-1] > 4_000_000
+
+    def test_diversity_of_hosts(self):
+        corpus = build_corpus(seed=0)
+        hosts = sorted(site.host_count for site in corpus)
+        assert hosts[0] == 1
+        assert hosts[-1] >= 20
+
+    def test_every_site_has_render_weight(self):
+        for site in build_corpus(seed=0):
+            assert site.total_render_weight() > 0
+
+    def test_render_blocking_resources_exist(self):
+        site = build_site("nytimes.com", seed=0)
+        blocking = [o for o in site.objects if o.render_blocking]
+        assert blocking
+
+    def test_tail_loads_extend_plt_only(self):
+        """Some sites carry heavy invisible tail objects."""
+        corpus = build_corpus(seed=0)
+        tails = [
+            o
+            for site in corpus
+            for o in site.objects
+            if o.resource_type == "other" and o.render_weight == 0
+            and o.discovery_fraction >= 0.85 and o.size > 100_000
+        ]
+        assert tails
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SiteSpec("x", total_kb=10, n_objects=0, n_hosts=1, html_kb=5)
+        with pytest.raises(ValueError):
+            SiteSpec("x", total_kb=10, n_objects=2, n_hosts=5, html_kb=5)

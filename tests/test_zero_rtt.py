@@ -1,0 +1,71 @@
+"""The 0-RTT future-work variant (Section 3 discussion)."""
+
+import pytest
+
+from repro.browser.engine import load_page
+from repro.netem.engine import EventLoop
+from repro.netem.path import NetworkPath
+from repro.netem.profiles import LTE
+from repro.transport.config import QUIC, QUIC_0RTT, STACKS, stack_by_name
+from repro.transport.quic import QuicConnection
+from repro.web.corpus import build_site
+
+
+class TestConfig:
+    def test_not_in_table1(self):
+        assert all(not s.zero_rtt for s in STACKS)
+
+    def test_lookup_by_name(self):
+        assert stack_by_name("QUIC-0RTT") is QUIC_0RTT
+
+    def test_handshake_rtts(self):
+        assert QUIC_0RTT.handshake_rtts == 0
+        assert QUIC.handshake_rtts == 1
+
+
+class TestZeroRttConnection:
+    def test_established_immediately(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, LTE, seed=0)
+        conn = QuicConnection(path, QUIC_0RTT, lambda *a: None,
+                              lambda *a: None)
+        established = {}
+        conn.connect(lambda: established.setdefault("t", loop.now))
+        assert established["t"] == 0.0
+
+    def test_request_served_half_rtt_earlier(self):
+        """The response starts one RTT earlier than with 1-RTT QUIC."""
+        def first_byte(stack):
+            loop = EventLoop()
+            path = NetworkPath(loop, LTE, seed=0)
+            seen = {}
+
+            def on_client(stream_id, delivered, metas, fin):
+                seen.setdefault("t", loop.now)
+
+            conn = QuicConnection(path, stack, on_client, lambda *a: None)
+
+            def go():
+                sid = conn.open_stream()
+                conn.client_stream_write(sid, 300, fin=True)
+                conn.server_stream_write(sid, 10_000, fin=True)
+
+            conn.connect(go)
+            loop.run(until=10.0)
+            return seen["t"]
+
+        gain = first_byte(QUIC) - first_byte(QUIC_0RTT)
+        assert gain == pytest.approx(LTE.min_rtt_s, rel=0.35)
+
+    def test_page_load_faster(self):
+        site = build_site("spotify.com", seed=0)  # many handshakes
+        one_rtt = load_page(site, LTE, QUIC, seed=2)
+        zero_rtt = load_page(site, LTE, QUIC_0RTT, seed=2)
+        assert zero_rtt.metrics.fvc < one_rtt.metrics.fvc
+        assert zero_rtt.metrics.si < one_rtt.metrics.si
+
+    def test_delivery_still_reliable(self):
+        site = build_site("gov.uk", seed=0)
+        result = load_page(site, LTE, QUIC_0RTT, seed=5)
+        assert result.completed
+        assert result.objects_loaded == result.objects_total
