@@ -1,0 +1,56 @@
+"""E-C1 — Campaign orchestrator throughput: cold vs warm cache.
+
+Benchmarks sweep throughput (conditions/second) for a small grid driven
+through the campaign orchestrator: a cold run pays for every packet-level
+simulation, a warm run must be dominated by cache/manifest lookups.
+Deliberately small and fast — it guards the orchestrator's bookkeeping
+overhead, not the simulator.
+"""
+
+import time
+
+from repro.testbed.campaign import Campaign, CampaignSpec
+
+from benchmarks.conftest import bench_runs, emit
+
+#: A small grid: 2 sites x 2 networks x 2 stacks x 1 seed = 8 conditions.
+GRID = dict(sites=["gov.uk", "apache.org"], networks=["DSL", "LTE"],
+            stacks=["TCP", "QUIC"], seeds=[3])
+
+
+def _run(tmp_path, name):
+    spec = CampaignSpec(runs=bench_runs(), name=name, **GRID)
+    campaign = Campaign(spec, cache_dir=tmp_path / "cache")
+    start = time.perf_counter()
+    result = campaign.run(processes=2)
+    return result, time.perf_counter() - start
+
+
+def test_campaign_cold_vs_warm(tmp_path):
+    cold, cold_s = _run(tmp_path, "bench-cold")
+    warm, warm_s = _run(tmp_path, "bench-cold")  # same spec: pure resume
+    n = len(cold.results)
+    assert cold.ok and warm.ok
+    assert cold.counts.get("simulated") == n
+    assert warm.counts.get("resumed") == n
+    assert warm_s < cold_s
+
+    lines = [
+        "campaign throughput (8 conditions, "
+        f"{bench_runs()} runs each, 2 workers):",
+        f"  cold cache: {cold_s:6.2f}s  ({n / cold_s:7.1f} conditions/s)",
+        f"  warm cache: {warm_s:6.2f}s  ({n / warm_s:7.1f} conditions/s)",
+        f"  warm speedup: {cold_s / warm_s:.0f}x",
+    ]
+    emit("campaign_throughput", "\n".join(lines))
+
+
+def test_campaign_warm_resume_rate(tmp_path, benchmark):
+    spec = CampaignSpec(runs=bench_runs(), name="bench-warm", **GRID)
+    Campaign(spec, cache_dir=tmp_path / "cache").run(processes=2)
+
+    def resume():
+        return Campaign(spec, cache_dir=tmp_path / "cache").run(processes=1)
+
+    result = benchmark(resume)
+    assert result.counts.get("resumed") == len(result.results)

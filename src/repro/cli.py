@@ -5,9 +5,15 @@ Commands
 tables            print Table 1 and Table 2
 load SITE         load one corpus site over every network and stack
 sweep             record the named-site grid (populates the disk cache)
+campaign          run a declarative, resumable campaign over a process pool
 study             run a reduced campaign and print Table 3 + Figures 4/5
 sites             list the 36 corpus sites with their characteristics
 export SITE PATH  write a corpus site as HAR-flavoured JSON
+
+``campaign`` is the scale-out entry point: arbitrary axes (sites,
+networks incl. ``--loss-sweep`` derived profiles, stacks, seeds), live
+progress, a worker failure policy, and exact resume — re-running the
+same spec skips every already-recorded condition.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from statistics import fmean
 from typing import List, Optional
 
 from repro.browser.engine import load_page
-from repro.netem.profiles import NETWORKS
+from repro.netem.profiles import NETWORKS, network_by_name, with_loss
 from repro.report import (
     render_figure4,
     render_figure5,
@@ -29,6 +35,7 @@ from repro.report import (
 )
 from repro.study.design import StudyPlan
 from repro.study.simulate import run_campaign
+from repro.testbed.campaign import Campaign, CampaignSpec, ProgressPrinter
 from repro.testbed.harness import Testbed
 from repro.transport.config import STACKS
 from repro.web.corpus import CORPUS_SITE_NAMES, build_corpus, build_site
@@ -88,6 +95,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_loss_sweep(entries: List[str]) -> List[object]:
+    """Parse ``NETWORK:p1,p2,...`` entries into derived profiles."""
+    profiles = []
+    for entry in entries:
+        try:
+            network, rates = entry.split(":", 1)
+            parsed = [float(rate) for rate in rates.split(",") if rate]
+        except ValueError:
+            raise SystemExit(
+                f"bad --loss-sweep entry {entry!r}; "
+                f"expected NETWORK:p1,p2,... (e.g. DSL:0.01,0.02)")
+        try:
+            base = network_by_name(network)
+        except KeyError as error:
+            raise SystemExit(f"repro campaign: error: {error.args[0]}")
+        profiles.extend(with_loss(base, rate) for rate in parsed)
+    return profiles
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    try:
+        networks: List[object] = [network_by_name(name)
+                                  for name in (args.networks or [])]
+    except KeyError as error:
+        raise SystemExit(f"repro campaign: error: {error.args[0]}")
+    if not networks:
+        networks = list(NETWORKS)
+    if args.loss_sweep:
+        networks.extend(_parse_loss_sweep(args.loss_sweep))
+    spec = CampaignSpec(
+        sites=args.sites or DEFAULT_SITES,
+        networks=networks,
+        stacks=args.stacks,
+        seeds=args.seeds,
+        runs=args.runs,
+        timeout=args.timeout,
+        selection_metric=args.metric,
+        name=args.name,
+    )
+    campaign = Campaign(spec, cache_dir=args.cache_dir)
+    total = len(spec.conditions())
+    print(f"campaign {spec.name!r}: {total} conditions "
+          f"({len(spec.sites)} sites x {len(spec.networks)} networks x "
+          f"{len(spec.stacks)} stacks x {len(spec.seeds)} seeds), "
+          f"{args.runs} runs each")
+    print(f"manifest: {campaign.manifest_path}")
+    progress = None if args.quiet else ProgressPrinter()
+    result = campaign.run(
+        processes=args.processes,
+        failure_policy=args.failure_policy,
+        progress=progress,
+    )
+    counts = result.counts
+    rate = len(result.results) / result.duration_s if result.duration_s else 0
+    print(f"done in {result.duration_s:.1f}s ({rate:.1f} conditions/s): "
+          + ", ".join(f"{v} {k}" for k, v in sorted(counts.items())))
+    if not result.ok:
+        for failed in result.failed:
+            last = (failed.error or "").strip().splitlines()
+            print(f"FAILED {failed.condition.label}: "
+                  f"{last[-1] if last else 'unknown error'}")
+        return 1
+    mean_si = fmean(s.si for s in campaign.summaries())
+    print(f"mean SI over the grid: {mean_si:.2f} s")
+    return 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.analysis.ab import ab_vote_shares
     from repro.analysis.rating import rating_means
@@ -134,6 +208,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed", type=int, default=3)
     p_sweep.add_argument("--sites", nargs="*", default=None)
 
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run a declarative, resumable campaign over a process pool")
+    p_campaign.add_argument("--sites", nargs="*", default=None,
+                            help="corpus sites (default: the quick six)")
+    p_campaign.add_argument("--networks", nargs="*", default=None,
+                            help="Table 2 network names (default: all four)")
+    p_campaign.add_argument("--stacks", nargs="*", default=None,
+                            help="Table 1 stack names (default: all five)")
+    p_campaign.add_argument("--seeds", nargs="*", type=int, default=[0],
+                            help="simulation seeds (extra sweep axis)")
+    p_campaign.add_argument("--loss-sweep", nargs="*", default=None,
+                            metavar="NET:P1,P2",
+                            help="derived lossy profiles, e.g. DSL:0.01,0.05")
+    p_campaign.add_argument("--runs", type=int, default=5)
+    p_campaign.add_argument("--timeout", type=float, default=180.0)
+    p_campaign.add_argument("--metric", default="PLT",
+                            help="typical-run selection metric")
+    p_campaign.add_argument("--processes", type=int, default=None,
+                            help="worker processes (default: CPUs-1; "
+                                 "1 = inline)")
+    p_campaign.add_argument("--failure-policy", default="retry",
+                            choices=["retry", "skip", "abort"])
+    p_campaign.add_argument("--cache-dir", default=None,
+                            help="recording cache directory "
+                                 "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    p_campaign.add_argument("--name", default="cli-campaign",
+                            help="campaign name (labels the manifest dir)")
+    p_campaign.add_argument("--quiet", action="store_true",
+                            help="suppress per-condition progress lines")
+
     p_study = sub.add_parser("study", help="run a reduced campaign")
     p_study.add_argument("--runs", type=int, default=5)
     p_study.add_argument("--seed", type=int, default=3)
@@ -153,6 +258,7 @@ COMMANDS = {
     "sites": _cmd_sites,
     "load": _cmd_load,
     "sweep": _cmd_sweep,
+    "campaign": _cmd_campaign,
     "study": _cmd_study,
     "export": _cmd_export,
 }

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.netem.engine import EventLoop
 from repro.netem.packet import Packet
+from repro.util.units import MTU_BYTES
 
 DeliverCallback = Callable[[Packet], None]
 
@@ -49,15 +50,23 @@ class LinkConfig:
             raise ValueError("queue size must be positive")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError(f"loss rate must be in [0, 1), got {self.loss_rate}")
-        if self.queue_bytes is not None and self.queue_bytes <= 0:
-            raise ValueError("queue_bytes must be positive when given")
+        if self.queue_bytes is not None and self.queue_bytes < MTU_BYTES:
+            raise ValueError(
+                f"queue_bytes must hold at least one MTU "
+                f"({MTU_BYTES} bytes), got {self.queue_bytes}")
 
     @property
     def queue_capacity_bytes(self) -> int:
-        """Droptail capacity: fixed bytes, or rate × queue duration."""
+        """Droptail capacity: fixed bytes, or rate × queue duration.
+
+        An explicitly pinned ``queue_bytes`` is honoured exactly (it is
+        validated to hold at least one MTU at construction), so
+        tiny-buffer scenarios are configurable; only the derived
+        rate × duration value is floored to one full packet.
+        """
         if self.queue_bytes is not None:
-            return max(1600, self.queue_bytes)
-        return max(1600, int(self.rate_bytes_per_s * self.queue_ms / 1e3))
+            return self.queue_bytes
+        return max(MTU_BYTES, int(self.rate_bytes_per_s * self.queue_ms / 1e3))
 
 
 @dataclass

@@ -16,8 +16,10 @@ import numpy as np
 from repro.netem.engine import EventLoop
 from repro.netem.link import EmulatedLink, LinkConfig
 from repro.netem.packet import Packet
-from repro.netem.profiles import NetworkProfile
+from repro.netem.profiles import NetworkProfile, TraceNetworkProfile
+from repro.netem.trace import TraceLink
 from repro.util.rng import spawn_rng
+from repro.util.units import Mbps
 
 Endpoint = Callable[[Packet], None]
 
@@ -27,6 +29,11 @@ class NetworkPath:
 
     Endpoints register per flow id; the path routes delivered packets to
     the registered receiver for that flow and direction.
+
+    A :class:`TraceNetworkProfile` gets a trace-driven downlink
+    (Mahimahi ``mm-link`` semantics) instead of a constant-rate one; the
+    uplink and all queue/loss parameters still come from the profile's
+    link configs.
     """
 
     def __init__(
@@ -42,10 +49,20 @@ class NetworkPath:
             loop, up_cfg, self._deliver_to_server,
             rng=spawn_rng(seed, "uplink"), name=f"{profile.name}-up",
         )
-        self.downlink = EmulatedLink(
-            loop, down_cfg, self._deliver_to_client,
-            rng=spawn_rng(seed, "downlink"), name=f"{profile.name}-down",
-        )
+        if isinstance(profile, TraceNetworkProfile):
+            self.downlink = TraceLink(
+                loop, profile.downlink_trace_ms, self._deliver_to_client,
+                propagation_delay_s=down_cfg.propagation_delay_s,
+                queue_bytes=down_cfg.queue_capacity_bytes,
+                loss_rate=down_cfg.loss_rate,
+                rng=spawn_rng(seed, "downlink"),
+                name=f"{profile.name}-down",
+            )
+        else:
+            self.downlink = EmulatedLink(
+                loop, down_cfg, self._deliver_to_client,
+                rng=spawn_rng(seed, "downlink"), name=f"{profile.name}-down",
+            )
         self._client_receivers: Dict[int, Endpoint] = {}
         self._server_receivers: Dict[int, Endpoint] = {}
 
@@ -98,5 +115,9 @@ class NetworkPath:
         return self.profile.min_rtt_s
 
     def bdp_bytes(self) -> int:
-        """Bandwidth-delay product of the downlink (used for buffer tuning)."""
-        return int(self.downlink.config.rate_bytes_per_s * self.profile.min_rtt_s)
+        """Bandwidth-delay product of the downlink (used for buffer tuning).
+
+        Uses the profile's nominal downlink rate, which for trace-driven
+        profiles is the trace's long-run mean.
+        """
+        return int(Mbps(self.profile.downlink_mbps) * self.profile.min_rtt_s)

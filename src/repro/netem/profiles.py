@@ -1,4 +1,4 @@
-"""Network profiles from Table 2 of the paper.
+"""Network profiles from Table 2 of the paper, plus derived profiles.
 
 ======= ========= ========== ========= ======
 Network Uplink    Downlink   min. RTT  Loss
@@ -12,15 +12,25 @@ MSS     1.89 Mbps 1.89 Mbps  760 ms    6.0 %
 Queue size is 200 ms except for DSL with 12 ms. DSL/LTE are the German
 median fixed/mobile accesses; DA2GC and MSS are the two in-flight WiFi
 networks from Rula et al. [17].
+
+Beyond the fixed Table 2 grid, campaigns can sweep *derived* profiles:
+:func:`vary` and :func:`with_loss` clone a base profile with overridden
+parameters (loss sweeps, RTT sweeps, buffer sweeps), and
+:func:`trace_profile` builds a :class:`TraceNetworkProfile` whose
+downlink replays a Mahimahi-style delivery trace instead of a constant
+rate. Derived profiles are plain values — the testbed cache keys on
+their full contents, not their names.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.netem.link import LinkConfig
-from repro.util.units import Mbps, ms
+from repro.netem.trace import OPPORTUNITY_BYTES
+from repro.util.units import MTU_BYTES, Mbps, ms
 
 
 @dataclass(frozen=True)
@@ -68,7 +78,13 @@ class NetworkProfile:
         buffer.
         """
         per_direction = 1.0 - (1.0 - self.loss_rate) ** 0.5
-        queue_bytes = int(Mbps(self.downlink_mbps) * self.queue_ms / 1e3)
+        # Derived rate x duration capacity, floored to one full packet:
+        # a low-rate or short-queue profile (e.g. a buffer sweep) must
+        # still be able to hold one MTU, and LinkConfig rejects pinned
+        # capacities below that.
+        queue_bytes = max(
+            MTU_BYTES,
+            int(Mbps(self.downlink_mbps) * self.queue_ms / 1e3))
         up = LinkConfig(
             rate_bytes_per_s=Mbps(self.uplink_mbps),
             propagation_delay_s=self.one_way_delay_s,
@@ -150,3 +166,92 @@ def network_by_name(name: str) -> NetworkProfile:
     except KeyError:
         known = ", ".join(sorted(_BY_NAME))
         raise KeyError(f"unknown network {name!r}; known: {known}") from None
+
+
+# -- derived profiles --------------------------------------------------------
+
+
+def vary(profile: NetworkProfile, name: Optional[str] = None,
+         **overrides: object) -> NetworkProfile:
+    """Clone ``profile`` with overridden fields (for sweep axes).
+
+    >>> vary(DSL, min_rtt_ms=100.0).min_rtt_ms
+    100.0
+    """
+    derived = dataclasses.replace(profile, **overrides)  # type: ignore[arg-type]
+    if name is None:
+        changes = "_".join(f"{k}{v:g}" if isinstance(v, float) else f"{k}{v}"
+                           for k, v in sorted(overrides.items()))
+        name = f"{profile.name}~{changes}" if changes else profile.name
+    return dataclasses.replace(derived, name=name)
+
+
+def with_loss(profile: NetworkProfile, loss_rate: float,
+              name: Optional[str] = None) -> NetworkProfile:
+    """Clone ``profile`` with a different end-to-end loss rate.
+
+    The workhorse of loss-sweep campaigns: ``[with_loss(DSL, p) for p in
+    (0.01, 0.02, 0.05)]`` is a valid network axis.
+    """
+    if name is None:
+        name = f"{profile.name}-loss{loss_rate * 100:g}"
+    return vary(profile, name=name, loss_rate=loss_rate)
+
+
+@dataclass(frozen=True)
+class TraceNetworkProfile(NetworkProfile):
+    """A profile whose downlink replays a Mahimahi delivery trace.
+
+    ``downlink_mbps`` holds the trace's long-run mean rate (used for BDP
+    buffer tuning); the actual packet-level downlink is a
+    :class:`~repro.netem.trace.TraceLink` built by
+    :class:`~repro.netem.path.NetworkPath`. Construct via
+    :func:`trace_profile`, which derives the mean for you.
+    """
+
+    downlink_trace_ms: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.downlink_trace_ms:
+            raise ValueError("trace profile needs delivery opportunities")
+        if self.downlink_trace_ms[-1] <= 0:
+            raise ValueError("trace duration must be positive")
+        if any(b < a for a, b in zip(self.downlink_trace_ms,
+                                     self.downlink_trace_ms[1:])):
+            raise ValueError("trace timestamps must not decrease")
+
+
+def trace_profile(
+    name: str,
+    trace_ms: Sequence[int],
+    *,
+    min_rtt_ms: float = 50.0,
+    loss_rate: float = 0.0,
+    queue_ms: float = 200.0,
+    uplink_mbps: Optional[float] = None,
+    description: str = "",
+) -> TraceNetworkProfile:
+    """Build a trace-driven profile from Mahimahi-style timestamps.
+
+    The downlink's nominal rate is the trace's long-run mean (one
+    :data:`~repro.netem.trace.OPPORTUNITY_BYTES` delivery per
+    timestamp); the uplink defaults to the same rate as a constant-rate
+    link.
+    """
+    stamps = tuple(int(t) for t in trace_ms)
+    if not stamps or stamps[-1] <= 0:
+        raise ValueError("trace must contain delivery opportunities")
+    mean_bytes_per_s = len(stamps) * OPPORTUNITY_BYTES / (stamps[-1] / 1e3)
+    mean_mbps = mean_bytes_per_s * 8.0 / 1e6
+    return TraceNetworkProfile(
+        name=name,
+        uplink_mbps=uplink_mbps if uplink_mbps is not None else mean_mbps,
+        downlink_mbps=mean_mbps,
+        min_rtt_ms=min_rtt_ms,
+        loss_rate=loss_rate,
+        queue_ms=queue_ms,
+        description=description or f"trace-driven ({len(stamps)} opportunities"
+                                   f" over {stamps[-1]} ms)",
+        downlink_trace_ms=stamps,
+    )

@@ -1,12 +1,56 @@
-"""Testbed orchestration: condition sweeps with caching.
+"""Testbed orchestration: condition sweeps and campaigns with caching.
 
 Mirrors the paper's measurement campaign: every (website, network, stack)
 condition is recorded ``runs`` times, a typical run is selected, and the
 result is summarised for the user studies and analyses. Sweeps are cached
 on disk because the full 36 x 4 x 5 grid is tens of thousands of page
 loads.
+
+Three layers:
+
+* :class:`Testbed` — sequential sweeps with a content-addressed disk
+  cache (cache keys hash the *full* condition parameters, so changing
+  any parameter can never return a stale recording).
+* :func:`parallel_sweep` — the same grid over a process pool.
+* :class:`Campaign` / :class:`CampaignSpec` — declarative, resumable
+  campaigns over arbitrary axes (sites × networks × stacks × seeds,
+  including derived loss-sweep and trace-driven network profiles), with
+  per-condition completion manifests, live progress and a worker
+  failure policy.
 """
 
-from repro.testbed.harness import RecordingSummary, Testbed
+from repro.testbed.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignResult,
+    CampaignSpec,
+    Condition,
+    ConditionResult,
+    Progress,
+    ProgressPrinter,
+    run_campaign_spec,
+)
+from repro.testbed.harness import (
+    RecordingCache,
+    RecordingSummary,
+    Testbed,
+    condition_fingerprint,
+)
+from repro.testbed.parallel import parallel_sweep
 
-__all__ = ["Testbed", "RecordingSummary"]
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignSpec",
+    "Condition",
+    "ConditionResult",
+    "Progress",
+    "ProgressPrinter",
+    "RecordingCache",
+    "RecordingSummary",
+    "Testbed",
+    "condition_fingerprint",
+    "parallel_sweep",
+    "run_campaign_spec",
+]

@@ -1,0 +1,544 @@
+"""Declarative, resumable measurement campaigns.
+
+The paper's campaign is a fixed 36 × 4 × 5 grid; this module generalises
+it to an arbitrary axis product and makes running it at scale boring:
+
+* :class:`CampaignSpec` — a declarative description of the sweep:
+  sites × networks × stacks × seeds, each axis accepting names or
+  arbitrary profile/stack objects (loss sweeps via
+  :func:`~repro.netem.profiles.with_loss`, trace-driven profiles via
+  :func:`~repro.netem.profiles.trace_profile`, custom stacks, ...).
+* :class:`Condition` — one fully-parameterised cell of that product,
+  identified by a content-hash fingerprint (see
+  :func:`~repro.testbed.harness.condition_fingerprint`).
+* :class:`Campaign` — executes a spec over a work-queue process pool,
+  appending one line per finished condition to a ``manifest.jsonl``.
+  A killed campaign relaunched with the same spec resumes exactly where
+  it stopped: manifest- and cache-hits are never re-simulated. Worker
+  failures follow a policy (``retry`` / ``skip`` / ``abort``) instead of
+  killing the whole sweep, and every completed condition is reported to
+  a progress callback as it lands.
+
+Results are byte-identical to a sequential :meth:`Testbed.sweep` over
+the same parameters: both funnel through
+:func:`~repro.testbed.harness.produce_summary` and share the
+content-addressed disk cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.netem.profiles import NETWORKS, NetworkProfile
+from repro.testbed.harness import (
+    NetworkLike,
+    RecordingCache,
+    RecordingSummary,
+    StackLike,
+    condition_fingerprint,
+    condition_label,
+    default_cache_dir,
+    produce_summary,
+    resolve_network,
+    resolve_stack,
+)
+from repro.transport.config import STACKS, StackConfig
+from repro.web.corpus import CORPUS_SITE_NAMES
+
+#: Worker failure policies.
+FAILURE_POLICIES = ("retry", "skip", "abort")
+
+#: Condition statuses that count as successfully recorded.
+OK_STATUSES = ("simulated", "cached", "resumed")
+
+
+class CampaignError(RuntimeError):
+    """A condition failed under the ``abort`` failure policy."""
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One fully-parameterised cell of a campaign's axis product."""
+
+    website: str
+    profile: NetworkProfile
+    stack: StackConfig
+    seed: int
+    runs: int
+    corpus_seed: int
+    timeout: float
+    selection_metric: str
+
+    @property
+    def label(self) -> str:
+        """Filesystem-safe human-readable identifier."""
+        return condition_label(self.website, self.profile.name,
+                               self.stack.name, self.seed)
+
+    def fingerprint(self) -> str:
+        """Content hash over every output-determining parameter."""
+        return condition_fingerprint(
+            self.website, self.profile, self.stack,
+            corpus_seed=self.corpus_seed, seed=self.seed, runs=self.runs,
+            timeout=self.timeout, selection_metric=self.selection_metric,
+        )
+
+    def produce(self) -> RecordingSummary:
+        """Simulate this condition (no caching)."""
+        return produce_summary(
+            self.website, self.profile, self.stack,
+            corpus_seed=self.corpus_seed, seed=self.seed, runs=self.runs,
+            timeout=self.timeout, selection_metric=self.selection_metric,
+        )
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative description of a sweep: an arbitrary axis product.
+
+    ``networks`` and ``stacks`` accept Table 1/2 names or arbitrary
+    :class:`NetworkProfile` / :class:`StackConfig` objects; ``seeds``
+    adds a repetition axis beyond the paper grid. Defaults reproduce the
+    paper's 36 × 4 × 5 grid with one seed.
+    """
+
+    sites: Optional[Sequence[str]] = None
+    networks: Optional[Sequence[NetworkLike]] = None
+    stacks: Optional[Sequence[StackLike]] = None
+    seeds: Sequence[int] = (0,)
+    runs: int = 7
+    corpus_seed: int = 0
+    timeout: float = 180.0
+    selection_metric: str = "PLT"
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError("runs must be at least 1")
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+        self.sites = list(self.sites) if self.sites is not None \
+            else list(CORPUS_SITE_NAMES)
+        self.networks = [resolve_network(n) for n in self.networks] \
+            if self.networks is not None else list(NETWORKS)
+        self.stacks = [resolve_stack(s) for s in self.stacks] \
+            if self.stacks is not None else list(STACKS)
+        self.seeds = list(self.seeds)
+
+    def conditions(self) -> List[Condition]:
+        """The axis product, in deterministic sweep order."""
+        return [
+            Condition(
+                website=site, profile=profile, stack=stack, seed=seed,
+                runs=self.runs, corpus_seed=self.corpus_seed,
+                timeout=self.timeout,
+                selection_metric=self.selection_metric,
+            )
+            for site in self.sites
+            for profile in self.networks
+            for stack in self.stacks
+            for seed in self.seeds
+        ]
+
+    def fingerprint(self) -> str:
+        """Content hash of the whole grid (identifies a resumable run)."""
+        digest = hashlib.sha256()
+        for condition in self.conditions():
+            digest.update(condition.fingerprint().encode("ascii"))
+        return digest.hexdigest()[:16]
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-serialisable summary written next to the manifest."""
+        return {
+            "name": self.name,
+            "sites": list(self.sites),
+            "networks": [p.name for p in self.networks],
+            "stacks": [s.name for s in self.stacks],
+            "seeds": list(self.seeds),
+            "runs": self.runs,
+            "corpus_seed": self.corpus_seed,
+            "timeout": self.timeout,
+            "selection_metric": self.selection_metric,
+            "conditions": len(self.conditions()),
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class ConditionResult:
+    """Outcome of one condition within a campaign run."""
+
+    condition: Condition
+    status: str                  # simulated | cached | resumed | failed
+    attempts: int = 1
+    duration_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in OK_STATUSES
+
+
+@dataclass
+class Progress:
+    """One progress tick, delivered as each condition settles."""
+
+    done: int
+    total: int
+    result: ConditionResult
+    elapsed_s: float
+
+    @property
+    def eta_s(self) -> float:
+        """Crude remaining-time estimate from the mean pace so far."""
+        if self.done == 0:
+            return float("inf")
+        return self.elapsed_s / self.done * (self.total - self.done)
+
+
+ProgressCallback = Callable[[Progress], None]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (or aborted) campaign run produced."""
+
+    spec: CampaignSpec
+    results: List[ConditionResult]
+    manifest_path: Path
+    duration_s: float
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for result in self.results:
+            out[result.status] = out.get(result.status, 0) + 1
+        return out
+
+    @property
+    def failed(self) -> List[ConditionResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+# -- worker plumbing ---------------------------------------------------------
+
+_WORKER_CACHE: Optional[RecordingCache] = None
+
+
+def _init_worker(cache_dir: str) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = RecordingCache(cache_dir)
+
+
+def _run_condition(
+    payload: Tuple[int, Condition],
+) -> Tuple[int, Optional[str], float]:
+    """Record one condition into the shared cache (worker side).
+
+    Returns ``(index, error_traceback_or_None, duration_s)``; failures
+    are reported as data, not raised, so one bad condition cannot kill
+    the pool.
+    """
+    index, condition = payload
+    assert _WORKER_CACHE is not None
+    start = time.perf_counter()
+    try:
+        fingerprint = condition.fingerprint()
+        if _WORKER_CACHE.load(condition.label, fingerprint) is None:
+            summary = condition.produce()
+            _WORKER_CACHE.store(condition.label, fingerprint, summary)
+        return index, None, time.perf_counter() - start
+    except Exception:
+        return index, traceback.format_exc(), time.perf_counter() - start
+
+
+class Campaign:
+    """Executes a :class:`CampaignSpec` resumably over a process pool.
+
+    The campaign directory (derived from the spec's content fingerprint,
+    so "same spec" means "same directory") holds ``spec.json`` plus an
+    append-only ``manifest.jsonl`` with one line per settled condition.
+    On start the manifest and the shared recording cache are consulted
+    first; only genuinely missing conditions are simulated.
+    """
+
+    #: Not a pytest test class despite running campaigns.
+    __test__ = False
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        cache_dir: Optional[Union[str, Path]] = None,
+        campaign_dir: Optional[Union[str, Path]] = None,
+    ):
+        self.spec = spec
+        if cache_dir is None:
+            cache_dir = default_cache_dir()
+        self.cache = RecordingCache(cache_dir)
+        if campaign_dir is None:
+            safe_name = "".join(
+                c if c.isalnum() or c in "._-" else "-" for c in spec.name)
+            campaign_dir = Path(cache_dir) / "campaigns" / \
+                f"{safe_name[:40]}-{spec.fingerprint()}"
+        self.campaign_dir = Path(campaign_dir)
+        self.manifest_path = self.campaign_dir / "manifest.jsonl"
+
+    # -- manifest ------------------------------------------------------------
+
+    def _load_manifest(self) -> Dict[str, Dict[str, object]]:
+        """fingerprint → last manifest record (later lines win)."""
+        records: Dict[str, Dict[str, object]] = {}
+        if not self.manifest_path.exists():
+            return records
+        with open(self.manifest_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from a killed run
+                records[str(record.get("fingerprint"))] = record
+        return records
+
+    def _append_manifest(self, result: ConditionResult) -> None:
+        self.campaign_dir.mkdir(parents=True, exist_ok=True)
+        record = {
+            "fingerprint": result.condition.fingerprint(),
+            "label": result.condition.label,
+            "status": result.status,
+            "attempts": result.attempts,
+            "duration_s": round(result.duration_s, 4),
+            "error": result.error,
+            "at": time.time(),
+        }
+        with open(self.manifest_path, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+
+    def _write_spec(self) -> None:
+        self.campaign_dir.mkdir(parents=True, exist_ok=True)
+        spec_path = self.campaign_dir / "spec.json"
+        if not spec_path.exists():
+            spec_path.write_text(json.dumps(self.spec.describe(), indent=2))
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        processes: Optional[int] = None,
+        failure_policy: str = "retry",
+        max_retries: int = 2,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignResult:
+        """Record every condition, resuming any earlier partial run.
+
+        ``processes`` ≤ 1 executes inline (deterministic, debuggable);
+        ``None`` uses all-but-one CPU. ``failure_policy``:
+
+        * ``retry`` — re-queue a failed condition up to ``max_retries``
+          extra attempts, then record it as failed and continue;
+        * ``skip`` — record the failure and continue immediately;
+        * ``abort`` — raise :class:`CampaignError` on first failure
+          (already-finished conditions stay in the manifest).
+        """
+        if failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}")
+        started = time.perf_counter()
+        self._write_spec()
+        conditions = self.spec.conditions()
+        manifest = self._load_manifest()
+
+        settled: Dict[str, ConditionResult] = {}
+        todo: List[Condition] = []
+        for condition in conditions:
+            fingerprint = condition.fingerprint()
+            if fingerprint in settled:
+                continue  # duplicate axis entry: one recording serves both
+            # The manifest says what happened; the cache is the truth.
+            # A manifest "ok" whose recording was since pruned must be
+            # re-simulated, not reported as resumed.
+            recorded = self.cache.load(condition.label,
+                                       fingerprint) is not None
+            if not recorded:
+                todo.append(condition)
+                continue
+            record = manifest.get(fingerprint)
+            if record is not None and record.get("status") in OK_STATUSES:
+                settled[fingerprint] = ConditionResult(
+                    condition, "resumed",
+                    attempts=int(record.get("attempts", 1)))
+            else:
+                result = ConditionResult(condition, "cached")
+                settled[fingerprint] = result
+                self._append_manifest(result)
+
+        total = len({c.fingerprint() for c in conditions})
+        done = 0
+
+        def tick(result: ConditionResult) -> None:
+            if progress is not None:
+                progress(Progress(done, total, result,
+                                  time.perf_counter() - started))
+
+        for result in settled.values():
+            done += 1
+            tick(result)
+
+        attempts: Dict[str, int] = {}
+        pending = todo
+        while pending:
+            failures: List[Tuple[Condition, str, float]] = []
+            for condition, error, duration in self._execute(
+                    pending, processes):
+                fingerprint = condition.fingerprint()
+                attempts[fingerprint] = attempts.get(fingerprint, 0) + 1
+                if error is None:
+                    done += 1
+                    result = ConditionResult(
+                        condition, "simulated",
+                        attempts=attempts[fingerprint],
+                        duration_s=duration)
+                    settled[fingerprint] = result
+                    self._append_manifest(result)
+                    tick(result)
+                    continue
+                if failure_policy == "abort":
+                    result = ConditionResult(
+                        condition, "failed", attempts=attempts[fingerprint],
+                        duration_s=duration, error=error)
+                    self._append_manifest(result)
+                    raise CampaignError(
+                        f"condition {condition.label} failed:\n{error}")
+                failures.append((condition, error, duration))
+
+            retryable = failure_policy == "retry"
+            pending = []
+            for condition, error, duration in failures:
+                fingerprint = condition.fingerprint()
+                if retryable and attempts[fingerprint] <= max_retries:
+                    pending.append(condition)
+                    continue
+                result = ConditionResult(
+                    condition, "failed", attempts=attempts[fingerprint],
+                    duration_s=duration, error=error)
+                settled[fingerprint] = result
+                self._append_manifest(result)
+                done += 1
+                tick(result)
+
+        ordered, seen = [], set()
+        for condition in conditions:
+            fingerprint = condition.fingerprint()
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                ordered.append(settled[fingerprint])
+        return CampaignResult(
+            spec=self.spec, results=ordered,
+            manifest_path=self.manifest_path,
+            duration_s=time.perf_counter() - started,
+        )
+
+    def _execute(
+        self,
+        conditions: Sequence[Condition],
+        processes: Optional[int],
+    ) -> Iterator[Tuple[Condition, Optional[str], float]]:
+        """Yield ``(condition, error, duration)`` as conditions settle."""
+        if processes is None:
+            processes = max(1, (os.cpu_count() or 2) - 1)
+        processes = min(processes, len(conditions))
+
+        if processes <= 1:
+            _init_worker(str(self.cache.directory))
+            for index, condition in enumerate(conditions):
+                _, error, duration = _run_condition((index, condition))
+                yield condition, error, duration
+            return
+
+        payloads = list(enumerate(conditions))
+        with multiprocessing.get_context("spawn").Pool(
+            processes=processes,
+            initializer=_init_worker,
+            initargs=(str(self.cache.directory),),
+        ) as pool:
+            for index, error, duration in pool.imap_unordered(
+                    _run_condition, payloads):
+                yield conditions[index], error, duration
+
+    # -- results -------------------------------------------------------------
+
+    def summaries(self) -> List[RecordingSummary]:
+        """Load every condition's summary from the cache, in sweep order.
+
+        Raises if a condition has not been recorded yet — run the
+        campaign first.
+        """
+        out: List[RecordingSummary] = []
+        for condition in self.spec.conditions():
+            summary = self.cache.load(condition.label,
+                                      condition.fingerprint())
+            if summary is None:
+                raise KeyError(
+                    f"condition {condition.label} not recorded yet")
+            out.append(summary)
+        return out
+
+
+def run_campaign_spec(
+    spec: CampaignSpec,
+    cache_dir: Optional[Union[str, Path]] = None,
+    **run_kwargs: object,
+) -> CampaignResult:
+    """One-shot convenience: build a :class:`Campaign` and run it."""
+    return Campaign(spec, cache_dir=cache_dir).run(**run_kwargs)  # type: ignore[arg-type]
+
+
+class ProgressPrinter:
+    """Default progress reporter: one line per settled condition.
+
+    Suitable as the ``progress`` callback of :meth:`Campaign.run`; used
+    by the CLI and the examples.
+    """
+
+    def __init__(self, stream=None, every: int = 1):
+        self._stream = stream if stream is not None else sys.stdout
+        self._every = max(1, every)
+
+    def __call__(self, event: Progress) -> None:
+        if event.done % self._every and event.done != event.total:
+            return
+        result = event.result
+        eta = event.eta_s
+        eta_text = f"{eta:6.1f}s" if eta != float("inf") else "      ?"
+        line = (f"[{event.done:>4d}/{event.total}] "
+                f"{result.status:9s} {result.condition.label:48s} "
+                f"{result.duration_s:6.2f}s  eta {eta_text}")
+        if result.error is not None:
+            line += f"  ({result.error.strip().splitlines()[-1]})"
+        print(line, file=self._stream, flush=True)

@@ -1,22 +1,117 @@
-"""Condition sweep harness with a JSON disk cache."""
+"""Condition sweep harness with a content-addressed JSON disk cache.
+
+Cache-key scheme
+----------------
+Every recording is stored under a name ending in a *condition
+fingerprint*: a SHA-256 hash over the **full** set of parameters that
+determine the simulation output — the website and corpus seed, every
+field of the network profile and protocol stack (not just their names),
+the simulation seed, repetition count, timeout and selection metric,
+plus :data:`SIM_BEHAVIOUR_VERSION`.
+
+Changing *any* parameter therefore changes the key, so a stale cache
+entry can never be returned for a differently-parameterised condition —
+there is no hand-maintained list of key components to forget to update.
+The version constant only needs a bump when the simulator's *behaviour*
+changes for identical parameters.
+
+Writes go through a per-writer unique temporary file in the cache
+directory followed by an atomic :func:`os.replace`, so any number of
+concurrent processes may store the same (or different) conditions into
+one cache directory without clobbering each other.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
-from dataclasses import dataclass, field
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from statistics import fmean
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.browser.metrics import VisualCurve, VisualMetrics
+from repro.browser.metrics import VisualCurve
 from repro.browser.recorder import record_website
 from repro.netem.profiles import NETWORKS, NetworkProfile, network_by_name
 from repro.transport.config import STACKS, StackConfig, stack_by_name
 from repro.web.corpus import CORPUS_SITE_NAMES, build_site
 
-#: Bump when simulator behaviour changes to invalidate stale caches.
-CACHE_VERSION = 11
+#: Bump only when simulator behaviour changes for identical parameters.
+#: Parameter changes (timeout, loss rate, ...) are captured automatically
+#: by the content-hashed condition fingerprint.
+SIM_BEHAVIOUR_VERSION = 12
+
+#: A network axis value: a Table 2 name or any NetworkProfile instance.
+NetworkLike = Union[str, NetworkProfile]
+#: A stack axis value: a Table 1 name or any StackConfig instance.
+StackLike = Union[str, StackConfig]
+
+
+def resolve_network(network: NetworkLike) -> NetworkProfile:
+    """Accept a Table 2 name or a (possibly derived) profile object."""
+    if isinstance(network, NetworkProfile):
+        return network
+    return network_by_name(network)
+
+
+def resolve_stack(stack: StackLike) -> StackConfig:
+    """Accept a Table 1 name or a StackConfig object."""
+    if isinstance(stack, StackConfig):
+        return stack
+    return stack_by_name(stack)
+
+
+def condition_fingerprint(
+    website: str,
+    profile: NetworkProfile,
+    stack: StackConfig,
+    *,
+    corpus_seed: int,
+    seed: int,
+    runs: int,
+    timeout: float,
+    selection_metric: str,
+) -> str:
+    """Content hash identifying one condition's simulation output.
+
+    Hashes a canonical JSON encoding of every parameter the output
+    depends on, including all profile and stack fields.
+    """
+    params = {
+        "sim_behaviour": SIM_BEHAVIOUR_VERSION,
+        "website": website,
+        "corpus_seed": corpus_seed,
+        "network": dataclasses.asdict(profile),
+        "network_type": type(profile).__name__,
+        "stack": dataclasses.asdict(stack),
+        "seed": seed,
+        "runs": runs,
+        "timeout": timeout,
+        "selection_metric": selection_metric,
+    }
+    blob = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+def condition_label(website: str, network: str, stack: str,
+                    seed: Optional[int] = None) -> str:
+    """Human-readable, filesystem-safe prefix for cache/manifest entries."""
+    parts = [website, network, stack]
+    if seed is not None:
+        parts.append(f"s{seed}")
+    raw = "_".join(parts)
+    safe = []
+    for char in raw:
+        if char.isalnum() or char in "._-":
+            safe.append(char)
+        elif char == "+":
+            safe.append("p")
+        else:
+            safe.append("-")
+    return "".join(safe)
 
 
 @dataclass
@@ -98,8 +193,110 @@ class RecordingSummary:
         )
 
 
+def default_cache_dir() -> str:
+    """Cache directory used when none is given (env-overridable)."""
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+class RecordingCache:
+    """Content-addressed, multi-process-safe store of recording summaries.
+
+    Entries are named ``<label>_<fingerprint>.json``; the label is purely
+    for humans, the fingerprint (see :func:`condition_fingerprint`) is
+    the identity. Stores write a per-writer unique temp file and
+    atomically replace, so concurrent writers — even of the *same*
+    condition — never observe or produce a torn file.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]):
+        self.directory = Path(cache_dir)
+
+    def path_for(self, label: str, fingerprint: str) -> Path:
+        return self.directory / f"{label}_{fingerprint}.json"
+
+    def load(self, label: str, fingerprint: str) -> Optional[RecordingSummary]:
+        path = self.path_for(label, fingerprint)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as handle:
+                return RecordingSummary.from_json(json.load(handle))
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+            return None
+
+    def store(self, label: str, fingerprint: str,
+              summary: RecordingSummary) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(label, fingerprint)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=self.directory)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(summary.to_json(), handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+def produce_summary(
+    website: str,
+    profile: NetworkProfile,
+    stack: StackConfig,
+    *,
+    corpus_seed: int,
+    seed: int,
+    runs: int,
+    timeout: float,
+    selection_metric: str,
+) -> RecordingSummary:
+    """Simulate one condition and summarise it (no caching).
+
+    This is the single producer used by :class:`Testbed`, the parallel
+    sweep and the campaign orchestrator, so all of them emit
+    byte-identical summaries for identical parameters.
+    """
+    site = build_site(website, seed=corpus_seed)
+    recording = record_website(
+        site, profile, stack,
+        runs=runs, seed=seed,
+        selection_metric=selection_metric,
+        timeout=timeout,
+    )
+    selected = recording.selected
+    return RecordingSummary(
+        website=website,
+        network=profile.name,
+        stack=stack.name,
+        runs=runs,
+        selection_metric=selection_metric,
+        selected_metrics=selected.metrics.as_dict(),
+        selected_curve=selected.curve.points,
+        run_metrics=[r.metrics.as_dict() for r in recording.runs],
+        mean_retransmissions=fmean(
+            r.transport.retransmissions for r in recording.runs
+        ),
+        mean_segments_sent=fmean(
+            r.transport.packets_or_segments_sent for r in recording.runs
+        ),
+        completed_fraction=fmean(
+            1.0 if r.completed else 0.0 for r in recording.runs
+        ),
+    )
+
+
 class Testbed:
-    """Produces and caches recordings for study conditions."""
+    """Produces and caches recordings for study conditions.
+
+    ``network`` and ``stack`` arguments accept either the paper's Table
+    1/2 names or arbitrary :class:`NetworkProfile` / :class:`StackConfig`
+    objects (derived loss-sweep profiles, trace-driven profiles, custom
+    stacks), so sweeps are not limited to the paper grid.
+    """
 
     #: Not a pytest test class despite the name.
     __test__ = False
@@ -121,94 +318,78 @@ class Testbed:
         self.timeout = timeout
         self.selection_metric = selection_metric
         if cache_dir is None:
-            cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
-        self._cache_dir = Path(cache_dir)
-        self._memory: Dict[Tuple[str, str, str], RecordingSummary] = {}
+            cache_dir = default_cache_dir()
+        self.cache = RecordingCache(cache_dir)
+        self._memory: Dict[str, RecordingSummary] = {}
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.cache.directory
+
+    # Backwards-compatible alias (pre-campaign code accessed the private
+    # attribute directly).
+    @property
+    def _cache_dir(self) -> Path:
+        return self.cache.directory
 
     # -- cache plumbing ------------------------------------------------------
 
-    def _cache_path(self, website: str, network: str, stack: str) -> Path:
-        safe_stack = stack.replace("+", "p")
-        name = (f"v{CACHE_VERSION}_c{self.corpus_seed}_s{self.seed}_"
-                f"r{self.runs}_{self.selection_metric}_"
-                f"{website}_{network}_{safe_stack}.json")
-        return self._cache_dir / name
+    def _fingerprint(self, website: str, profile: NetworkProfile,
+                     stack: StackConfig) -> str:
+        return condition_fingerprint(
+            website, profile, stack,
+            corpus_seed=self.corpus_seed, seed=self.seed, runs=self.runs,
+            timeout=self.timeout, selection_metric=self.selection_metric,
+        )
 
-    def _load_cached(self, website: str, network: str,
-                     stack: str) -> Optional[RecordingSummary]:
-        path = self._cache_path(website, network, stack)
-        if not path.exists():
-            return None
-        try:
-            with open(path) as handle:
-                return RecordingSummary.from_json(json.load(handle))
-        except (json.JSONDecodeError, KeyError, ValueError, TypeError):
-            return None
+    def _label(self, website: str, network_name: str,
+               stack_name: str) -> str:
+        # The seed is part of the label so campaign workers and
+        # sequential testbeds name identical conditions identically
+        # (the fingerprint is the identity; the label must match too
+        # for the layers to share cache files).
+        return condition_label(website, network_name, stack_name,
+                               seed=self.seed)
 
-    def _store(self, summary: RecordingSummary) -> None:
-        self._cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self._cache_path(summary.website, summary.network, summary.stack)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as handle:
-            json.dump(summary.to_json(), handle)
-        os.replace(tmp, path)
+    def _cache_path(self, website: str, network: NetworkLike,
+                    stack: StackLike) -> Path:
+        profile = resolve_network(network)
+        stack_cfg = resolve_stack(stack)
+        return self.cache.path_for(
+            self._label(website, profile.name, stack_cfg.name),
+            self._fingerprint(website, profile, stack_cfg))
 
     # -- recording ----------------------------------------------------------------
 
-    def recording(self, website: str, network: str,
-                  stack: str) -> RecordingSummary:
+    def recording(self, website: str, network: NetworkLike,
+                  stack: StackLike) -> RecordingSummary:
         """Recording for one condition (memoised, then disk-cached)."""
-        key = (website, network, stack)
-        if key in self._memory:
-            return self._memory[key]
-        cached = self._load_cached(*key)
+        profile = resolve_network(network)
+        stack_cfg = resolve_stack(stack)
+        fingerprint = self._fingerprint(website, profile, stack_cfg)
+        if fingerprint in self._memory:
+            return self._memory[fingerprint]
+        label = self._label(website, profile.name, stack_cfg.name)
+        cached = self.cache.load(label, fingerprint)
         if cached is not None:
-            self._memory[key] = cached
+            self._memory[fingerprint] = cached
             return cached
-        summary = self._produce(website, network, stack)
-        self._store(summary)
-        self._memory[key] = summary
+        summary = produce_summary(
+            website, profile, stack_cfg,
+            corpus_seed=self.corpus_seed, seed=self.seed, runs=self.runs,
+            timeout=self.timeout, selection_metric=self.selection_metric,
+        )
+        self.cache.store(label, fingerprint, summary)
+        self._memory[fingerprint] = summary
         return summary
-
-    def _produce(self, website: str, network: str,
-                 stack: str) -> RecordingSummary:
-        site = build_site(website, seed=self.corpus_seed)
-        profile = network_by_name(network)
-        stack_cfg = stack_by_name(stack)
-        recording = record_website(
-            site, profile, stack_cfg,
-            runs=self.runs, seed=self.seed,
-            selection_metric=self.selection_metric,
-            timeout=self.timeout,
-        )
-        selected = recording.selected
-        return RecordingSummary(
-            website=website,
-            network=profile.name,
-            stack=stack_cfg.name,
-            runs=self.runs,
-            selection_metric=self.selection_metric,
-            selected_metrics=selected.metrics.as_dict(),
-            selected_curve=selected.curve.points,
-            run_metrics=[r.metrics.as_dict() for r in recording.runs],
-            mean_retransmissions=fmean(
-                r.transport.retransmissions for r in recording.runs
-            ),
-            mean_segments_sent=fmean(
-                r.transport.packets_or_segments_sent for r in recording.runs
-            ),
-            completed_fraction=fmean(
-                1.0 if r.completed else 0.0 for r in recording.runs
-            ),
-        )
 
     # -- sweeps ---------------------------------------------------------------------
 
     def sweep(
         self,
         sites: Optional[Sequence[str]] = None,
-        networks: Optional[Sequence[str]] = None,
-        stacks: Optional[Sequence[str]] = None,
+        networks: Optional[Sequence[NetworkLike]] = None,
+        stacks: Optional[Sequence[StackLike]] = None,
     ) -> List[RecordingSummary]:
         """Record every requested condition (defaults: full paper grid)."""
         sites = list(sites) if sites is not None else list(CORPUS_SITE_NAMES)
@@ -225,4 +406,4 @@ class Testbed:
 
     def index(self) -> Dict[Tuple[str, str, str], RecordingSummary]:
         """All conditions recorded so far, keyed by (site, network, stack)."""
-        return dict(self._memory)
+        return {s.condition_key: s for s in self._memory.values()}

@@ -1,78 +1,57 @@
-"""Parallel condition sweeps.
+"""Parallel condition sweeps (thin wrapper over the campaign engine).
 
 A full paper-scale sweep is 36 x 4 x 5 = 720 conditions x 31 runs of
 packet-level simulation; page loads are independent, so the sweep
-parallelises perfectly across processes. Workers write into the same
-disk cache the sequential Testbed reads, so a parallel warm-up composes
-with every other part of the library.
+parallelises perfectly across processes. :func:`parallel_sweep` builds a
+single-seed :class:`~repro.testbed.campaign.CampaignSpec` from a
+Testbed's parameters and runs it through the resumable campaign
+orchestrator, so a parallel warm-up composes with every other part of
+the library: workers write into the same content-addressed disk cache
+the sequential Testbed reads, an interrupted sweep resumes where it
+stopped, and results are byte-identical to :meth:`Testbed.sweep`.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.netem.profiles import NETWORKS
-from repro.testbed.harness import RecordingSummary, Testbed
-from repro.transport.config import STACKS
-from repro.web.corpus import CORPUS_SITE_NAMES
-
-_WORKER_TESTBED: Optional[Testbed] = None
-
-
-def _init_worker(corpus_seed: int, runs: int, seed: int,
-                 cache_dir: Optional[str], timeout: float,
-                 selection_metric: str) -> None:
-    global _WORKER_TESTBED
-    _WORKER_TESTBED = Testbed(
-        corpus_seed=corpus_seed, runs=runs, seed=seed,
-        cache_dir=cache_dir, timeout=timeout,
-        selection_metric=selection_metric,
-    )
-
-
-def _record_condition(condition: Tuple[str, str, str]) -> Tuple[str, str, str]:
-    assert _WORKER_TESTBED is not None
-    _WORKER_TESTBED.recording(*condition)
-    return condition
+from repro.testbed.campaign import Campaign, CampaignSpec, ProgressCallback
+from repro.testbed.harness import (
+    NetworkLike,
+    RecordingSummary,
+    StackLike,
+    Testbed,
+)
 
 
 def parallel_sweep(
     testbed: Testbed,
     sites: Optional[Sequence[str]] = None,
-    networks: Optional[Sequence[str]] = None,
-    stacks: Optional[Sequence[str]] = None,
+    networks: Optional[Sequence[NetworkLike]] = None,
+    stacks: Optional[Sequence[StackLike]] = None,
     processes: Optional[int] = None,
+    failure_policy: str = "retry",
+    progress: Optional[ProgressCallback] = None,
 ) -> List[RecordingSummary]:
     """Record the grid using a process pool, then return the summaries.
 
     Results are identical to :meth:`Testbed.sweep` (workers share the
-    disk cache); only wall-clock time differs.
+    disk cache); only wall-clock time differs. Worker failures follow
+    ``failure_policy`` (retry/skip/abort, see :meth:`Campaign.run`).
     """
-    sites = list(sites) if sites is not None else list(CORPUS_SITE_NAMES)
-    networks = list(networks) if networks is not None else \
-        [p.name for p in NETWORKS]
-    stacks = list(stacks) if stacks is not None else \
-        [s.name for s in STACKS]
-    conditions = [(site, network, stack)
-                  for site in sites
-                  for network in networks
-                  for stack in stacks]
-
-    if processes is None:
-        processes = max(1, (os.cpu_count() or 2) - 1)
-
-    if processes > 1 and len(conditions) > 1:
-        cache_dir = str(testbed._cache_dir)
-        with multiprocessing.get_context("spawn").Pool(
-            processes=min(processes, len(conditions)),
-            initializer=_init_worker,
-            initargs=(testbed.corpus_seed, testbed.runs, testbed.seed,
-                      cache_dir, testbed.timeout,
-                      testbed.selection_metric),
-        ) as pool:
-            pool.map(_record_condition, conditions)
+    spec = CampaignSpec(
+        sites=sites, networks=networks, stacks=stacks,
+        seeds=[testbed.seed], runs=testbed.runs,
+        corpus_seed=testbed.corpus_seed, timeout=testbed.timeout,
+        selection_metric=testbed.selection_metric,
+        name="parallel-sweep",
+    )
+    campaign = Campaign(spec, cache_dir=testbed.cache_dir)
+    campaign.run(processes=processes, failure_policy=failure_policy,
+                 progress=progress)
 
     # Collect through the caller's testbed (reads the now-warm cache).
-    return [testbed.recording(*condition) for condition in conditions]
+    return [
+        testbed.recording(c.website, c.profile, c.stack)
+        for c in spec.conditions()
+    ]

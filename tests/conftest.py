@@ -3,9 +3,14 @@
 The expensive fixture is a small Testbed (two little sites, two runs per
 condition) cached for the whole session so integration-ish tests do not
 re-simulate the same page loads.
+
+Tests marked ``slow`` (multi-process campaign integration) are opt-in:
+set ``REPRO_RUN_SLOW=1`` to run them; the tier-1 suite skips them.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -16,6 +21,16 @@ from repro.testbed.harness import Testbed
 
 #: Small sites that load quickly in tests.
 SMALL_SITES = ["gov.uk", "apache.org"]
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_RUN_SLOW") == "1":
+        return
+    skip_slow = pytest.mark.skip(
+        reason="slow campaign integration test; set REPRO_RUN_SLOW=1")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

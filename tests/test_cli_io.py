@@ -76,9 +76,43 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["load", "not-a-site.example"])
 
+    def test_campaign_runs_and_resumes(self, tmp_path, capsys):
+        argv = ["campaign", "--sites", "gov.uk", "--networks", "DSL",
+                "--stacks", "TCP", "--runs", "1", "--processes", "1",
+                "--cache-dir", str(tmp_path), "--name", "t"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 conditions" in out
+        assert "simulated" in out
+        # Re-running the same spec is a pure resume.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+
+    def test_campaign_loss_sweep_axis(self, tmp_path, capsys):
+        assert main(["campaign", "--sites", "gov.uk", "--networks", "DSL",
+                     "--loss-sweep", "DSL:0.02", "--stacks", "TCP",
+                     "--runs", "1", "--processes", "1", "--quiet",
+                     "--cache-dir", str(tmp_path), "--name", "t"]) == 0
+        out = capsys.readouterr().out
+        assert "2 conditions" in out
+
+    def test_campaign_bad_loss_sweep_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--loss-sweep", "DSL-nope", "--runs", "1",
+                  "--cache-dir", str(tmp_path)])
+
+    def test_campaign_unknown_network_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--networks", "BOGUS", "--runs", "1",
+                  "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(["campaign", "--loss-sweep", "BOGUS:0.01", "--runs", "1",
+                  "--cache-dir", str(tmp_path)])
+
     def test_parser_has_all_commands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("tables", "sites", "load", "sweep", "study",
-                        "export"):
+        for command in ("tables", "sites", "load", "sweep", "campaign",
+                        "study", "export"):
             assert command in text

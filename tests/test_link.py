@@ -140,6 +140,31 @@ class TestValidation:
             LinkConfig(rate_bytes_per_s=1, propagation_delay_s=0,
                        queue_ms=10, queue_bytes=0)
 
+    def test_sub_mtu_queue_bytes_rejected(self):
+        """An explicit buffer too small for one packet is a config error,
+        not something to silently enlarge."""
+        with pytest.raises(ValueError):
+            LinkConfig(rate_bytes_per_s=1e6, propagation_delay_s=0,
+                       queue_ms=10, queue_bytes=1499)
+
+    def test_explicit_tiny_queue_respected(self):
+        """Regression: pinned queue_bytes used to be clamped up to 1600,
+        making tiny-buffer scenarios impossible."""
+        config = LinkConfig(rate_bytes_per_s=1e6, propagation_delay_s=0,
+                            queue_ms=10, queue_bytes=1500)
+        assert config.queue_capacity_bytes == 1500
+
+    def test_tiny_queue_drops_second_packet(self):
+        loop = EventLoop()
+        delivered = []
+        link = make_link(loop, delivered, rate=1e6, delay=0.0,
+                         queue_ms=100, queue_bytes=1500)
+        assert link.send(Packet(size=1500, payload=0))
+        assert not link.send(Packet(size=1500, payload=1))
+        loop.run()
+        assert len(delivered) == 1
+        assert link.stats.packets_queue_dropped == 1
+
     def test_bad_packet_size(self):
         with pytest.raises(ValueError):
             Packet(size=0, payload="x")

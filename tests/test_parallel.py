@@ -37,3 +37,16 @@ class TestParallelSweep:
         fresh = Testbed(runs=2, seed=5, cache_dir=str(tmp_path))
         path = fresh._cache_path("gov.uk", "DSL", "TCP")
         assert path.exists()
+
+    def test_parallel_cache_bytes_match_sequential(self, tmp_path):
+        sequential = Testbed(runs=2, seed=5, cache_dir=str(tmp_path / "seq"))
+        sequential.sweep(sites=["gov.uk"], networks=["DSL"],
+                         stacks=["TCP", "QUIC"])
+        parallel_bed = Testbed(runs=2, seed=5, cache_dir=str(tmp_path / "par"))
+        parallel_sweep(parallel_bed, sites=["gov.uk"], networks=["DSL"],
+                       stacks=["TCP", "QUIC"], processes=2)
+        seq = sorted((tmp_path / "seq").glob("*.json"))
+        par = sorted((tmp_path / "par").glob("*.json"))
+        assert [p.name for p in seq] == [p.name for p in par]
+        for a, b in zip(seq, par):
+            assert a.read_bytes() == b.read_bytes()

@@ -81,6 +81,44 @@ class TestLinkConfigs:
         assert up.propagation_delay_s + down.propagation_delay_s == \
             pytest.approx(LTE.min_rtt_s)
 
+    def test_derived_profile_helpers(self):
+        from repro.netem.profiles import vary, with_loss
+        lossy = with_loss(DSL, 0.02)
+        assert lossy.loss_rate == 0.02
+        assert lossy.name == "DSL-loss2"
+        assert DSL.loss_rate == 0.0  # base untouched
+        slow = vary(LTE, min_rtt_ms=300.0)
+        assert slow.min_rtt_ms == 300.0
+        assert slow.uplink_mbps == LTE.uplink_mbps
+
+    def test_trace_profile_mean_rate_and_path(self):
+        from repro.netem.engine import EventLoop
+        from repro.netem.path import NetworkPath
+        from repro.netem.profiles import trace_profile
+        from repro.netem.trace import TraceLink, constant_rate_trace
+
+        profile = trace_profile("steady8", constant_rate_trace(8.0),
+                                min_rtt_ms=40.0)
+        assert profile.downlink_mbps == pytest.approx(8.0, rel=0.05)
+        path = NetworkPath(EventLoop(), profile, seed=1)
+        assert isinstance(path.downlink, TraceLink)
+        assert path.bdp_bytes() > 0
+
+    def test_derived_tiny_queue_floored_to_mtu(self):
+        """Regression: a low-rate/short-queue derived profile must get a
+        one-packet buffer, not crash LinkConfig validation."""
+        from repro.netem.profiles import vary
+        up, down = vary(DA2GC, queue_ms=12.0).link_configs()
+        assert down.queue_capacity_bytes == 1500
+        assert up.queue_capacity_bytes == 1500
+
+    def test_trace_profile_validation(self):
+        from repro.netem.profiles import trace_profile
+        with pytest.raises(ValueError):
+            trace_profile("empty", [])
+        with pytest.raises(ValueError):
+            trace_profile("decreasing", [5, 3])
+
     def test_table_row_formatting(self):
         row = DA2GC.table_row()
         assert row["Loss"] == "3.3 %"

@@ -30,6 +30,22 @@ class TestCaching:
         path_b = b._cache_path("gov.uk", "DSL", "TCP")
         assert path_a != path_b
 
+    def test_cache_key_includes_timeout(self, tmp_path):
+        """Regression: a changed timeout must never hit a stale entry."""
+        a = Testbed(runs=2, timeout=180.0, cache_dir=str(tmp_path))
+        b = Testbed(runs=2, timeout=1.0, cache_dir=str(tmp_path))
+        assert a._cache_path("gov.uk", "DSL", "TCP") != \
+            b._cache_path("gov.uk", "DSL", "TCP")
+
+    def test_cache_key_includes_profile_contents(self, tmp_path):
+        """Derived profiles with different parameters get their own keys,
+        even under the same name."""
+        from repro.netem.profiles import DSL, vary
+        bed = Testbed(runs=2, cache_dir=str(tmp_path))
+        lossy = vary(DSL, name="DSL", loss_rate=0.02)
+        assert bed._cache_path("gov.uk", DSL, "TCP") != \
+            bed._cache_path("gov.uk", lossy, "TCP")
+
     def test_corrupt_cache_ignored(self, tmp_path):
         testbed = Testbed(runs=2, cache_dir=str(tmp_path))
         path = testbed._cache_path("gov.uk", "DSL", "TCP")
@@ -44,6 +60,24 @@ class TestCaching:
             json.loads(json.dumps(summary.to_json())))
         assert restored.selected_metrics == summary.selected_metrics
         assert restored.condition_key == summary.condition_key
+
+
+class TestObjectAxes:
+    def test_recording_accepts_profile_and_stack_objects(self, tmp_path):
+        from repro.netem.profiles import network_by_name
+        from repro.transport.config import stack_by_name
+        bed = Testbed(runs=2, cache_dir=str(tmp_path))
+        by_name = bed.recording("gov.uk", "DSL", "TCP")
+        by_object = bed.recording("gov.uk", network_by_name("DSL"),
+                                  stack_by_name("TCP"))
+        assert by_object is by_name  # identical fingerprint, memoised
+
+    def test_derived_profile_recording(self, tmp_path):
+        from repro.netem.profiles import DSL, with_loss
+        bed = Testbed(runs=1, cache_dir=str(tmp_path))
+        rec = bed.recording("gov.uk", with_loss(DSL, 0.02), "TCP")
+        assert rec.network == "DSL-loss2"
+        assert rec.selected_metrics["PLT"] > 0
 
 
 class TestSweep:
