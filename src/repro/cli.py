@@ -146,6 +146,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         processes=args.processes,
         failure_policy=args.failure_policy,
         progress=progress,
+        batch_size=args.batch_size,
     )
     counts = result.counts
     rate = len(result.results) / result.duration_s if result.duration_s else 0
@@ -229,6 +230,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--processes", type=int, default=None,
                             help="worker processes (default: CPUs-1; "
                                  "1 = inline)")
+    p_campaign.add_argument("--batch-size", type=int, default=None,
+                            help="conditions per worker task (default: "
+                                 "a few batches per worker)")
     p_campaign.add_argument("--failure-policy", default="retry",
                             choices=["retry", "skip", "abort"])
     p_campaign.add_argument("--cache-dir", default=None,

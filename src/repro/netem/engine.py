@@ -3,6 +3,11 @@
 A minimal, fast event loop: callbacks scheduled at absolute simulated times,
 executed in time order (FIFO among equal timestamps). All higher layers —
 links, transports, the browser — run on one shared :class:`EventLoop`.
+
+Cancelled events (transports re-arm their RTO/PTO timer on every ACK,
+cancelling the previous one) are dropped lazily when popped; when they
+outnumber the live entries the heap is compacted in one pass, so the
+queue never degenerates into a graveyard of dead timers.
 """
 
 from __future__ import annotations
@@ -15,17 +20,26 @@ from typing import Callable, List, Optional, Tuple
 class ScheduledEvent:
     """Handle for a scheduled callback; allows cancellation."""
 
-    __slots__ = ("time", "callback", "cancelled", "seq")
+    __slots__ = ("time", "callback", "cancelled", "seq", "_loop")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(self, time: float, seq: int, callback: Callable[[], None],
+                 loop: Optional["EventLoop"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._loop = loop
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._loop is not None:
+                self._loop._note_cancelled()
+
+
+#: Compaction is considered once this many cancelled entries accumulate.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class EventLoop:
@@ -45,6 +59,13 @@ class EventLoop:
         self._heap: List[Tuple[float, int, ScheduledEvent]] = []
         self._counter = itertools.count()
         self._processed = 0
+        self._cancelled_in_heap = 0
+        #: Sequence number of the event currently (or most recently)
+        #: being executed. Together with :meth:`next_seq` this lets
+        #: components that fold work into fewer events (the link's lazy
+        #: queue-space release) resolve equal-timestamp ties exactly as
+        #: if they had scheduled a real event: FIFO by allocation order.
+        self.current_seq = -1
 
     @property
     def now(self) -> float:
@@ -56,17 +77,24 @@ class EventLoop:
         """Number of callbacks executed so far (diagnostics)."""
         return self._processed
 
+    @property
+    def pending_events(self) -> int:
+        """Live (non-cancelled) entries currently in the queue."""
+        return len(self._heap) - self._cancelled_in_heap
+
     def call_at(self, when: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule ``callback`` at absolute time ``when``.
 
         Scheduling in the past is a programming error and raises.
         """
-        if when < self._now - 1e-12:
-            raise ValueError(
-                f"cannot schedule event at {when:.9f}, now is {self._now:.9f}"
-            )
-        event = ScheduledEvent(max(when, self._now), next(self._counter), callback)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        if when < self._now:
+            if when < self._now - 1e-12:
+                raise ValueError(
+                    f"cannot schedule event at {when:.9f}, now is {self._now:.9f}"
+                )
+            when = self._now
+        event = ScheduledEvent(when, next(self._counter), callback, self)
+        heapq.heappush(self._heap, (when, event.seq, event))
         return event
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
@@ -75,21 +103,49 @@ class EventLoop:
             raise ValueError(f"delay must be non-negative, got {delay}")
         return self.call_at(self._now + delay, callback)
 
+    def next_seq(self) -> int:
+        """Allocate a sequence number without scheduling an event.
+
+        Gives lazily-evaluated work (see :attr:`current_seq`) a
+        tie-break position in the global FIFO order, identical to the
+        position a real event scheduled here would have had.
+        """
+        return next(self._counter)
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled; compact when graveyard dominates."""
+        self._cancelled_in_heap += 1
+        if (self._cancelled_in_heap >= _COMPACT_MIN_CANCELLED
+                and self._cancelled_in_heap * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (order is preserved:
+        entries compare by (time, seq) exactly as before)."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or None if idle."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0][0]
 
     def step(self) -> bool:
         """Run the next pending event. Returns False when the queue is empty."""
-        while self._heap:
-            _, _, event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            _, _, event = heapq.heappop(heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
+            self.current_seq = event.seq
             self._processed += 1
             event.callback()
             return True

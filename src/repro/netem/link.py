@@ -9,12 +9,22 @@ Models one direction of a Mahimahi-style shell:
 * i.i.d. random loss applied on entry (link-layer loss, e.g. the 3.3% /
   6.0% of the in-flight networks in Table 2);
 * fixed one-way propagation delay added after serialisation.
+
+Hot-path notes: the link schedules exactly **one** event per accepted
+packet (its arrival at the far end). Queue occupancy is tracked with a
+deque of ``(serialisation_done, size)`` records drained lazily whenever
+occupancy is read — a droptail decision at time *t* sees precisely the
+packets whose serialisation completes after *t*, the same occupancy the
+old explicit dequeue event produced. Loss draws are taken from the RNG
+in blocks; ``Generator.random(n)`` consumes the PCG64 stream exactly
+like *n* scalar draws, so loss patterns are unchanged for a given seed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +33,35 @@ from repro.netem.packet import Packet
 from repro.util.units import MTU_BYTES
 
 DeliverCallback = Callable[[Packet], None]
+
+#: Loss draws taken from the RNG per refill of a lossy link's buffer.
+_LOSS_DRAW_BLOCK = 256
+
+
+class LossDraws:
+    """Uniform draws taken from an RNG in blocks.
+
+    ``Generator.random(n)`` consumes the PCG64 stream exactly like ``n``
+    scalar draws, so per-seed loss patterns are unchanged; only the
+    per-draw Python overhead shrinks. Shared by the constant-rate and
+    trace-driven links.
+    """
+
+    __slots__ = ("_rng", "_draws", "_cursor")
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._draws = None
+        self._cursor = 0
+
+    def next(self) -> float:
+        draws = self._draws
+        cursor = self._cursor
+        if draws is None or cursor >= _LOSS_DRAW_BLOCK:
+            draws = self._draws = self._rng.random(_LOSS_DRAW_BLOCK)
+            cursor = 0
+        self._cursor = cursor + 1
+        return draws[cursor]
 
 
 @dataclass(frozen=True)
@@ -108,6 +147,13 @@ class EmulatedLink:
     ``deliver`` callback after queueing + serialisation + propagation.
     """
 
+    __slots__ = (
+        "_loop", "_config", "_deliver", "_rng", "_name", "stats",
+        "_capacity", "_rate", "_propagation", "_loss_rate",
+        "_queue_bytes", "_busy_until", "_pending_free", "_in_flight",
+        "_loss_draws",
+    )
+
     def __init__(
         self,
         loop: EventLoop,
@@ -121,9 +167,22 @@ class EmulatedLink:
         self._deliver = deliver
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._name = name
-        self._queue: list = []
+        # The computed capacity property is invariant; resolve it once
+        # instead of re-deriving it on every send.
+        self._capacity = config.queue_capacity_bytes
+        self._rate = config.rate_bytes_per_s
+        self._propagation = config.propagation_delay_s
+        self._loss_rate = config.loss_rate
         self._queue_bytes = 0
         self._busy_until = 0.0
+        #: (serialisation_done_time, virtual_event_seq, size) per queued
+        #: packet; drained lazily whenever occupancy is consulted.
+        self._pending_free: Deque[Tuple[float, int, int]] = deque()
+        #: Packets between acceptance and delivery, in arrival order
+        #: (arrival times are strictly increasing, so FIFO pop matches
+        #: the event order).
+        self._in_flight: Deque[Packet] = deque()
+        self._loss_draws = LossDraws(self._rng)
         self.stats = LinkStats()
 
     @property
@@ -137,7 +196,28 @@ class EmulatedLink:
     @property
     def queued_bytes(self) -> int:
         """Bytes currently waiting in the droptail queue."""
+        self._drain_freed(self._loop.now)
         return self._queue_bytes
+
+    def _drain_freed(self, now: float) -> None:
+        """Release queue space of packets whose serialisation finished.
+
+        Each entry carries the sequence number its dedicated dequeue
+        event would have had, so an entry maturing exactly *now* is
+        released if and only if that event would already have run —
+        transport self-clocking makes sends land exactly on
+        serialisation boundaries, and droptail decisions at those ties
+        must match the event-driven implementation bit for bit.
+        """
+        pending = self._pending_free
+        current = self._loop.current_seq
+        while pending:
+            done, seq, size = pending[0]
+            if done < now or (done == now and seq < current):
+                self._queue_bytes -= size
+                pending.popleft()
+            else:
+                break
 
     def send(self, packet: Packet) -> bool:
         """Offer ``packet`` to the link.
@@ -146,42 +226,43 @@ class EmulatedLink:
         lost in flight — random loss is applied immediately so queue space
         models the physical buffer, not lost frames).
         """
-        self.stats.packets_in += 1
+        stats = self.stats
+        stats.packets_in += 1
 
-        if self._config.loss_rate > 0.0:
-            if self._rng.random() < self._config.loss_rate:
-                self.stats.packets_random_lost += 1
-                return True  # accepted but lost on the wire
+        if self._loss_rate > 0.0 and self._loss_draws.next() < self._loss_rate:
+            stats.packets_random_lost += 1
+            return True  # accepted but lost on the wire
 
-        if self._queue_bytes + packet.size > self._config.queue_capacity_bytes:
-            self.stats.packets_queue_dropped += 1
+        now = self._loop.now
+        self._drain_freed(now)
+        size = packet.size
+        queued = self._queue_bytes + size
+        if queued > self._capacity:
+            stats.packets_queue_dropped += 1
             return False
 
-        arrival = self._loop.now
-        self._queue_bytes += packet.size
-        self.stats.max_queue_bytes = max(self.stats.max_queue_bytes, self._queue_bytes)
+        self._queue_bytes = queued
+        if queued > stats.max_queue_bytes:
+            stats.max_queue_bytes = queued
 
-        serialization = packet.size / self._config.rate_bytes_per_s
-        start = max(self._busy_until, arrival)
-        done = start + serialization
+        busy = self._busy_until
+        done = (busy if busy > now else now) + size / self._rate
         self._busy_until = done
 
-        queue_delay = done - arrival  # includes own serialisation time
+        queue_delay = done - now  # includes own serialisation time
         packet.queue_delay = queue_delay
+        stats.total_queue_delay += queue_delay
 
-        self._loop.call_at(done, lambda p=packet, a=arrival: self._dequeue(p, a))
+        # Allocated where the dequeue event used to be scheduled, so
+        # equal-timestamp drains keep the exact old FIFO position.
+        self._pending_free.append((done, self._loop.next_seq(), size))
+        self._in_flight.append(packet)
+        self._loop.call_at(done + self._propagation, self._arrive_next)
         return True
 
-    def _dequeue(self, packet: Packet, arrival: float) -> None:
-        """Packet finished serialising: free queue space, start propagating."""
-        self._queue_bytes -= packet.size
-        self.stats.total_queue_delay += self._loop.now - arrival
-        self._loop.call_later(
-            self._config.propagation_delay_s,
-            lambda p=packet: self._arrive(p),
-        )
-
-    def _arrive(self, packet: Packet) -> None:
+    def _arrive_next(self) -> None:
+        """Deliver the oldest in-flight packet (one event per packet)."""
+        packet = self._in_flight.popleft()
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += packet.size
         self._deliver(packet)

@@ -9,7 +9,7 @@ from typing import Any, Optional
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """An emulated network packet.
 

@@ -13,12 +13,14 @@ exercised by its own tests and example.
 
 from __future__ import annotations
 
+from collections import deque
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Deque, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.netem.engine import EventLoop
+from repro.netem.link import LossDraws
 from repro.netem.packet import Packet
 
 #: Bytes granted per delivery opportunity (Mahimahi uses the MTU).
@@ -133,13 +135,17 @@ class TraceLink:
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.name = name
 
-        self._queue: List[Packet] = []
+        self._queue: Deque[Packet] = deque()
         self._queue_bytes = 0
         self._cursor = 0          # index into the trace
         self._epoch = 0           # completed loops
         self.delivered_packets = 0
         self.dropped_packets = 0
         self._pump_scheduled = False
+        #: Packets between dequeue and delivery; arrival times are
+        #: non-decreasing so FIFO pop matches the event order.
+        self._in_flight: Deque[Packet] = deque()
+        self._loss_draws = LossDraws(self._rng)
 
     @property
     def queued_bytes(self) -> int:
@@ -152,7 +158,7 @@ class TraceLink:
 
     def send(self, packet: Packet) -> bool:
         """Offer a packet; False when the droptail queue is full."""
-        if self._loss_rate and self._rng.random() < self._loss_rate:
+        if self._loss_rate and self._loss_draws.next() < self._loss_rate:
             return True  # lost on the wire
         if self._queue_bytes + packet.size > self._queue_cap:
             self.dropped_packets += 1
@@ -188,11 +194,14 @@ class TraceLink:
         self._pump_scheduled = False
         budget = OPPORTUNITY_BYTES
         while self._queue and self._queue[0].size <= budget:
-            packet = self._queue.pop(0)
+            packet = self._queue.popleft()
             budget -= packet.size
             self._queue_bytes -= packet.size
             self.delivered_packets += 1
-            self._loop.call_later(self._propagation,
-                                  lambda p=packet: self._deliver(p))
+            self._in_flight.append(packet)
+            self._loop.call_later(self._propagation, self._deliver_next)
         self._advance_cursor()
         self._schedule_pump()
+
+    def _deliver_next(self) -> None:
+        self._deliver(self._in_flight.popleft())

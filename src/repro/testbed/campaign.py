@@ -250,6 +250,15 @@ _WORKER_CACHE: Optional[RecordingCache] = None
 def _init_worker(cache_dir: str) -> None:
     global _WORKER_CACHE
     _WORKER_CACHE = RecordingCache(cache_dir)
+    # Forked workers inherit the parent's transport flow-id counters,
+    # which feed handshake-retry jitter (they affect lossy-network
+    # results). Reset to the fresh-process baseline so a forked worker
+    # produces the same bytes a freshly spawned one would, regardless
+    # of what the parent simulated before.
+    from repro.transport.quic import QuicConnection
+    from repro.transport.tcp import TcpConnection
+    TcpConnection.reset_flow_ids()
+    QuicConnection.reset_flow_ids()
 
 
 def _run_condition(
@@ -272,6 +281,28 @@ def _run_condition(
         return index, None, time.perf_counter() - start
     except Exception:
         return index, traceback.format_exc(), time.perf_counter() - start
+
+
+def _run_condition_batch(
+    batch: List[Tuple[int, Condition]],
+) -> List[Tuple[int, Optional[str], float]]:
+    """Record a batch of conditions in one worker task.
+
+    Batching amortises task dispatch and lets one long-lived worker
+    process churn through many conditions without interpreter or import
+    startup in between; each condition still settles (and fails)
+    independently.
+    """
+    return [_run_condition(payload) for payload in batch]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where the platform supports it: workers start in
+    milliseconds instead of re-importing the interpreter + library
+    (spawn cost dominates small campaigns)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
 
 
 class Campaign:
@@ -353,6 +384,7 @@ class Campaign:
         failure_policy: str = "retry",
         max_retries: int = 2,
         progress: Optional[ProgressCallback] = None,
+        batch_size: Optional[int] = None,
     ) -> CampaignResult:
         """Record every condition, resuming any earlier partial run.
 
@@ -364,11 +396,20 @@ class Campaign:
         * ``skip`` — record the failure and continue immediately;
         * ``abort`` — raise :class:`CampaignError` on first failure
           (already-finished conditions stay in the manifest).
+
+        ``batch_size`` controls how many conditions one worker task
+        carries (``None`` picks a size spreading the queue over a few
+        batches per worker). Batches are consecutive slices of the
+        deterministic sweep order; results, manifest contents and the
+        returned ordering are identical for every batch size.
         """
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
                 f"failure_policy must be one of {FAILURE_POLICIES}, "
                 f"got {failure_policy!r}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(
+                f"batch_size must be at least 1, got {batch_size}")
         started = time.perf_counter()
         self._write_spec()
         conditions = self.spec.conditions()
@@ -415,7 +456,7 @@ class Campaign:
         while pending:
             failures: List[Tuple[Condition, str, float]] = []
             for condition, error, duration in self._execute(
-                    pending, processes):
+                    pending, processes, batch_size):
                 fingerprint = condition.fingerprint()
                 attempts[fingerprint] = attempts.get(fingerprint, 0) + 1
                 if error is None:
@@ -468,9 +509,12 @@ class Campaign:
         self,
         conditions: Sequence[Condition],
         processes: Optional[int],
+        batch_size: Optional[int] = None,
     ) -> Iterator[Tuple[Condition, Optional[str], float]]:
         """Yield ``(condition, error, duration)`` as conditions settle."""
         if processes is None:
+            # Workers beyond the core count only add scheduling overhead
+            # for CPU-bound simulation; an explicit request is honoured.
             processes = max(1, (os.cpu_count() or 2) - 1)
         processes = min(processes, len(conditions))
 
@@ -482,14 +526,22 @@ class Campaign:
             return
 
         payloads = list(enumerate(conditions))
-        with multiprocessing.get_context("spawn").Pool(
+        if batch_size is None:
+            # A few batches per worker balances load without paying a
+            # dispatch round-trip per condition.
+            batch_size = max(1, -(-len(payloads) // (processes * 4)))
+        batches = [payloads[i:i + batch_size]
+                   for i in range(0, len(payloads), batch_size)]
+        processes = min(processes, len(batches))
+        with _pool_context().Pool(
             processes=processes,
             initializer=_init_worker,
             initargs=(str(self.cache.directory),),
         ) as pool:
-            for index, error, duration in pool.imap_unordered(
-                    _run_condition, payloads):
-                yield conditions[index], error, duration
+            for results in pool.imap_unordered(_run_condition_batch,
+                                               batches):
+                for index, error, duration in results:
+                    yield conditions[index], error, duration
 
     # -- results -------------------------------------------------------------
 

@@ -32,12 +32,14 @@ def parallel_sweep(
     processes: Optional[int] = None,
     failure_policy: str = "retry",
     progress: Optional[ProgressCallback] = None,
+    batch_size: Optional[int] = None,
 ) -> List[RecordingSummary]:
     """Record the grid using a process pool, then return the summaries.
 
     Results are identical to :meth:`Testbed.sweep` (workers share the
     disk cache); only wall-clock time differs. Worker failures follow
-    ``failure_policy`` (retry/skip/abort, see :meth:`Campaign.run`).
+    ``failure_policy`` (retry/skip/abort) and ``batch_size`` tunes how
+    many conditions ride in one worker task (see :meth:`Campaign.run`).
     """
     spec = CampaignSpec(
         sites=sites, networks=networks, stacks=stacks,
@@ -48,7 +50,7 @@ def parallel_sweep(
     )
     campaign = Campaign(spec, cache_dir=testbed.cache_dir)
     campaign.run(processes=processes, failure_policy=failure_policy,
-                 progress=progress)
+                 progress=progress, batch_size=batch_size)
 
     # Collect through the caller's testbed (reads the now-warm cache).
     return [

@@ -41,7 +41,7 @@ DELAYED_ACK_TIMEOUT = 0.025
 MAX_PTO_BACKOFF = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamChunk:
     """A contiguous span of one stream carried inside a packet."""
 
@@ -51,7 +51,7 @@ class StreamChunk:
     fin: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class QuicPacketPayload:
     """Payload of an emulated packet belonging to a QUIC connection."""
 
@@ -67,7 +67,7 @@ class QuicPacketPayload:
     ctrl_total: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _SentPacket:
     pkt_num: int
     chunks: Tuple[StreamChunk, ...]
@@ -77,7 +77,7 @@ class _SentPacket:
     delivered_at_send: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _SendStream:
     """Sender-side state of one stream."""
 
@@ -94,7 +94,7 @@ class _SendStream:
         return bool(self.lost) or self.next_offset < self.write_len
 
 
-@dataclass
+@dataclass(slots=True)
 class _RecvStream:
     """Receiver-side reassembly state of one stream."""
 
@@ -103,6 +103,10 @@ class _RecvStream:
     delivered: int = 0
     fin_offset: Optional[int] = None
     fin_delivered: bool = False
+    # Cursor over the peer's (ascending-by-construction) meta offsets;
+    # replaces a per-delivery sort of the whole map.
+    meta_keys: List[int] = field(default_factory=list)
+    meta_cursor: int = 0
 
 
 @dataclass
@@ -150,9 +154,22 @@ class QuicEndpoint:
         self.recv_streams: Dict[int, _RecvStream] = {}
         self._stream_order: List[int] = []
         self._rr_cursor = 0
+        # Cached round-robin ring: top-priority streams with data, in
+        # open order. Rebuilt only when a stream's has_data()/priority
+        # membership may have changed.
+        self._ring: Optional[List[int]] = None
 
         self._next_pkt_num = 1
+        #: Outstanding packets keyed by packet number. Insertion order is
+        #: ascending (numbers are allocated monotonically and never
+        #: reinserted), which loss detection exploits to stop scanning at
+        #: ``largest_acked``.
         self._sent: Dict[int, _SentPacket] = {}
+        #: Packet numbers already processed from ACK frames. QUIC ACKs
+        #: re-report (nearly) the whole received history every time;
+        #: tracking what was handled keeps ACK processing proportional to
+        #: the *newly* acked packets only.
+        self._acked_pkts = RangeSet()
         self._largest_acked = 0
         self._bytes_in_flight = 0
         self._delivered_bytes = 0      # acked wire bytes (BBR rate samples)
@@ -180,6 +197,7 @@ class QuicEndpoint:
             raise ValueError(f"stream {stream_id} already open")
         self.send_streams[stream_id] = _SendStream(stream_id, priority)
         self._stream_order.append(stream_id)
+        self._ring = None
 
     def stream_write(self, stream_id: int, nbytes: int,
                      meta: Optional[object] = None, fin: bool = False) -> None:
@@ -197,6 +215,7 @@ class QuicEndpoint:
             stream.metas.setdefault(stream.write_len, []).append(meta)
         if fin:
             stream.fin_offset = stream.write_len
+        self._ring = None
         self.try_send()
 
     def send_metas(self, stream_id: int) -> Dict[int, List[object]]:
@@ -206,15 +225,30 @@ class QuicEndpoint:
 
     # -- packetisation -------------------------------------------------------
 
+    def _active_ring(self) -> List[int]:
+        """Top-priority streams with data, in open order (cached)."""
+        ring = self._ring
+        if ring is None:
+            top: Optional[int] = None
+            ring = []
+            streams = self.send_streams
+            for sid in self._stream_order:
+                stream = streams[sid]
+                if not stream.has_data():
+                    continue
+                if top is None or stream.priority < top:
+                    top = stream.priority
+                    ring = [sid]
+                elif stream.priority == top:
+                    ring.append(sid)
+            self._ring = ring
+        return ring
+
     def _pick_stream(self) -> Optional[_SendStream]:
         """Strict priority classes, round robin inside a class."""
-        candidates = [s for s in self.send_streams.values() if s.has_data()]
-        if not candidates:
+        ring = self._active_ring()
+        if not ring:
             return None
-        top = min(s.priority for s in candidates)
-        ring = [sid for sid in self._stream_order
-                if self.send_streams[sid].priority == top
-                and self.send_streams[sid].has_data()]
         self._rr_cursor = (self._rr_cursor + 1) % len(ring)
         return self.send_streams[ring[self._rr_cursor]]
 
@@ -238,9 +272,13 @@ class QuicEndpoint:
 
     def _chunk_from(self, stream: _SendStream, budget: int) -> Optional[StreamChunk]:
         # Retransmissions first.
-        for start, end in stream.lost:
+        lost = stream.lost.first()
+        if lost is not None:
+            start, end = lost
             length = min(end - start, budget)
             stream.lost.remove(start, start + length)
+            if not stream.has_data():
+                self._ring = None
             fin = (stream.fin_offset is not None
                    and start + length == stream.fin_offset)
             return StreamChunk(stream.stream_id, start, length, fin)
@@ -253,6 +291,8 @@ class QuicEndpoint:
                 return None
             offset = stream.next_offset
             stream.next_offset += length
+            if offset + length >= stream.write_len:
+                self._ring = None
             self._sent_stream_bytes += length
             fin = (stream.fin_offset is not None
                    and stream.next_offset == stream.fin_offset)
@@ -270,7 +310,9 @@ class QuicEndpoint:
         if self._pace_timer is not None:
             return
         while True:
-            if not any(s.has_data() for s in self.send_streams.values()):
+            # Ring non-empty iff any stream has data (it holds the
+            # top-priority subset of streams with data).
+            if not self._active_ring():
                 break
             if self._bytes_in_flight + self.mss > self.cc.congestion_window():
                 break
@@ -321,13 +363,19 @@ class QuicEndpoint:
             self._peer_max_data = max(self._peer_max_data, payload.max_data)
         newly_acked: List[_SentPacket] = []
         largest_newly = 0
+        acked_pkts = self._acked_pkts
         for lo, hi in payload.ack_ranges:
-            for pkt_num in range(lo, hi):
-                sent = self._sent.pop(pkt_num, None)
-                if sent is None:
-                    continue
-                newly_acked.append(sent)
-                largest_newly = max(largest_newly, pkt_num)
+            # An ACK frame re-reports everything ever received; only the
+            # never-before-seen sub-ranges can hold outstanding packets.
+            for gap_lo, gap_hi in acked_pkts.missing_within(lo, hi):
+                for pkt_num in range(gap_lo, gap_hi):
+                    sent = self._sent.pop(pkt_num, None)
+                    if sent is None:
+                        continue
+                    newly_acked.append(sent)
+                    if pkt_num > largest_newly:
+                        largest_newly = pkt_num
+            acked_pkts.add(lo, hi)
         if not newly_acked:
             return
         self._largest_acked = max(self._largest_acked, largest_newly)
@@ -343,7 +391,11 @@ class QuicEndpoint:
                 stream = self.send_streams.get(chunk.stream_id)
                 if stream is not None and chunk.length:
                     stream.acked.add(chunk.offset, chunk.offset + chunk.length)
-                    stream.lost.remove(chunk.offset, chunk.offset + chunk.length)
+                    if stream.lost:
+                        stream.lost.remove(chunk.offset,
+                                           chunk.offset + chunk.length)
+                        if not stream.has_data():
+                            self._ring = None
         self._bytes_in_flight = max(0, self._bytes_in_flight)
         self._delivered_bytes += acked_bytes
         for sent in newly_acked:
@@ -372,11 +424,16 @@ class QuicEndpoint:
         if not self._sent or self._largest_acked == 0:
             return
         delay = TIME_THRESHOLD * max(self.rtt.smoothed(0.1), self.rtt.latest_rtt)
+        largest = self._largest_acked
         lost: List[_SentPacket] = []
+        # Outstanding packets iterate in ascending packet-number order
+        # (monotonic allocation, dict insertion order), so everything at
+        # or above largest_acked can be skipped in one break: each ACK
+        # examines only the packets below largest_acked once.
         for pkt_num, sent in self._sent.items():
-            if pkt_num >= self._largest_acked:
-                continue
-            if (self._largest_acked - pkt_num >= PACKET_THRESHOLD
+            if pkt_num >= largest:
+                break
+            if (largest - pkt_num >= PACKET_THRESHOLD
                     or now - sent.sent_time >= delay):
                 lost.append(sent)
         if not lost:
@@ -410,6 +467,7 @@ class QuicEndpoint:
             start, end = chunk.offset, chunk.offset + chunk.length
             for gap_start, gap_end in stream.acked.missing_within(start, end):
                 stream.lost.add(gap_start, gap_end)
+                self._ring = None
 
     # -- PTO --------------------------------------------------------------------
 
@@ -447,7 +505,9 @@ class QuicEndpoint:
                 self._requeue(sent)
         else:
             # Declare the oldest outstanding packet lost and resend it.
-            oldest = min(self._sent.values(), key=lambda s: s.sent_time)
+            # Send times are monotonic in insertion order, so the first
+            # entry is the oldest (min() returned the first minimum too).
+            oldest = next(iter(self._sent.values()))
             del self._sent[oldest.pkt_num]
             self._bytes_in_flight = max(0, self._bytes_in_flight - oldest.size)
             self.stats.retransmitted_packets += 1
@@ -499,9 +559,19 @@ class QuicEndpoint:
             return
         metas_map = self._peer_metas(stream.stream_id)
         metas: List[object] = []
-        for offset in sorted(metas_map):
-            if stream.delivered < offset <= new_delivered:
-                metas.extend(metas_map[offset])
+        keys = stream.meta_keys
+        if len(keys) != len(metas_map):
+            # Meta offsets key the peer's monotonic write length, so the
+            # dict's insertion order is ascending and old keys are a
+            # prefix of the refreshed list: the cursor stays valid.
+            keys = stream.meta_keys = list(metas_map)
+        i = stream.meta_cursor
+        n = len(keys)
+        while i < n and keys[i] <= new_delivered:
+            if keys[i] > stream.delivered:
+                metas.extend(metas_map[keys[i]])
+            i += 1
+        stream.meta_cursor = i
         advanced = new_delivered - stream.delivered
         stream.delivered = new_delivered
         self._delivered_total += advanced
@@ -536,15 +606,19 @@ class QuicEndpoint:
 
     def all_acked(self) -> bool:
         """True when no packets are outstanding and no data is queued."""
-        return not self._sent and not any(
-            s.has_data() for s in self.send_streams.values()
-        )
+        return not self._sent and not self._active_ring()
 
 
 class QuicConnection:
     """Both endpoints of one QUIC connection over a NetworkPath."""
 
-    _next_flow_id = 1_000_000
+    _FIRST_FLOW_ID = 1_000_000
+    _next_flow_id = _FIRST_FLOW_ID
+
+    @classmethod
+    def reset_flow_ids(cls) -> None:
+        """Restore the fresh-process flow-id baseline (see the TCP twin)."""
+        cls._next_flow_id = cls._FIRST_FLOW_ID
 
     def __init__(
         self,

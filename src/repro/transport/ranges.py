@@ -8,7 +8,7 @@ intervals kept sorted and coalesced.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 
 class RangeSet:
@@ -20,11 +20,12 @@ class RangeSet:
     [(0, 30)]
     """
 
-    __slots__ = ("_starts", "_ends")
+    __slots__ = ("_starts", "_ends", "_covered")
 
     def __init__(self, ranges: Iterable[Tuple[int, int]] = ()):
         self._starts: List[int] = []
         self._ends: List[int] = []
+        self._covered = 0
         for start, end in ranges:
             self.add(start, end)
 
@@ -56,6 +57,9 @@ class RangeSet:
         if i < j:
             start = min(start, self._starts[i])
             end = max(end, self._ends[j - 1])
+            for k in range(i, j):
+                self._covered -= self._ends[k] - self._starts[k]
+        self._covered += end - start
         self._starts[i:j] = [start]
         self._ends[i:j] = [end]
 
@@ -69,6 +73,7 @@ class RangeSet:
         k = i
         while k < len(self._starts) and self._starts[k] < end:
             s, e = self._starts[k], self._ends[k]
+            self._covered -= min(e, end) - max(s, start)
             if s < start:
                 new_starts.append(s)
                 new_ends.append(start)
@@ -94,9 +99,12 @@ class RangeSet:
         """Gaps of ``[start, end)`` not covered by the set."""
         gaps: List[Tuple[int, int]] = []
         cursor = start
-        for s, e in self:
-            if e <= start:
-                continue
+        starts, ends = self._starts, self._ends
+        n = len(starts)
+        # Jump straight to the first range that can overlap [start, end).
+        i = bisect.bisect_right(ends, start)
+        while i < n:
+            s, e = starts[i], ends[i]
             if s >= end:
                 break
             if s > cursor:
@@ -104,13 +112,20 @@ class RangeSet:
             cursor = max(cursor, e)
             if cursor >= end:
                 break
+            i += 1
         if cursor < end:
             gaps.append((cursor, end))
         return gaps
 
     def covered_bytes(self) -> int:
-        """Total number of integers covered."""
-        return sum(e - s for s, e in self)
+        """Total number of integers covered (maintained incrementally)."""
+        return self._covered
+
+    def first(self) -> Optional[Tuple[int, int]]:
+        """Lowest range, or None when empty."""
+        if not self._starts:
+            return None
+        return self._starts[0], self._ends[0]
 
     def first_gap_after(self, point: int) -> int:
         """Smallest value >= point not in the set (the 'cumulative ack')."""

@@ -20,6 +20,7 @@ ordered stream passes them. The HTTP/2 layer builds its framing on top.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -43,7 +44,7 @@ DUP_THRESH_BYTES_FACTOR = 3
 DELAYED_ACK_TIMEOUT = 0.025
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSegment:
     """Payload carried inside an emulated packet for this connection."""
 
@@ -61,9 +62,15 @@ class TcpSegment:
     ctrl_total: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _SentRange:
-    """Sender bookkeeping for one transmitted segment."""
+    """Sender bookkeeping for one transmitted segment.
+
+    Records live in ``TcpSender._sent`` sorted by ``seq`` (unique per
+    record) with an already-acked prefix trimmed lazily, so per-ACK
+    bookkeeping touches only the records an ACK actually affects
+    instead of rescanning the whole in-flight list.
+    """
 
     seq: int
     end: int
@@ -119,7 +126,15 @@ class TcpSender:
         self._sacked = RangeSet()
         self._lost = RangeSet()          # ranges marked for retransmission
         self._retx_in_flight = RangeSet()  # retransmitted, not yet acked
+        # Sent records sorted by seq, with a parallel key list for
+        # bisection and a lazily-advanced head trimming the acked
+        # prefix (amortised O(1) per record over a connection).
         self._sent: List[_SentRange] = []
+        self._sent_keys: List[int] = []
+        self._sent_head = 0
+        # The (few) records marked retransmitted, so RACK-style expiry
+        # does not rescan every in-flight record.
+        self._retx_records: List[_SentRange] = []
         self._peer_rwnd = AUTOTUNE_INITIAL_BYTES
 
         # Delivery-rate estimation (for BBR).
@@ -193,7 +208,9 @@ class TcpSender:
 
     def _next_chunk(self) -> Optional[Tuple[int, int, bool]]:
         """(seq, length, is_retransmit) of the next segment, or None."""
-        for start, end in self._lost:
+        lost = self._lost.first()
+        if lost is not None:
+            start, end = lost
             return start, min(end - start, self.mss), True
         if self.snd_nxt < self._stream_len:
             if self.snd_nxt - self.snd_una >= self._peer_rwnd:
@@ -248,22 +265,36 @@ class TcpSender:
             self._retx_in_flight.add(seq, seq + length)
             # Mark every record overlapping the retransmitted range: their
             # original send times must no longer produce RTT samples
-            # (Karn), even when segment boundaries do not line up.
+            # (Karn), even when segment boundaries do not line up. A
+            # record spans at most one MSS, so overlaps lie within
+            # [seq - mss, seq + length) in key order.
+            sent, keys, head = self._sent, self._sent_keys, self._sent_head
             matched = False
-            for rec in self._sent:
+            lo = bisect_left(keys, seq - self.mss, head)
+            hi = bisect_left(keys, seq + length, head)
+            for i in range(lo, hi):
+                rec = sent[i]
                 if rec.seq < seq + length and rec.end > seq:
-                    rec.retransmitted = True
+                    if not rec.retransmitted:
+                        rec.retransmitted = True
+                        self._retx_records.append(rec)
                     if rec.seq == seq:
                         rec.sent_time = now
                         matched = True
             if not matched:
-                self._sent.append(
-                    _SentRange(seq, seq + length, now, True,
-                               self._delivered_bytes))
+                rec = _SentRange(seq, seq + length, now, True,
+                                 self._delivered_bytes)
+                pos = bisect_left(keys, seq, head)
+                keys.insert(pos, seq)
+                sent.insert(pos, rec)
+                self._retx_records.append(rec)
         else:
+            # New data: seq == snd_nxt is above every recorded key, so a
+            # plain append keeps the list sorted.
             self._sent.append(
                 _SentRange(seq, seq + length, now, False,
                            self._delivered_bytes))
+            self._sent_keys.append(seq)
             self.snd_nxt = seq + length
         self._send_packet(length + HEADER_BYTES, segment)
 
@@ -288,25 +319,30 @@ class TcpSender:
 
         sack_advanced = False
         sacked_bytes = 0
+        new_gaps: List[Tuple[int, int]] = []
         for start, end in segment.sack_blocks:
-            before = self._sacked.covered_bytes()
+            # The newly covered intervals (gaps of the current scoreboard
+            # within the block) drive both the gained-byte accounting and
+            # the incremental delivery sampling below.
+            gaps = self._sacked.missing_within(max(start, self.snd_una), end)
             self._sacked.add(max(start, self.snd_una), end)
             self._retx_in_flight.remove(start, end)
-            gained = self._sacked.covered_bytes() - before
+            gained = sum(e - s for s, e in gaps)
             if gained > 0:
                 sack_advanced = True
                 sacked_bytes += gained
+                new_gaps.extend(gaps)
         # Delivered-byte accounting for the BBR rate estimator: bytes that
         # were SACKed earlier must not be counted again when the
         # cumulative ACK finally passes them.
         self._delivered_bytes += (newly_acked - previously_sacked_below_ack
                                   + sacked_bytes)
 
-        rtt_sample, delivery_rate = self._samples_for(segment.ack)
+        rtt_sample, delivery_rate = self._samples_for(segment.ack, new_gaps)
         if rtt_sample is not None:
             self.rtt.on_sample(rtt_sample)
 
-        self._sent = [r for r in self._sent if r.end > self.snd_una]
+        self._prune_acked()
 
         if newly_acked > 0 or sack_advanced:
             self._detect_losses(now)
@@ -325,7 +361,9 @@ class TcpSender:
         self._try_send()
         self._signal_writable()
 
-    def _samples_for(self, ack: int) -> Tuple[Optional[float], Optional[float]]:
+    def _samples_for(
+        self, ack: int, new_gaps: List[Tuple[int, int]],
+    ) -> Tuple[Optional[float], Optional[float]]:
         """(rtt, delivery_rate) samples from segments delivered by this ACK.
 
         A segment is sampled exactly once: the first time it is covered by
@@ -333,28 +371,66 @@ class TcpSender:
         SACKed earlier and are only now passed by the cumulative ACK would
         otherwise yield wildly inflated "flight times". Karn's rule: only
         never-retransmitted segments provide samples.
+
+        Only records this ACK can newly deliver are examined: the key
+        prefix below the cumulative ACK, plus records overlapping
+        ``new_gaps`` — the intervals the ACK's SACK blocks newly covered.
+        A record first fully SACKed now has newly-covered bytes, which lie
+        inside one of those gaps; everything else was either sampled by an
+        earlier ACK or is still undelivered.
         """
         best_rtt: Optional[float] = None
         best_rate: Optional[float] = None
         now = self._loop.now
-        for rec in self._sent:
-            if rec.sampled:
-                continue
-            delivered = rec.end <= ack or self._sacked.contains(rec.seq, rec.end)
-            if not delivered:
-                continue
-            rec.sampled = True
-            if rec.retransmitted:
-                continue
-            flight = now - rec.sent_time
-            if flight <= 0:
-                continue
-            if best_rtt is None or flight < best_rtt:
-                best_rtt = flight
-            rate = (self._delivered_bytes - rec.delivered_at_send) / flight
-            if best_rate is None or rate > best_rate:
-                best_rate = rate
+        sent, keys, head = self._sent, self._sent_keys, self._sent_head
+        spans = [(head, bisect_left(keys, ack, head))]
+        spans.extend(
+            (bisect_left(keys, gap_start - self.mss, head),
+             bisect_left(keys, gap_end, head))
+            for gap_start, gap_end in new_gaps
+        )
+        for lo, hi in spans:
+            for i in range(lo, hi):
+                rec = sent[i]
+                if rec.sampled:
+                    continue
+                delivered = (rec.end <= ack
+                             or self._sacked.contains(rec.seq, rec.end))
+                if not delivered:
+                    continue
+                rec.sampled = True
+                if rec.retransmitted:
+                    continue
+                flight = now - rec.sent_time
+                if flight <= 0:
+                    continue
+                if best_rtt is None or flight < best_rtt:
+                    best_rtt = flight
+                rate = (self._delivered_bytes - rec.delivered_at_send) / flight
+                if best_rate is None or rate > best_rate:
+                    best_rate = rate
         return best_rtt, best_rate
+
+    def _prune_acked(self) -> None:
+        """Advance past (and periodically drop) cumulatively-acked records.
+
+        Records keep seq order, so the acked prefix is contiguous up to
+        the first record straddling ``snd_una``; a few dead records may
+        linger behind a straddler until it goes, which is harmless — they
+        are already sampled and can never match a Karn or RACK check
+        again.
+        """
+        sent, keys = self._sent, self._sent_keys
+        head = self._sent_head
+        snd_una = self.snd_una
+        n = len(sent)
+        while head < n and sent[head].end <= snd_una:
+            head += 1
+        if head > 64 and head * 2 >= n:
+            del sent[:head]
+            del keys[:head]
+            head = 0
+        self._sent_head = head
 
     def _detect_losses(self, now: float) -> None:
         """RFC 6675-ish: a hole with >= 3 MSS SACKed above it is lost."""
@@ -397,12 +473,16 @@ class TcpSender:
             return
         reorder_window = 1.25 * self.rtt.smoothed() + 0.01
         stale: List[Tuple[int, int]] = []
-        for rec in self._sent:
-            if not rec.retransmitted:
-                continue
+        live: List[_SentRange] = []
+        snd_una = self.snd_una
+        for rec in self._retx_records:
+            if rec.end <= snd_una:
+                continue  # cumulatively acked; drop from the watch list
+            live.append(rec)
             if now - rec.sent_time > reorder_window:
                 if self._retx_in_flight.contains(rec.seq, rec.end):
                     stale.append((rec.seq, rec.end))
+        self._retx_records = live
         for start, end in stale:
             self._retx_in_flight.remove(start, end)
 
@@ -467,6 +547,12 @@ class TcpReceiver:
         self._direction = direction
         self._on_data = on_data
         self._metas = metas
+        # Meta offsets are created in ascending order (they key the
+        # sender's monotonic stream length), so the dict's insertion
+        # order is sorted; a cursor over a cached key list replaces the
+        # per-delivery sort of the whole map.
+        self._meta_keys: List[int] = []
+        self._meta_cursor = 0
         self._received = RangeSet()
         self.delivered = 0
         self._pending_ack_packets = 0
@@ -504,9 +590,18 @@ class TcpReceiver:
         if new_delivered <= self.delivered:
             return
         metas: List[object] = []
-        for offset in sorted(self._metas):
-            if self.delivered < offset <= new_delivered:
-                metas.extend(self._metas[offset])
+        keys = self._meta_keys
+        if len(keys) != len(self._metas):
+            # New writes appended metas; the old keys are a prefix of the
+            # refreshed (still ascending) list, so the cursor stays valid.
+            keys = self._meta_keys = list(self._metas)
+        i = self._meta_cursor
+        n = len(keys)
+        while i < n and keys[i] <= new_delivered:
+            if keys[i] > self.delivered:
+                metas.extend(self._metas[keys[i]])
+            i += 1
+        self._meta_cursor = i
         advanced = new_delivered - self.delivered
         self.delivered = new_delivered
         self._maybe_autotune(advanced)
@@ -547,7 +642,19 @@ class TcpReceiver:
 class TcpConnection:
     """Both endpoints of one TCP+TLS1.3 connection over a NetworkPath."""
 
-    _next_flow_id = 1
+    _FIRST_FLOW_ID = 1
+    _next_flow_id = _FIRST_FLOW_ID
+
+    @classmethod
+    def reset_flow_ids(cls) -> None:
+        """Restore the fresh-process flow-id baseline.
+
+        Flow ids feed the handshake-retry jitter, so they affect lossy
+        network results. Campaign workers call this at startup so a
+        forked worker behaves exactly like a freshly spawned one,
+        whatever the parent process simulated before.
+        """
+        cls._next_flow_id = cls._FIRST_FLOW_ID
 
     def __init__(
         self,

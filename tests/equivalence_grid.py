@@ -1,0 +1,170 @@
+"""Shared definition of the hot-path equivalence grid.
+
+The hot-path optimisations (PR 2) must leave simulation *behaviour*
+untouched: identical parameters must produce byte-identical visual
+curves and metrics, so the content-addressed cache's
+``SIM_BEHAVIOUR_VERSION`` does not need a bump. This module defines the
+small grid used to pin that down — both stacks, a clean and a lossy
+network, two seeds — and the summary serialisation compared against the
+committed fixture ``tests/data/equivalence_grid.json``.
+
+The fixture was generated from the pre-optimisation (seed) simulator.
+Regenerate only after an *intentional* behaviour change (which also
+requires bumping ``SIM_BEHAVIOUR_VERSION``)::
+
+    PYTHONPATH=src:tests python -m equivalence_grid --write
+
+The module also records/checks an **event budget**: the exact
+``EventLoop.events_processed`` of fixed fixture page loads. The budget
+catches event-count regressions (an accidental extra timer per packet)
+deterministically, without timing flakiness. Re-record with
+``--budget-write`` after an intentional event-structure change.
+
+Both checks must run in a fresh interpreter as its first simulation
+work: connection flow-ids are allocated from process-global counters and
+feed the handshake-retry jitter, so results on lossy networks depend on
+how many connections the process made before (pre-existing seed
+behaviour). The pytest wrappers therefore shell out; see
+``tests/test_hotpath_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.testbed.harness import produce_summary, resolve_network, resolve_stack
+
+FIXTURE_PATH = Path(__file__).parent / "data" / "equivalence_grid.json"
+BUDGET_PATH = Path(__file__).parent / "data" / "event_budget.json"
+
+#: Both transport stacks x {clean, lossy} network x two seeds.
+GRID_SITES = ("gov.uk", "nytimes.com")
+GRID_NETWORKS = ("DSL", "MSS")
+GRID_STACKS = ("TCP", "QUIC")
+GRID_SEEDS = (0, 1)
+GRID_RUNS = 2
+
+
+def condition_id(site: str, network: str, stack: str, seed: int) -> str:
+    return f"{site}|{network}|{stack}|s{seed}"
+
+
+def simulate_grid() -> Dict[str, Dict[str, object]]:
+    """Run the grid with the current simulator; exact JSON-able outputs."""
+    out: Dict[str, Dict[str, object]] = {}
+    for site in GRID_SITES:
+        for network in GRID_NETWORKS:
+            for stack in GRID_STACKS:
+                for seed in GRID_SEEDS:
+                    summary = produce_summary(
+                        site, resolve_network(network), resolve_stack(stack),
+                        corpus_seed=0, seed=seed, runs=GRID_RUNS,
+                        timeout=180.0, selection_metric="PLT",
+                    )
+                    out[condition_id(site, network, stack, seed)] = {
+                        "selected_metrics": summary.selected_metrics,
+                        "selected_curve": [[t, v] for t, v in
+                                           summary.selected_curve],
+                        "run_metrics": summary.run_metrics,
+                        "mean_retransmissions": summary.mean_retransmissions,
+                        "mean_segments_sent": summary.mean_segments_sent,
+                        "completed_fraction": summary.completed_fraction,
+                    }
+    return out
+
+
+def load_fixture() -> Dict[str, Dict[str, object]]:
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+def write_fixture() -> None:
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(simulate_grid(), indent=1,
+                                       sort_keys=True) + "\n")
+
+
+def check_fixture() -> List[str]:
+    """Condition ids whose current output differs from the fixture."""
+    current = simulate_grid()
+    fixture = load_fixture()
+    return [key for key in fixture if current.get(key) != fixture[key]]
+
+
+# -- event budget ------------------------------------------------------------
+
+#: Fixed fixture loads whose exact event count is pinned.
+BUDGET_CONDITIONS = (
+    ("gov.uk", "DSL", "TCP"),
+    ("gov.uk", "MSS", "TCP"),
+    ("gov.uk", "DSL", "QUIC"),
+    ("gov.uk", "MSS", "QUIC"),
+)
+
+
+def measure_event_budgets() -> Dict[str, int]:
+    """events_processed per fixed fixture page load (fresh-process only)."""
+    from repro.browser.engine import PageLoad
+    from repro.netem.engine import EventLoop
+    from repro.netem.path import NetworkPath
+    from repro.netem.profiles import network_by_name
+    from repro.transport.config import stack_by_name
+    from repro.web.corpus import build_site
+
+    out: Dict[str, int] = {}
+    for site_name, network, stack in BUDGET_CONDITIONS:
+        loop = EventLoop()
+        path = NetworkPath(loop, network_by_name(network), seed=0)
+        load = PageLoad(loop, path, stack_by_name(stack),
+                        build_site(site_name, seed=0), seed=0)
+        load.run()
+        out[f"{site_name}|{network}|{stack}"] = loop.events_processed
+    return out
+
+
+def check_budgets() -> List[str]:
+    """Human-readable violations of the recorded event budgets."""
+    budgets = json.loads(BUDGET_PATH.read_text())
+    current = measure_event_budgets()
+    problems = []
+    for key, budget in budgets.items():
+        events = current.get(key)
+        if events is None:
+            problems.append(f"{key}: not measured")
+        elif events > budget:
+            problems.append(f"{key}: {events} events > budget {budget}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    mode = argv[0] if argv else "--write"
+    if mode == "--write":
+        write_fixture()
+        print(f"wrote {FIXTURE_PATH}")
+    elif mode == "--check":
+        diffs = check_fixture()
+        if diffs:
+            print("DIVERGED: " + ", ".join(diffs))
+            return 1
+        print("equivalence grid byte-identical")
+    elif mode == "--budget-write":
+        BUDGET_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BUDGET_PATH.write_text(json.dumps(measure_event_budgets(),
+                                          indent=1, sort_keys=True) + "\n")
+        print(f"wrote {BUDGET_PATH}")
+    elif mode == "--budget-check":
+        problems = check_budgets()
+        if problems:
+            print("; ".join(problems))
+            return 1
+        print("event budgets respected")
+    else:
+        print(f"unknown mode {mode!r}")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -172,6 +172,96 @@ class TestRunAndResume:
         assert summary.selected_metrics["PLT"] > 0
 
 
+class TestBatching:
+    """Batched worker tasks: same results, manifest and ordering."""
+
+    GRID = dict(sites=["gov.uk"], networks=["DSL"],
+                stacks=["TCP", "QUIC"], seeds=[5, 6], runs=2)
+
+    def test_worker_batch_settles_each_condition(self, tmp_path):
+        spec = CampaignSpec(name="batch-worker", **self.GRID)
+        conditions = spec.conditions()
+        campaign_mod._init_worker(str(tmp_path))
+        results = campaign_mod._run_condition_batch(
+            list(enumerate(conditions)))
+        assert [index for index, _, _ in results] == \
+            list(range(len(conditions)))
+        assert all(error is None for _, error, _ in results)
+        cache = RecordingCache(tmp_path)
+        for condition in conditions:
+            assert cache.load(condition.label,
+                              condition.fingerprint()) is not None
+
+    def test_batched_run_matches_unbatched_cache_bytes(self, tmp_path):
+        spec = CampaignSpec(name="batch-eq", **self.GRID)
+        a = Campaign(spec, cache_dir=tmp_path / "unbatched")
+        result_a = a.run(processes=1)
+        b = Campaign(spec, cache_dir=tmp_path / "batched")
+        result_b = b.run(processes=2, batch_size=2)
+        assert result_a.ok and result_b.ok
+        names_a = sorted(p.name for p in (tmp_path / "unbatched").glob("*.json"))
+        names_b = sorted(p.name for p in (tmp_path / "batched").glob("*.json"))
+        assert names_a == names_b
+        for name in names_a:
+            assert (tmp_path / "unbatched" / name).read_bytes() == \
+                (tmp_path / "batched" / name).read_bytes()
+        # Result ordering follows sweep order regardless of batching.
+        assert [r.condition.label for r in result_a.results] == \
+            [r.condition.label for r in result_b.results]
+
+    def test_batched_resume_from_manifest(self, tmp_path):
+        spec = CampaignSpec(name="batch-resume", **self.GRID)
+        first = Campaign(spec, cache_dir=tmp_path).run(processes=2,
+                                                       batch_size=2)
+        assert first.ok
+        second = Campaign(spec, cache_dir=tmp_path).run(processes=2,
+                                                        batch_size=2)
+        assert second.counts == {"resumed": len(second.results)}
+
+    def test_worker_results_independent_of_parent_state(self, tmp_path):
+        """Workers must start from the fresh-process flow-id baseline.
+
+        Flow ids feed handshake-retry jitter (visible on lossy
+        networks); forked workers inherit the parent's counters, so
+        without the reset in _init_worker a campaign's stored bytes
+        would depend on whatever the parent simulated earlier.
+        """
+        from repro.transport.quic import QuicConnection
+        from repro.transport.tcp import TcpConnection
+
+        spec = CampaignSpec(name="fresh-baseline", sites=["gov.uk"],
+                            networks=["MSS"], stacks=["TCP", "QUIC"],
+                            seeds=[0], runs=2)
+        Campaign(spec, cache_dir=tmp_path / "clean").run(processes=2)
+        tcp_before = TcpConnection._next_flow_id
+        quic_before = QuicConnection._next_flow_id
+        try:
+            # Pollute the parent exactly like a prior in-process sweep.
+            TcpConnection._next_flow_id += 12345
+            QuicConnection._next_flow_id += 54321
+            Campaign(spec, cache_dir=tmp_path / "dirty").run(processes=2)
+        finally:
+            TcpConnection._next_flow_id = tcp_before
+            QuicConnection._next_flow_id = quic_before
+        clean = sorted((tmp_path / "clean").glob("*.json"))
+        dirty = sorted((tmp_path / "dirty").glob("*.json"))
+        assert [p.name for p in clean] == [p.name for p in dirty]
+        for a, b in zip(clean, dirty):
+            assert a.read_bytes() == b.read_bytes()
+
+    def test_batch_size_rejected_below_one(self, tmp_path):
+        spec = CampaignSpec(name="bad-batch", **self.GRID)
+        with pytest.raises(ValueError, match="batch_size"):
+            Campaign(spec, cache_dir=tmp_path).run(batch_size=0)
+
+    def test_batch_size_one_equals_per_condition_tasks(self, tmp_path):
+        spec = CampaignSpec(name="batch-one", **self.GRID)
+        result = Campaign(spec, cache_dir=tmp_path).run(processes=2,
+                                                        batch_size=1)
+        assert result.ok
+        assert result.counts == {"simulated": len(result.results)}
+
+
 class TestFailurePolicy:
     @pytest.fixture
     def failing_once(self, monkeypatch):

@@ -72,6 +72,50 @@ class TestCancellation:
         assert loop.peek_time() == 2.0
 
 
+class TestHeapCompaction:
+    def test_cancelled_entries_compacted(self, loop):
+        """A churn of cancel+re-arm (the transport RTO pattern) must not
+        leave a graveyard of dead entries in the heap."""
+        loop.call_at(500.0, lambda: None)  # one live anchor event
+        for i in range(1000):
+            handle = loop.call_at(1000.0 + i, lambda: None)
+            handle.cancel()
+        assert len(loop._heap) < 300  # compaction kicked in
+        assert loop.pending_events == 1
+
+    def test_ordering_preserved_across_compaction(self, loop):
+        seen = []
+        for tag in range(10):
+            loop.call_at(1.0 + tag * 0.125, lambda t=tag: seen.append(t))
+        cancelled = [loop.call_at(2.0 + i, lambda: seen.append("dead"))
+                     for i in range(500)]
+        for handle in cancelled:
+            handle.cancel()
+        # FIFO among equal timestamps must also survive compaction.
+        for tag in range(5):
+            loop.call_at(1.0, lambda t=tag: seen.append(("tie", t)))
+        loop.run()
+        expected = [0] + [("tie", t) for t in range(5)] + list(range(1, 10))
+        assert seen == expected
+
+    def test_cancel_after_compaction_is_safe(self, loop):
+        handles = [loop.call_at(10.0 + i, lambda: None) for i in range(200)]
+        for handle in handles:
+            handle.cancel()
+        for handle in handles:  # idempotent, even once evicted
+            handle.cancel()
+        loop.run()
+        assert loop.events_processed == 0
+
+    def test_processed_counter_ignores_cancelled(self, loop):
+        live = [loop.call_at(1.0, lambda: None) for _ in range(3)]
+        dead = [loop.call_at(2.0, lambda: None) for _ in range(3)]
+        for handle in dead:
+            handle.cancel()
+        loop.run()
+        assert loop.events_processed == len(live)
+
+
 class TestRunModes:
     def test_run_until_stops_before_later_events(self, loop):
         seen = []

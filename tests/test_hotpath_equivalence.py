@@ -1,0 +1,55 @@
+"""Hot-path optimisation guard rails.
+
+Two deterministic regression nets around the PR 2 overhaul:
+
+* **byte-identical behaviour** — the optimised transports, link and
+  event loop must reproduce the committed pre-optimisation fixture
+  (visual curves, SI, per-run metrics, retransmission counters) exactly,
+  for both stacks x {clean, lossy} networks x two seeds. If this fails,
+  either an optimisation changed behaviour (fix it) or the change was
+  intentional — then ``SIM_BEHAVIOUR_VERSION`` must be bumped and the
+  fixture regenerated (``python -m equivalence_grid --write``).
+* **event budget** — the exact ``EventLoop.events_processed`` of fixed
+  fixture page loads must not exceed the recorded budget. This catches
+  accidental event-count regressions (an extra timer per packet, a
+  dropped batching optimisation) without any timing flakiness.
+
+Both run in a subprocess: connection flow-ids come from process-global
+counters and feed the handshake retry jitter, so lossy-network results
+depend on prior simulations in the same process (pre-existing seed
+behaviour); a fresh interpreter pins them down.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _run_mode(mode: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src"), str(REPO / "tests")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "equivalence_grid", mode],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+
+
+class TestHotpathEquivalence:
+    def test_outputs_byte_identical_to_seed_fixture(self):
+        result = _run_mode("--check")
+        assert result.returncode == 0, (
+            f"equivalence grid diverged from the seed fixture:\n"
+            f"{result.stdout}{result.stderr}")
+
+    def test_event_count_within_recorded_budget(self):
+        result = _run_mode("--budget-check")
+        assert result.returncode == 0, (
+            f"event budget exceeded:\n{result.stdout}{result.stderr}")

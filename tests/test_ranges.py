@@ -110,6 +110,13 @@ class TestQueries:
         rs = RangeSet([(0, 5), (10, 12)])
         assert rs.covered_bytes() == 7
 
+    def test_first(self):
+        rs = RangeSet([(10, 15), (20, 25)])
+        assert rs.first() == (10, 15)
+        rs.remove(10, 15)
+        assert rs.first() == (20, 25)
+        assert RangeSet().first() is None
+
     def test_highest(self):
         assert RangeSet().highest() == 0
         assert RangeSet([(3, 9)]).highest() == 9
