@@ -16,7 +16,11 @@ Measures every layer the PR 2 hot-path overhaul touches, bottom-up:
 * ``alloc`` — tracemalloc allocation totals for one page load (guards
   the ``__slots__`` satellite);
 * ``campaign`` — cold conditions/second through the campaign
-  orchestrator on the same grid as ``bench_campaign_throughput``.
+  orchestrator on the same grid as ``bench_campaign_throughput``;
+* ``report_path`` — peak memory of aggregating a synthetic
+  1k-condition campaign manifest into a pivot report: the old
+  whole-grid list-of-summaries load vs the streaming
+  ``SummaryStore`` → ``GridReport`` path (O(grid) vs O(axes)).
 
 Run standalone to record a labelled snapshot into ``BENCH_hotpath.json``
 at the repo root (the committed trajectory file)::
@@ -259,29 +263,135 @@ def bench_campaign(tmp_dir: Path) -> dict:
             "conditions_per_s": round(len(result.results) / elapsed, 3)}
 
 
-def run_all(tmp_dir: Path) -> dict:
+def _write_synthetic_campaign(tmp: Path, conditions: int = 1000):
+    """A fake finished campaign: manifest + cached summaries on disk."""
+    import json as json_mod
+    import math
+
+    from repro.testbed.harness import RecordingCache, RecordingSummary
+    from repro.testbed.store import SummaryStore
+
+    cache_dir = tmp / "cache"
+    campaign_dir = cache_dir / "campaigns" / "synthetic"
+    campaign_dir.mkdir(parents=True)
+    cache = RecordingCache(cache_dir)
+    networks = ("DSL", "LTE", "DA2GC", "MSS")
+    stacks = ("TCP", "TCP+", "TCPBBR", "QUIC", "QUICBBR")
+    sites = max(1, conditions // (len(networks) * len(stacks)))
+    lines = []
+    index = 0
+    for site in range(sites):
+        website = f"site{site:03d}.example"
+        for n_index, network in enumerate(networks):
+            for s_index, stack in enumerate(stacks):
+                base = 0.5 + 0.8 * n_index - 0.05 * s_index
+                metrics = [
+                    {"FVC": base * 0.5 + 0.01 * run,
+                     "SI": base + 0.02 * run,
+                     "VC85": base * 1.2, "LVC": base * 2.0,
+                     "PLT": base * 2.5 + 0.03 * run}
+                    for run in range(5)
+                ]
+                curve = [(0.05 * point, min(1.0, 0.02 * point))
+                         for point in range(60)]
+                summary = RecordingSummary(
+                    website=website, network=network, stack=stack,
+                    runs=5, selection_metric="PLT",
+                    selected_metrics=dict(metrics[0]),
+                    selected_curve=curve, run_metrics=metrics,
+                    mean_retransmissions=1.0 + math.sin(index),
+                    mean_segments_sent=200.0,
+                    completed_fraction=1.0,
+                )
+                label = f"{website}_{network}_{stack}_s0"
+                fingerprint = f"synthetic{index:011d}"
+                cache.store(label, fingerprint, summary)
+                lines.append(json_mod.dumps({
+                    "fingerprint": fingerprint, "label": label,
+                    "website": website, "network": network,
+                    "stack": stack, "seed": 0,
+                    "status": "simulated", "attempts": 1,
+                    "duration_s": 0.1, "error": None, "at": 0.0,
+                }))
+                index += 1
+    (campaign_dir / "manifest.jsonl").write_text("\n".join(lines) + "\n")
+    return SummaryStore.open(campaign_dir), index
+
+
+def bench_report_path(tmp_dir: Path) -> dict:
+    """Peak memory: whole-grid summary load vs streaming aggregation.
+
+    Both variants pivot the same synthetic 1k-condition campaign into
+    (network x stack) mean-CI cells; the batch variant materialises
+    every summary first (the pre-streaming ``Campaign.summaries()``
+    results path), the streaming variant drains the ``SummaryStore``
+    into a ``GridReport`` one summary at a time.
+    """
+    from repro.analysis.stats import mean_confidence_interval
+    from repro.analysis.streaming import grid_report
+
+    store, conditions = _write_synthetic_campaign(tmp_dir / "report")
+
+    def batch() -> dict:
+        summaries = [summary for _, summary in store]  # whole grid
+        groups: dict = {}
+        for summary in summaries:
+            key = (summary.network, summary.stack)
+            groups.setdefault(key, []).extend(
+                summary.metric_samples("SI"))
+        return {key: mean_confidence_interval(values)
+                for key, values in groups.items()}
+
+    def streaming():
+        return grid_report(store, rows=("network",), cols="stack",
+                           metric="SI")
+
+    results = {}
+    for name, variant in (("batch", batch), ("streaming", streaming)):
+        tracemalloc.start()
+        start = time.perf_counter()
+        out = variant()
+        elapsed = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert out  # both aggregations produced cells
+        results[f"{name}_peak_kb"] = round(peak / 1024)
+        results[f"{name}_seconds"] = round(elapsed, 3)
+    results["conditions"] = conditions
+    results["peak_ratio"] = round(
+        results["batch_peak_kb"] / results["streaming_peak_kb"], 1)
+    return results
+
+
+#: Component name -> bench callable (takes the tmp dir, returns
+#: metrics). The single source of truth for full runs and ``--only``.
+COMPONENTS = {
+    "event_loop": lambda tmp: bench_event_loop(),
+    "link": lambda tmp: bench_link(),
+    "tcp_transfer": lambda tmp: _tcp_transfer(fat_profile(), 16 * MB),
+    "tcp_transfer_lossy":
+        lambda tmp: _tcp_transfer(fat_profile(loss=0.02), 8 * MB),
+    "quic_transfer": lambda tmp: _quic_transfer(fat_profile(), 16 * MB),
+    "quic_transfer_lossy":
+        lambda tmp: _quic_transfer(fat_profile(loss=0.02), 8 * MB),
+    "tcp_scaling": lambda tmp: bench_tcp_scaling(),
+    "pageload": lambda tmp: bench_pageload(),
+    "alloc": lambda tmp: bench_alloc(),
+    "campaign": bench_campaign,
+    "report_path": bench_report_path,
+}
+
+
+def run_some(tmp_dir: Path, names) -> dict:
     out = {}
-    out["event_loop"] = bench_event_loop()
-    print(f"  event_loop: {out['event_loop']}", flush=True)
-    out["link"] = bench_link()
-    print(f"  link: {out['link']}", flush=True)
-    out["tcp_transfer"] = _tcp_transfer(fat_profile(), 16 * MB)
-    print(f"  tcp_transfer: {out['tcp_transfer']}", flush=True)
-    out["tcp_transfer_lossy"] = _tcp_transfer(fat_profile(loss=0.02), 8 * MB)
-    print(f"  tcp_transfer_lossy: {out['tcp_transfer_lossy']}", flush=True)
-    out["quic_transfer"] = _quic_transfer(fat_profile(), 16 * MB)
-    print(f"  quic_transfer: {out['quic_transfer']}", flush=True)
-    out["quic_transfer_lossy"] = _quic_transfer(fat_profile(loss=0.02), 8 * MB)
-    print(f"  quic_transfer_lossy: {out['quic_transfer_lossy']}", flush=True)
-    out["tcp_scaling"] = bench_tcp_scaling()
-    print(f"  tcp_scaling: {out['tcp_scaling']}", flush=True)
-    out["pageload"] = bench_pageload()
-    print(f"  pageload: {out['pageload']}", flush=True)
-    out["alloc"] = bench_alloc()
-    print(f"  alloc: {out['alloc']}", flush=True)
-    out["campaign"] = bench_campaign(tmp_dir)
-    print(f"  campaign: {out['campaign']}", flush=True)
+    for name in names:
+        out[name] = COMPONENTS[name](tmp_dir)
+        print(f"  {name}: {out[name]}", flush=True)
     return out
+
+
+def run_all(tmp_dir: Path) -> dict:
+    return run_some(tmp_dir, COMPONENTS)
 
 
 def main(argv=None) -> int:
@@ -289,11 +399,21 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default="after",
                         help="snapshot label merged into BENCH_hotpath.json")
     parser.add_argument("--output", default=str(BENCH_PATH))
+    parser.add_argument("--only", default=None, metavar="NAMES",
+                        help="comma-separated component subset, e.g. "
+                             "report_path,campaign (default: all)")
     args = parser.parse_args(argv)
 
     import tempfile
     with tempfile.TemporaryDirectory() as tmp:
-        results = run_all(Path(tmp))
+        names = list(COMPONENTS)
+        if args.only:
+            names = [n.strip() for n in args.only.split(",") if n.strip()]
+            unknown = [n for n in names if n not in COMPONENTS]
+            if unknown:
+                parser.error(f"unknown components {unknown}; "
+                             f"choose from {sorted(COMPONENTS)}")
+        results = run_some(Path(tmp), names)
 
     path = Path(args.output)
     doc = {"schema": 1, "benchmarks": {}}

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Declarative campaigns: arbitrary axes, resume, failure policy.
+"""Declarative campaigns with streaming reports.
 
 The paper's grid is 36 sites x 4 networks x 5 stacks; a CampaignSpec
 describes any axis product — here a loss sweep over DSL plus a
@@ -8,14 +8,26 @@ executes it over a process pool with live progress. Kill it at any
 point and re-run: finished conditions are loaded from the manifest and
 the content-addressed cache, never re-simulated.
 
+Results stream rather than batch-load: a GridReport accumulates each
+summary as its condition settles (the ``sink`` argument — the
+``repro campaign --report`` pipeline as an API), and SummaryStore
+reopens the finished campaign directory post-hoc to aggregate again
+along a different axis without re-running or holding the grid in
+memory.
+
 Run:  python examples/campaign_grid.py
 """
 
-from statistics import fmean
-
+from repro.analysis.streaming import GridReport, grid_report
 from repro.netem.profiles import DSL, trace_profile, with_loss
 from repro.netem.trace import cellular_like_trace
-from repro.testbed import Campaign, CampaignSpec, ProgressPrinter
+from repro.report import render_grid
+from repro.testbed import (
+    Campaign,
+    CampaignSpec,
+    ProgressPrinter,
+    SummaryStore,
+)
 
 
 def main() -> None:
@@ -39,22 +51,32 @@ def main() -> None:
     print(f"{len(spec.conditions())} conditions; "
           f"manifest keyed by spec fingerprint {spec.fingerprint()}")
 
+    # Summaries flow into the report as conditions settle — no
+    # post-processing pass over a materialised summary list.
+    report = GridReport(rows=("network",), cols="stack", metric="SI")
     campaign = Campaign(spec, cache_dir=".repro-cache")
     result = campaign.run(
         processes=2,
         failure_policy="retry",
         progress=ProgressPrinter(),
+        sink=lambda condition, summary: report.add(condition.key, summary),
     )
     print(f"\n{result.counts} in {result.duration_s:.1f}s "
           f"— run me again: everything resumes from "
           f"{campaign.manifest_path}")
 
-    print("\nmean SI by network (seeds and sites pooled):")
-    by_network = {}
-    for summary in campaign.summaries():
-        by_network.setdefault(summary.network, []).append(summary.si)
-    for network, values in by_network.items():
-        print(f"  {network:12s} {fmean(values):5.2f} s")
+    print()
+    print(render_grid(report))
+
+    # Post-hoc: reopen the finished campaign directory and pivot along
+    # a different axis — one summary in memory at a time, nothing
+    # re-simulated.
+    store = SummaryStore.open(campaign.campaign_dir,
+                              cache_dir=".repro-cache")
+    by_site = grid_report(store, rows=("website",), cols="stack",
+                          metric="PLT")
+    print()
+    print(render_grid(by_site))
 
 
 if __name__ == "__main__":

@@ -9,6 +9,9 @@
   Section 4.2 behavioural statistics.
 * :mod:`repro.analysis.correlation` — Figure 6 metric-vs-vote Pearson
   heatmap.
+* :mod:`repro.analysis.streaming` — mergeable incremental accumulators
+  (moments, histogram, per-axis group-by, pivoted grid reports) for
+  O(axes)-memory aggregation of streamed campaign summaries.
 """
 
 from repro.analysis.ab import AbShares, ab_vote_shares
@@ -37,8 +40,19 @@ from repro.analysis.significance import (
 from repro.analysis.stats import (
     anova_oneway,
     is_normal,
+    mean_ci_from_stats,
     mean_confidence_interval,
     pearson_r,
+    welch_ttest_p,
+    welch_ttest_p_from_stats,
+)
+from repro.analysis.streaming import (
+    AxisAccumulator,
+    GridReport,
+    StreamingHistogram,
+    StreamingMoments,
+    anova_from_moments,
+    grid_report,
 )
 
 __all__ = [
@@ -53,9 +67,18 @@ __all__ = [
     "behaviour_statistics",
     "correlation_heatmap",
     "mean_confidence_interval",
+    "mean_ci_from_stats",
     "is_normal",
     "anova_oneway",
+    "anova_from_moments",
     "pearson_r",
+    "welch_ttest_p",
+    "welch_ttest_p_from_stats",
+    "AxisAccumulator",
+    "GridReport",
+    "grid_report",
+    "StreamingHistogram",
+    "StreamingMoments",
     "two_sample_power",
     "minimum_detectable_effect",
     "paper_study_power",

@@ -31,6 +31,26 @@ class MeanCI:
         return self.lower <= value <= self.upper
 
 
+def mean_ci_from_stats(n: int, mean: float, sd: float,
+                       confidence: float = 0.99) -> MeanCI:
+    """Student-t CI from sufficient statistics (n, mean, sample sd).
+
+    The moments-based twin of :func:`mean_confidence_interval`, shared
+    with the streaming accumulators in :mod:`repro.analysis.streaming`
+    so incremental and batch aggregation produce the same interval.
+    """
+    if n < 1:
+        raise ValueError("need at least one value")
+    if n == 1:
+        return MeanCI(mean, mean, mean, confidence, 1)
+    sem = sd / math.sqrt(n)
+    if sem == 0.0:
+        return MeanCI(mean, mean, mean, confidence, int(n))
+    t_crit = float(scipy_stats.t.ppf((1 + confidence) / 2.0, n - 1))
+    half = t_crit * sem
+    return MeanCI(mean, mean - half, mean + half, confidence, int(n))
+
+
 def mean_confidence_interval(values: Sequence[float],
                              confidence: float = 0.99) -> MeanCI:
     """Student-t confidence interval for the mean (paper uses 99%)."""
@@ -38,14 +58,8 @@ def mean_confidence_interval(values: Sequence[float],
     if data.size == 0:
         raise ValueError("need at least one value")
     mean = float(data.mean())
-    if data.size == 1:
-        return MeanCI(mean, mean, mean, confidence, 1)
-    sem = float(data.std(ddof=1)) / math.sqrt(data.size)
-    if sem == 0.0:
-        return MeanCI(mean, mean, mean, confidence, int(data.size))
-    t_crit = float(scipy_stats.t.ppf((1 + confidence) / 2.0, data.size - 1))
-    half = t_crit * sem
-    return MeanCI(mean, mean - half, mean + half, confidence, int(data.size))
+    sd = float(data.std(ddof=1)) if data.size > 1 else 0.0
+    return mean_ci_from_stats(int(data.size), mean, sd, confidence)
 
 
 def is_normal(values: Sequence[float], alpha: float = 0.05) -> bool:
@@ -109,13 +123,31 @@ def pearson_r(x: Sequence[float], y: Sequence[float]) -> float:
     return float(r)
 
 
+def welch_ttest_p_from_stats(n1: int, mean1: float, var1: float,
+                             n2: int, mean2: float, var2: float) -> float:
+    """Welch's t-test p-value from sufficient statistics.
+
+    ``var*`` are sample variances (ddof=1). Matches
+    :func:`welch_ttest_p` on the same data, but needs only (n, mean,
+    variance) per group, so streaming accumulators can compute
+    significance marks without retaining raw samples.
+    """
+    if n1 < 2 or n2 < 2:
+        return 1.0
+    if var1 == 0.0 and var2 == 0.0:
+        return 0.0 if mean1 != mean2 else 1.0
+    _, p = scipy_stats.ttest_ind_from_stats(
+        mean1, math.sqrt(var1), n1, mean2, math.sqrt(var2), n2,
+        equal_var=False)
+    return float(p) if not math.isnan(float(p)) else 1.0
+
+
 def welch_ttest_p(a: Sequence[float], b: Sequence[float]) -> float:
     """Welch's t-test p-value (per-website significance, Section 4.4)."""
     aa = np.asarray(list(a), dtype=float)
     bb = np.asarray(list(b), dtype=float)
     if aa.size < 2 or bb.size < 2:
         return 1.0
-    if float(aa.std()) == 0.0 and float(bb.std()) == 0.0:
-        return 0.0 if float(aa.mean()) != float(bb.mean()) else 1.0
-    _, p = scipy_stats.ttest_ind(aa, bb, equal_var=False)
-    return float(p) if not math.isnan(float(p)) else 1.0
+    return welch_ttest_p_from_stats(
+        int(aa.size), float(aa.mean()), float(aa.var(ddof=1)),
+        int(bb.size), float(bb.mean()), float(bb.var(ddof=1)))

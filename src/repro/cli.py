@@ -13,21 +13,30 @@ export SITE PATH  write a corpus site as HAR-flavoured JSON
 ``campaign`` is the scale-out entry point: arbitrary axes (sites,
 networks incl. ``--loss-sweep`` derived profiles, stacks, seeds), live
 progress, a worker failure policy, and exact resume — re-running the
-same spec skips every already-recorded condition.
+same spec skips every already-recorded condition. ``campaign --report``
+streams the recorded summaries through the incremental accumulators and
+renders a Table 1/2-style pivot (mean ± CI per cell, Welch significance
+marks); with ``--campaign-dir`` it reports post-hoc on a finished
+campaign directory without re-running anything.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from statistics import fmean
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro.analysis.streaming import GRID_AXES, GridReport
 from repro.browser.engine import load_page
+from repro.browser.metrics import VisualMetrics
 from repro.netem.profiles import NETWORKS, network_by_name, with_loss
 from repro.report import (
+    md_grid,
     render_figure4,
     render_figure5,
+    render_grid,
     render_table,
     render_table1,
     render_table2,
@@ -37,6 +46,7 @@ from repro.study.design import StudyPlan
 from repro.study.simulate import run_campaign
 from repro.testbed.campaign import Campaign, CampaignSpec, ProgressPrinter
 from repro.testbed.harness import Testbed
+from repro.testbed.store import SummaryStore
 from repro.transport.config import STACKS
 from repro.web.corpus import CORPUS_SITE_NAMES, build_corpus, build_site
 from repro.web.io import save_website
@@ -114,7 +124,77 @@ def _parse_loss_sweep(entries: List[str]) -> List[object]:
     return profiles
 
 
+def _parse_pivot(pivot: str) -> Tuple[Tuple[str, ...], str]:
+    """``axis,...,axis`` → (row axes, column axis); last axis = columns."""
+    axes = [axis.strip() for axis in pivot.split(",") if axis.strip()]
+    if len(axes) < 2:
+        raise SystemExit(
+            f"repro campaign: error: --pivot needs at least two axes "
+            f"(rows...,columns), got {pivot!r}")
+    for axis in axes:
+        if axis not in GRID_AXES:
+            raise SystemExit(
+                f"repro campaign: error: unknown pivot axis {axis!r}; "
+                f"expected one of {', '.join(GRID_AXES)}")
+    if len(set(axes)) != len(axes):
+        raise SystemExit(
+            f"repro campaign: error: --pivot axes must be distinct, "
+            f"got {pivot!r}")
+    return tuple(axes[:-1]), axes[-1]
+
+
+def _make_report(args: argparse.Namespace) -> GridReport:
+    rows, cols = _parse_pivot(args.pivot)
+    if args.report_metric not in VisualMetrics.METRIC_NAMES:
+        raise SystemExit(
+            f"repro campaign: error: unknown metric "
+            f"{args.report_metric!r}; expected one of "
+            f"{', '.join(VisualMetrics.METRIC_NAMES)}")
+    if not 0.0 < args.confidence < 1.0:
+        raise SystemExit(
+            f"repro campaign: error: --confidence must be strictly "
+            f"between 0 and 1, got {args.confidence:g}")
+    return GridReport(rows=rows, cols=cols, metric=args.report_metric,
+                      confidence=args.confidence)
+
+
+def _print_report(report: GridReport, fmt: str) -> None:
+    if fmt == "md":
+        print(md_grid(report))
+    elif fmt == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(render_grid(report))
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_dir is not None:
+        # Post-hoc reporting: stream a finished campaign directory's
+        # summaries through the accumulators — nothing is re-run.
+        report = _make_report(args)
+        store = SummaryStore.open(args.campaign_dir,
+                                  cache_dir=args.cache_dir)
+        # recorded_count() is the manifest's claim (no summary loads,
+        # legacy-manifest-proof); comparing it against what iteration
+        # yields detects a wrong/pruned cache directory.
+        listed = store.recorded_count()
+        fed = 0
+        for key, summary in store:
+            report.add(key, summary)
+            fed += 1
+        if listed and not fed:
+            print(f"repro campaign: error: manifest lists {listed} "
+                  f"recorded conditions but none were found in the "
+                  f"cache ({store.cache.directory}) — wrong or pruned "
+                  f"--cache-dir?", file=sys.stderr)
+            return 1
+        if fed < listed:
+            print(f"warning: {listed - fed} of {listed} recorded "
+                  f"conditions missing from the cache "
+                  f"({store.cache.directory}); the report covers the "
+                  f"remaining {fed}", file=sys.stderr)
+        _print_report(report, args.format)
+        return 0
     try:
         networks: List[object] = [network_by_name(name)
                                   for name in (args.networks or [])]
@@ -136,30 +216,48 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     campaign = Campaign(spec, cache_dir=args.cache_dir)
     total = len(spec.conditions())
+    # With a JSON report, stdout must stay machine-parseable: all
+    # progress/banner lines move to stderr.
+    info = sys.stderr if args.report and args.format == "json" \
+        else sys.stdout
     print(f"campaign {spec.name!r}: {total} conditions "
           f"({len(spec.sites)} sites x {len(spec.networks)} networks x "
           f"{len(spec.stacks)} stacks x {len(spec.seeds)} seeds), "
-          f"{args.runs} runs each")
-    print(f"manifest: {campaign.manifest_path}")
-    progress = None if args.quiet else ProgressPrinter()
+          f"{args.runs} runs each", file=info)
+    print(f"manifest: {campaign.manifest_path}", file=info)
+    progress = None if args.quiet else ProgressPrinter(stream=info)
+    report = _make_report(args) if args.report else None
+    sink = None
+    if report is not None:
+        # Summaries stream into the accumulators as conditions settle;
+        # rendering after the run needs no second pass over the grid.
+        sink = lambda condition, summary: \
+            report.add(condition.key, summary)  # noqa: E731
     result = campaign.run(
         processes=args.processes,
         failure_policy=args.failure_policy,
         progress=progress,
         batch_size=args.batch_size,
+        sink=sink,
     )
     counts = result.counts
     rate = len(result.results) / result.duration_s if result.duration_s else 0
     print(f"done in {result.duration_s:.1f}s ({rate:.1f} conditions/s): "
-          + ", ".join(f"{v} {k}" for k, v in sorted(counts.items())))
+          + ", ".join(f"{v} {k}" for k, v in sorted(counts.items())),
+          file=info)
     if not result.ok:
         for failed in result.failed:
             last = (failed.error or "").strip().splitlines()
             print(f"FAILED {failed.condition.label}: "
-                  f"{last[-1] if last else 'unknown error'}")
+                  f"{last[-1] if last else 'unknown error'}", file=info)
         return 1
-    mean_si = fmean(s.si for s in campaign.summaries())
-    print(f"mean SI over the grid: {mean_si:.2f} s")
+    if report is not None:
+        if info is sys.stdout:
+            print()
+        _print_report(report, args.format)
+    else:
+        mean_si = fmean(s.si for _, s in campaign.iter_summaries())
+        print(f"mean SI over the grid: {mean_si:.2f} s")
     return 0
 
 
@@ -242,6 +340,27 @@ def build_parser() -> argparse.ArgumentParser:
                             help="campaign name (labels the manifest dir)")
     p_campaign.add_argument("--quiet", action="store_true",
                             help="suppress per-condition progress lines")
+    p_campaign.add_argument("--report", action="store_true",
+                            help="render a Table 1/2-style pivot "
+                                 "(mean ± CI, Welch marks) after the run")
+    p_campaign.add_argument("--pivot", default="network,stack",
+                            metavar="AXES",
+                            help="pivot axes, rows...,columns "
+                                 "(subset of website,network,stack,seed; "
+                                 "default: network,stack)")
+    p_campaign.add_argument("--format", default="text",
+                            choices=["text", "md", "json"],
+                            help="report output format")
+    p_campaign.add_argument("--report-metric", default="SI",
+                            help="metric aggregated in the report "
+                                 "(default: SI)")
+    p_campaign.add_argument("--confidence", type=float, default=0.99,
+                            help="CI level / Welch alpha = 1-confidence "
+                                 "(default: 0.99)")
+    p_campaign.add_argument("--campaign-dir", default=None,
+                            help="report post-hoc on this finished "
+                                 "campaign directory (no conditions are "
+                                 "run; spec axes are ignored)")
 
     p_study = sub.add_parser("study", help="run a reduced campaign")
     p_study.add_argument("--runs", type=int, default=5)

@@ -1,10 +1,12 @@
 """ASCII rendering of the paper's tables and figures."""
 
+from repro.report.markdown import md_grid, md_table
 from repro.report.tables import (
     render_figure3,
     render_figure4,
     render_figure5,
     render_figure6,
+    render_grid,
     render_table,
     render_table1,
     render_table2,
@@ -12,6 +14,9 @@ from repro.report.tables import (
 )
 
 __all__ = [
+    "md_grid",
+    "md_table",
+    "render_grid",
     "render_table",
     "render_table1",
     "render_table2",

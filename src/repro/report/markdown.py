@@ -12,6 +12,7 @@ from typing import Mapping, Sequence, Tuple
 from repro.analysis.ab import AbShares
 from repro.analysis.correlation import CorrelationHeatmap
 from repro.analysis.rating import RatingCell
+from repro.analysis.streaming import GridReport
 from repro.netem.profiles import NETWORKS
 from repro.study.design import scale_label
 from repro.study.filtering import FilterFunnel
@@ -26,6 +27,16 @@ def md_table(headers: Sequence[str],
     body = ["| " + " | ".join(str(cell) for cell in row) + " |"
             for row in rows]
     return "\n".join([head, sep] + body)
+
+
+def md_grid(report: GridReport) -> str:
+    """Markdown twin of :func:`repro.report.tables.render_grid`."""
+    from repro.report.tables import grid_caption, grid_headers_and_rows
+
+    if report.is_empty:
+        return "_(no recorded conditions to report)_"
+    headers, rows = grid_headers_and_rows(report)
+    return f"### {grid_caption(report)}\n\n" + md_table(headers, rows)
 
 
 def md_table1() -> str:

@@ -8,6 +8,7 @@ from repro.analysis.ab import AbShares
 from repro.analysis.agreement import ConditionAgreement
 from repro.analysis.correlation import CorrelationHeatmap
 from repro.analysis.rating import RatingCell
+from repro.analysis.streaming import GridReport
 from repro.netem.profiles import NETWORKS
 from repro.study.design import scale_label
 from repro.study.filtering import FilterFunnel
@@ -28,6 +29,45 @@ def render_table(headers: Sequence[str],
         lines.append("  ".join(str(cell).ljust(w)
                                for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def grid_cell_text(report: GridReport, row, col) -> str:
+    """One pivot cell: ``mean ±half*`` (``*`` = Welch p < alpha vs the
+    baseline column); ``-`` for an empty cell."""
+    stat = report.cell(row, col)
+    if stat is None:
+        return "-"
+    return f"{stat.ci.mean:.2f} ±{stat.ci.halfwidth:.2f}{stat.mark}"
+
+
+def grid_headers_and_rows(report: GridReport):
+    """Headers + body rows shared by the ASCII and markdown renderers."""
+    columns = report.columns()
+    headers = [*report.row_axes] + [str(c) for c in columns]
+    rows = []
+    for row_key in report.row_keys():
+        cells = [grid_cell_text(report, row_key, col) for col in columns]
+        rows.append([str(v) for v in row_key] + cells)
+    return headers, rows
+
+
+def grid_caption(report: GridReport) -> str:
+    """Table 1/2-style caption describing the pivot."""
+    baseline = report.baseline_column()
+    marks = f"; * = Welch p < {report.alpha:g} vs {baseline}" \
+        if baseline is not None else ""
+    return (f"{report.metric} mean ±{report.confidence:.0%} CI by "
+            f"{' x '.join(report.row_axes)} (rows) x {report.col_axis} "
+            f"(columns){marks}")
+
+
+def render_grid(report: GridReport) -> str:
+    """Table 1/2-style pivot of a campaign grid (see
+    :class:`~repro.analysis.streaming.GridReport`)."""
+    if report.is_empty:
+        return "(no recorded conditions to report)"
+    headers, rows = grid_headers_and_rows(report)
+    return grid_caption(report) + "\n" + render_table(headers, rows)
 
 
 def render_table1() -> str:

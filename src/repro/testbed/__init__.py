@@ -17,6 +17,10 @@ Three layers:
   including derived loss-sweep and trace-driven network profiles), with
   per-condition completion manifests, live progress and a worker
   failure policy.
+* :class:`SummaryStore` / :class:`ConditionKey` — streaming access to a
+  campaign's recordings: lazy ``(key, summary)`` iteration, live (via
+  :meth:`Campaign.summary_store` or the ``sink`` argument of
+  :meth:`Campaign.run`) or post-hoc from a campaign directory on disk.
 """
 
 from repro.testbed.campaign import (
@@ -37,6 +41,7 @@ from repro.testbed.harness import (
     condition_fingerprint,
 )
 from repro.testbed.parallel import parallel_sweep
+from repro.testbed.store import CONDITION_AXES, ConditionKey, SummaryStore
 
 __all__ = [
     "Campaign",
@@ -44,11 +49,14 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "Condition",
+    "ConditionKey",
     "ConditionResult",
+    "CONDITION_AXES",
     "Progress",
     "ProgressPrinter",
     "RecordingCache",
     "RecordingSummary",
+    "SummaryStore",
     "Testbed",
     "condition_fingerprint",
     "parallel_sweep",

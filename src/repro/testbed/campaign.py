@@ -23,6 +23,13 @@ Results are byte-identical to a sequential :meth:`Testbed.sweep` over
 the same parameters: both funnel through
 :func:`~repro.testbed.harness.produce_summary` and share the
 content-addressed disk cache.
+
+Results stream out rather than batch-load: :meth:`Campaign.run` feeds an
+optional ``sink`` with ``(condition, summary)`` pairs as conditions
+settle, and :meth:`Campaign.iter_summaries` /
+:meth:`Campaign.summary_store` iterate recordings lazily (the store also
+reopens a finished campaign directory post-hoc — see
+:mod:`repro.testbed.store`).
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ import os
 import sys
 import time
 import traceback
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -60,14 +68,15 @@ from repro.testbed.harness import (
     resolve_network,
     resolve_stack,
 )
+from repro.testbed.store import OK_STATUSES, ConditionKey, SummaryStore
 from repro.transport.config import STACKS, StackConfig
 from repro.web.corpus import CORPUS_SITE_NAMES
 
 #: Worker failure policies.
 FAILURE_POLICIES = ("retry", "skip", "abort")
 
-#: Condition statuses that count as successfully recorded.
-OK_STATUSES = ("simulated", "cached", "resumed")
+# OK_STATUSES (statuses that count as successfully recorded) is owned
+# by repro.testbed.store, which reads them back out of manifests.
 
 
 class CampaignError(RuntimeError):
@@ -99,6 +108,15 @@ class Condition:
             self.website, self.profile, self.stack,
             corpus_seed=self.corpus_seed, seed=self.seed, runs=self.runs,
             timeout=self.timeout, selection_metric=self.selection_metric,
+        )
+
+    @property
+    def key(self) -> ConditionKey:
+        """Light axis/identity key used by the streaming results path."""
+        return ConditionKey(
+            website=self.website, network=self.profile.name,
+            stack=self.stack.name, seed=self.seed,
+            label=self.label, fingerprint=self.fingerprint(),
         )
 
     def produce(self) -> RecordingSummary:
@@ -215,6 +233,10 @@ class Progress:
 
 
 ProgressCallback = Callable[[Progress], None]
+
+#: Streaming results consumer: called with each successfully recorded
+#: condition and its summary as the condition settles.
+SummarySink = Callable[["Condition", RecordingSummary], None]
 
 
 @dataclass
@@ -357,9 +379,16 @@ class Campaign:
 
     def _append_manifest(self, result: ConditionResult) -> None:
         self.campaign_dir.mkdir(parents=True, exist_ok=True)
+        condition = result.condition
         record = {
-            "fingerprint": result.condition.fingerprint(),
-            "label": result.condition.label,
+            "fingerprint": condition.fingerprint(),
+            "label": condition.label,
+            # Axis fields let SummaryStore.open() list a finished
+            # campaign's keys without loading any summary.
+            "website": condition.website,
+            "network": condition.profile.name,
+            "stack": condition.stack.name,
+            "seed": condition.seed,
             "status": result.status,
             "attempts": result.attempts,
             "duration_s": round(result.duration_s, 4),
@@ -385,6 +414,7 @@ class Campaign:
         max_retries: int = 2,
         progress: Optional[ProgressCallback] = None,
         batch_size: Optional[int] = None,
+        sink: Optional[SummarySink] = None,
     ) -> CampaignResult:
         """Record every condition, resuming any earlier partial run.
 
@@ -402,6 +432,13 @@ class Campaign:
         batches per worker). Batches are consecutive slices of the
         deterministic sweep order; results, manifest contents and the
         returned ordering are identical for every batch size.
+
+        ``sink`` streams results into the analysis layer: it is called
+        with ``(condition, summary)`` once per successfully recorded
+        unique condition *as it settles* (resumed and cached conditions
+        first, then simulated ones in completion order), so incremental
+        aggregation can run concurrently with the sweep instead of
+        loading the whole grid afterwards.
         """
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -447,9 +484,18 @@ class Campaign:
                 progress(Progress(done, total, result,
                                   time.perf_counter() - started))
 
+        def feed_sink(condition: Condition) -> None:
+            if sink is None:
+                return
+            summary = self.cache.load(condition.label,
+                                      condition.fingerprint())
+            if summary is not None:
+                sink(condition, summary)
+
         for result in settled.values():
             done += 1
             tick(result)
+            feed_sink(result.condition)
 
         attempts: Dict[str, int] = {}
         pending = todo
@@ -468,6 +514,7 @@ class Campaign:
                     settled[fingerprint] = result
                     self._append_manifest(result)
                     tick(result)
+                    feed_sink(condition)
                     continue
                 if failure_policy == "abort":
                     result = ConditionResult(
@@ -545,21 +592,52 @@ class Campaign:
 
     # -- results -------------------------------------------------------------
 
-    def summaries(self) -> List[RecordingSummary]:
-        """Load every condition's summary from the cache, in sweep order.
+    def iter_summaries(
+        self,
+    ) -> Iterator[Tuple[Condition, RecordingSummary]]:
+        """Yield ``(condition, summary)`` lazily, in sweep order.
 
-        Raises if a condition has not been recorded yet — run the
-        campaign first.
+        One summary is in memory at a time — this is the streaming
+        replacement for the deprecated whole-grid :meth:`summaries`.
+        Raises :class:`KeyError` for a condition that has not been
+        recorded yet — run the campaign first.
         """
-        out: List[RecordingSummary] = []
         for condition in self.spec.conditions():
             summary = self.cache.load(condition.label,
                                       condition.fingerprint())
             if summary is None:
                 raise KeyError(
                     f"condition {condition.label} not recorded yet")
-            out.append(summary)
-        return out
+            yield condition, summary
+
+    def summary_store(self) -> SummaryStore:
+        """A :class:`SummaryStore` over this campaign's recordings.
+
+        Keys follow the spec's deterministic sweep order (duplicate
+        fingerprints collapsed); the same store can be reopened post-hoc
+        from :attr:`campaign_dir` with :meth:`SummaryStore.open`.
+        """
+        keys, seen = [], set()
+        for condition in self.spec.conditions():
+            key = condition.key
+            if key.fingerprint not in seen:
+                seen.add(key.fingerprint)
+                keys.append(key)
+        return SummaryStore(self.cache, keys=keys,
+                            campaign_dir=self.campaign_dir)
+
+    def summaries(self) -> List[RecordingSummary]:
+        """Deprecated: load every condition's summary into one list.
+
+        Materialises the whole grid in memory; use
+        :meth:`iter_summaries` (lazy pairs) or :meth:`summary_store`
+        (streaming, post-hoc capable) instead.
+        """
+        warnings.warn(
+            "Campaign.summaries() loads the whole grid into memory; "
+            "use Campaign.iter_summaries() or Campaign.summary_store()",
+            DeprecationWarning, stacklevel=2)
+        return [summary for _, summary in self.iter_summaries()]
 
 
 def run_campaign_spec(

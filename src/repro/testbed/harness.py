@@ -158,6 +158,11 @@ class RecordingSummary:
     def mean_metric(self, name: str) -> float:
         return fmean(m[name] for m in self.run_metrics)
 
+    def metric_samples(self, name: str) -> List[float]:
+        """Per-run samples of one metric — the unit the streaming
+        accumulators (:mod:`repro.analysis.streaming`) aggregate."""
+        return [m[name] for m in self.run_metrics]
+
     def to_json(self) -> Dict[str, object]:
         return {
             "website": self.website,

@@ -1,0 +1,230 @@
+"""Lazy access to a campaign's recorded summaries.
+
+:class:`SummaryStore` is the streaming bridge between the testbed and
+the analysis layer: it iterates ``(ConditionKey, RecordingSummary)``
+pairs straight off the campaign manifest and the content-addressed
+recording cache, one summary in memory at a time, instead of
+materialising the whole grid the way ``Campaign.summaries()`` did.
+
+Two ways to build one:
+
+* live — :meth:`Campaign.summary_store` binds a store to a campaign
+  object whose spec is in memory (keys come from the spec's axis
+  product, in deterministic sweep order);
+* post-hoc — :meth:`SummaryStore.open` points at a finished campaign
+  directory on disk and recovers the keys from ``manifest.jsonl``
+  without re-running (or even being able to re-run) any condition.
+
+Either way iteration is lazy: nothing is loaded until the pair is
+yielded, and nothing yielded is retained, so per-axis aggregation over
+an N-condition grid needs O(axes) memory, not O(N).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.testbed.harness import RecordingCache, RecordingSummary
+
+#: Axis names a :class:`ConditionKey` can be pivoted/grouped on.
+CONDITION_AXES = ("website", "network", "stack", "seed")
+
+#: Manifest statuses that mean "a recording exists for this condition".
+#: Owned here (the manifest-reading layer); the campaign orchestrator
+#: imports it, so the two can never drift apart.
+OK_STATUSES = ("simulated", "cached", "resumed")
+
+#: Labels end in ``_s<seed>`` (see ``harness.condition_label``).
+_SEED_SUFFIX = re.compile(r"_s(\d+)$")
+
+
+@dataclass(frozen=True)
+class ConditionKey:
+    """Axis coordinates plus cache identity of one recorded condition.
+
+    A deliberately light counterpart to ``campaign.Condition``: it
+    carries only what grouping and cache lookup need, so it can be
+    reconstructed from a manifest on disk where the full profile/stack
+    objects no longer exist.
+    """
+
+    website: str
+    network: str
+    stack: str
+    seed: int
+    label: str
+    fingerprint: str
+
+    def axis(self, name: str) -> object:
+        """Value of one pivot axis (website / network / stack / seed)."""
+        if name not in CONDITION_AXES:
+            raise KeyError(
+                f"unknown condition axis {name!r}; "
+                f"expected one of {CONDITION_AXES}")
+        return getattr(self, name)
+
+    def axes(self, names: Sequence[str]) -> Tuple[object, ...]:
+        """Tuple of axis values, e.g. a group-by key."""
+        return tuple(self.axis(name) for name in names)
+
+
+def _seed_from_label(label: str) -> int:
+    match = _SEED_SUFFIX.search(label)
+    return int(match.group(1)) if match else -1
+
+
+class SummaryStore:
+    """Iterates ``(ConditionKey, RecordingSummary)`` pairs lazily.
+
+    ``keys`` fixes the key list up front (live mode: the campaign spec's
+    sweep order); without it the keys are recovered from the campaign
+    directory's ``manifest.jsonl`` (post-hoc mode), in manifest order
+    with later records winning per fingerprint.
+    """
+
+    def __init__(
+        self,
+        cache: Union[RecordingCache, str, Path],
+        keys: Optional[Sequence[ConditionKey]] = None,
+        campaign_dir: Optional[Union[str, Path]] = None,
+    ):
+        self.cache = cache if isinstance(cache, RecordingCache) \
+            else RecordingCache(cache)
+        self.campaign_dir = Path(campaign_dir) \
+            if campaign_dir is not None else None
+        self._keys = list(keys) if keys is not None else None
+
+    @classmethod
+    def open(
+        cls,
+        campaign_dir: Union[str, Path],
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> "SummaryStore":
+        """Open a finished campaign directory without re-running anything.
+
+        ``cache_dir`` defaults to the layout ``Campaign`` creates
+        (``<cache>/campaigns/<name>-<fingerprint>``), i.e. two levels up
+        from the campaign directory.
+        """
+        campaign_dir = Path(campaign_dir)
+        manifest = campaign_dir / "manifest.jsonl"
+        if not manifest.exists():
+            raise FileNotFoundError(
+                f"no campaign manifest at {manifest}")
+        if cache_dir is None:
+            cache_dir = campaign_dir.parent.parent
+        return cls(RecordingCache(cache_dir), campaign_dir=campaign_dir)
+
+    # -- keys ----------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Optional[Path]:
+        if self.campaign_dir is None:
+            return None
+        return self.campaign_dir / "manifest.jsonl"
+
+    def _manifest_records(self) -> List[Dict[str, object]]:
+        """Latest manifest record per fingerprint, in first-seen order."""
+        manifest = self.manifest_path
+        records: Dict[str, Dict[str, object]] = {}
+        if manifest is None or not manifest.exists():
+            return []
+        with open(manifest) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from a killed run
+                records[str(record.get("fingerprint"))] = record
+        return list(records.values())
+
+    def _key_from_record(
+            self, record: Dict[str, object]) -> Optional[ConditionKey]:
+        label = str(record.get("label", ""))
+        fingerprint = str(record.get("fingerprint", ""))
+        if not label or not fingerprint:
+            return None
+        if "website" in record:  # axis fields written since the manifest
+            return ConditionKey(  # format gained them
+                website=str(record["website"]),
+                network=str(record["network"]),
+                stack=str(record["stack"]),
+                seed=int(record.get("seed", _seed_from_label(label))),
+                label=label, fingerprint=fingerprint,
+            )
+        # Legacy manifest line: recover the axes from the summary itself.
+        summary = self.cache.load(label, fingerprint)
+        if summary is None:
+            return None
+        return ConditionKey(
+            website=summary.website, network=summary.network,
+            stack=summary.stack, seed=_seed_from_label(label),
+            label=label, fingerprint=fingerprint,
+        )
+
+    def keys(self) -> List[ConditionKey]:
+        """Every recorded condition's key (no summaries loaded for
+        manifests that carry axis fields)."""
+        if self._keys is not None:
+            return list(self._keys)
+        out: List[ConditionKey] = []
+        for record in self._manifest_records():
+            if record.get("status") not in OK_STATUSES:
+                continue
+            key = self._key_from_record(record)
+            if key is not None:
+                out.append(key)
+        return out
+
+    def recorded_count(self) -> int:
+        """How many conditions the manifest says were recorded ok.
+
+        Unlike ``len(self.keys())`` this never loads a summary, so on a
+        legacy manifest with an empty/wrong cache it still reports the
+        manifest's claim — callers can compare it against what
+        iteration actually yields to detect a missing cache.
+        """
+        if self._keys is not None:
+            return len(self._keys)
+        return sum(record.get("status") in OK_STATUSES
+                   for record in self._manifest_records())
+
+    # -- iteration -----------------------------------------------------------
+
+    def load(self, key: ConditionKey) -> Optional[RecordingSummary]:
+        """The summary recorded for one key, or None if missing/pruned."""
+        return self.cache.load(key.label, key.fingerprint)
+
+    def iter_summaries(
+        self, missing: str = "skip",
+    ) -> Iterator[Tuple[ConditionKey, RecordingSummary]]:
+        """Yield ``(key, summary)`` pairs one at a time.
+
+        ``missing`` says what to do when a key's recording is absent
+        from the cache (pruned, or the condition failed): ``"skip"``
+        (default — report on what exists) or ``"raise"`` (KeyError).
+        """
+        if missing not in ("skip", "raise"):
+            raise ValueError(
+                f"missing must be 'skip' or 'raise', got {missing!r}")
+        for key in self.keys():
+            summary = self.load(key)
+            if summary is None:
+                if missing == "raise":
+                    raise KeyError(
+                        f"condition {key.label} not recorded yet")
+                continue
+            yield key, summary
+
+    def __iter__(self) -> Iterator[Tuple[ConditionKey, RecordingSummary]]:
+        return self.iter_summaries()
+
+    def __len__(self) -> int:
+        return len(self.keys())

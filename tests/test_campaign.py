@@ -136,7 +136,7 @@ class TestRunAndResume:
         spec = CampaignSpec(name="order", **SMALL)
         campaign = Campaign(spec, cache_dir=tmp_path)
         campaign.run(processes=1)
-        summaries = campaign.summaries()
+        summaries = [s for _, s in campaign.iter_summaries()]
         assert [s.stack for s in summaries] == ["TCP", "QUIC"]
 
     def test_pruned_cache_resimulated_despite_manifest(self, tmp_path):
@@ -149,7 +149,7 @@ class TestRunAndResume:
             recording.unlink()
         result = Campaign(spec, cache_dir=tmp_path).run(processes=1)
         assert result.counts == {"simulated": 2}
-        assert len(campaign.summaries()) == 2
+        assert len(list(campaign.iter_summaries())) == 2
 
     def test_manifest_tolerates_torn_line(self, tmp_path):
         spec = CampaignSpec(name="torn", **SMALL)
@@ -167,7 +167,8 @@ class TestRunAndResume:
                             stacks=["TCP"], runs=1, name="trace")
         result = run_campaign_spec(spec, cache_dir=tmp_path, processes=1)
         assert result.ok
-        summary = Campaign(spec, cache_dir=tmp_path).summaries()[0]
+        _, summary = next(Campaign(spec,
+                                   cache_dir=tmp_path).iter_summaries())
         assert summary.network == "steady4"
         assert summary.selected_metrics["PLT"] > 0
 

@@ -1,6 +1,7 @@
 """CLI commands and website JSON import/export."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -88,6 +89,101 @@ class TestCli:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "resumed" in out
+
+    def test_campaign_report_renders_pivot_table(self, tmp_path, capsys):
+        """Tier-1 smoke: 2 stacks x 2 seeds x 1 network campaign, then
+        --report --format md must render a non-empty pivot with CI
+        columns (mean ±halfwidth cells)."""
+        argv = ["campaign", "--sites", "gov.uk", "--networks", "DSL",
+                "--stacks", "TCP", "QUIC", "--seeds", "0", "1",
+                "--runs", "1", "--processes", "1", "--quiet",
+                "--cache-dir", str(tmp_path), "--name", "rep",
+                "--report", "--format", "md"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # Markdown pivot: header row carries the stack columns...
+        assert "| network | TCP | QUIC |" in out
+        # ...and every body cell is a mean ± CI halfwidth.
+        body = [l for l in out.splitlines()
+                if l.startswith("| DSL")]
+        assert body and all("±" in line for line in body)
+        assert "SI mean ±99% CI" in out
+
+    def test_campaign_report_posthoc_from_dir(self, tmp_path, capsys):
+        """--campaign-dir renders the same report from the finished
+        directory without re-running (no progress/summary lines)."""
+        run_argv = ["campaign", "--sites", "gov.uk", "--networks", "DSL",
+                    "--stacks", "TCP", "--runs", "1", "--processes", "1",
+                    "--quiet", "--cache-dir", str(tmp_path),
+                    "--name", "ph"]
+        assert main(run_argv) == 0
+        out = capsys.readouterr().out
+        manifest = next(l.split("manifest: ", 1)[1]
+                        for l in out.splitlines() if "manifest: " in l)
+        campaign_dir = str(Path(manifest).parent)
+        assert main(["campaign", "--campaign-dir", campaign_dir,
+                     "--cache-dir", str(tmp_path),
+                     "--report", "--format", "text"]) == 0
+        out = capsys.readouterr().out
+        assert "DSL" in out and "±" in out
+        assert "conditions/s" not in out  # nothing was run
+
+    def test_campaign_bad_pivot_axis_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--report", "--pivot", "network,bogus",
+                  "--runs", "1", "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(["campaign", "--report", "--pivot", "network",
+                  "--runs", "1", "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):  # duplicate axis
+            main(["campaign", "--report", "--pivot", "network,network",
+                  "--runs", "1", "--cache-dir", str(tmp_path)])
+
+    def test_campaign_bad_report_metric_rejected(self, tmp_path):
+        """Unknown metrics must fail at parse time, not mid-sweep."""
+        with pytest.raises(SystemExit):
+            main(["campaign", "--report", "--report-metric", "bogus",
+                  "--runs", "1", "--cache-dir", str(tmp_path)])
+
+    def test_campaign_bad_confidence_rejected(self, tmp_path):
+        for bad in ("1.5", "0", "-1"):
+            with pytest.raises(SystemExit):
+                main(["campaign", "--report", "--confidence", bad,
+                      "--runs", "1", "--cache-dir", str(tmp_path)])
+
+    def test_campaign_live_json_report_is_pure_stdout(self, tmp_path,
+                                                      capsys):
+        """--report --format json must leave stdout machine-parseable;
+        banner/progress lines go to stderr."""
+        assert main(["campaign", "--sites", "gov.uk", "--networks",
+                     "DSL", "--stacks", "TCP", "--runs", "1",
+                     "--processes", "1", "--cache-dir", str(tmp_path),
+                     "--name", "pj", "--report", "--format",
+                     "json"]) == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # whole stdout is one document
+        assert doc["metric"] == "SI"
+        assert "conditions" in captured.err  # banner moved to stderr
+
+    def test_campaign_posthoc_wrong_cache_dir_errors(self, tmp_path,
+                                                     capsys):
+        """A manifest whose recordings are all absent from the cache is
+        an error, not an empty report."""
+        run_argv = ["campaign", "--sites", "gov.uk", "--networks", "DSL",
+                    "--stacks", "TCP", "--runs", "1", "--processes", "1",
+                    "--quiet", "--cache-dir", str(tmp_path / "cache"),
+                    "--name", "wc"]
+        assert main(run_argv) == 0
+        out = capsys.readouterr().out
+        manifest = next(l.split("manifest: ", 1)[1]
+                        for l in out.splitlines() if "manifest: " in l)
+        empty = tmp_path / "empty-cache"
+        empty.mkdir()
+        assert main(["campaign", "--campaign-dir",
+                     str(Path(manifest).parent), "--cache-dir",
+                     str(empty), "--report"]) == 1
+        err = capsys.readouterr().err
+        assert "none were found in the cache" in err
 
     def test_campaign_loss_sweep_axis(self, tmp_path, capsys):
         assert main(["campaign", "--sites", "gov.uk", "--networks", "DSL",

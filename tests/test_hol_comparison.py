@@ -69,12 +69,15 @@ def completion_deltas(stack, drop_packet_index=30):
 
 class TestHolComparison:
     def test_all_responses_complete_for_both(self):
+        """Tier-1 smoke: one lossy run per mapping completes fully; the
+        cross-stack comparison grids below are ``slow`` (REPRO_RUN_SLOW=1)."""
         for stack in (TCP_PLUS, QUIC):
             timelines, dropped_at = run_with_single_loss(stack)
             assert dropped_at is not None, stack.name
             for index, timeline in timelines.items():
                 assert timeline[-1][1] == BODY, (stack.name, index)
 
+    @pytest.mark.slow
     def test_single_loss_costs_about_one_recovery(self):
         """At the HTTP layer the *completion* cost of one lost packet is
         bounded by one loss-recovery episode for both mappings: the
@@ -89,6 +92,7 @@ class TestHolComparison:
             # No completion shifts by more than ~2 recovery round trips.
             assert max(deltas) < 4 * DSL.min_rtt_s, stack.name
 
+    @pytest.mark.slow
     def test_h3_first_damaged_stream_recovers_in_one_jump(self):
         """Data past the hole is buffered: once the retransmission lands,
         the damaged H3 stream's watermark advances by several frames at

@@ -2,6 +2,11 @@
 
 These tests assert the qualitative *shapes* that make the reproduction
 faithful: who wins where, and what the study machinery concludes.
+
+The full grid/study cases (whole-grid loops, 120-150-participant
+simulated studies) are ``slow`` — opt in with ``REPRO_RUN_SLOW=1``.
+Tier-1 keeps one small smoke per area so the pipeline itself stays
+guarded on every run.
 """
 
 import pytest
@@ -40,6 +45,44 @@ def filtered_rating(small_testbed, plan):
     return kept
 
 
+class TestTechnicalSmoke:
+    """Tier-1: the paper's headline orderings on a single site."""
+
+    def test_quic_beats_stock_tcp_on_lte(self, small_testbed):
+        site = SMALL_SITES[0]
+        quic = small_testbed.recording(site, "LTE", "QUIC").si
+        tcp = small_testbed.recording(site, "LTE", "TCP").si
+        assert quic < tcp
+
+    def test_networks_order_load_times(self, small_testbed):
+        site = SMALL_SITES[0]
+        dsl = small_testbed.recording(site, "DSL", "TCP").si
+        lte = small_testbed.recording(site, "LTE", "TCP").si
+        mss = small_testbed.recording(site, "MSS", "TCP").si
+        assert dsl < lte < mss
+
+
+class TestStudySmoke:
+    """Tier-1: the study machinery runs end to end at small scale."""
+
+    def test_ab_pipeline(self, small_testbed, plan):
+        result = run_ab_study(small_testbed, "microworker", plan,
+                              participants=30, seed=42)
+        kept, _ = apply_filters(result.sessions, "microworker", "ab")
+        shares = ab_vote_shares(kept)
+        assert shares
+        assert all(cell.total > 0 for cell in shares.values())
+
+    def test_rating_pipeline(self, small_testbed, plan):
+        result = run_rating_study(small_testbed, "microworker", plan,
+                                  participants=30, seed=43)
+        kept, _ = apply_filters(result.sessions, "microworker", "rating")
+        cells = rating_means(kept)
+        assert cells
+        assert all(0.0 <= cell.mean <= 100.0 for cell in cells)
+
+
+@pytest.mark.slow
 class TestTechnicalShape:
     """The transport-level orderings the paper's videos encode."""
 
@@ -73,6 +116,7 @@ class TestTechnicalShape:
             assert dsl < lte < mss
 
 
+@pytest.mark.slow
 class TestAbFindings:
     def test_quic_preferred_on_slow_networks(self, filtered_ab):
         shares = ab_vote_shares(filtered_ab)
@@ -100,6 +144,7 @@ class TestAbFindings:
         assert sum(fast) / len(fast) > sum(slow) / len(slow)
 
 
+@pytest.mark.slow
 class TestRatingFindings:
     def test_no_significant_protocol_effect_at_99(self, filtered_rating):
         """The paper's headline: in isolation, stacks are rated alike."""
@@ -132,6 +177,7 @@ class TestRatingFindings:
         assert not is_normal(votes)
 
 
+@pytest.mark.slow
 class TestCorrelationFindings:
     def test_heatmap_structure(self, filtered_rating, small_testbed):
         """With only two small sites Pearson r is extremely noisy, so we
@@ -147,6 +193,7 @@ class TestCorrelationFindings:
         assert means["SI"] < 0.75
 
 
+@pytest.mark.slow
 class TestBehaviourStats:
     def test_section_42_statistics(self, filtered_ab):
         stats = behaviour_statistics(filtered_ab, "microworker", "ab")
