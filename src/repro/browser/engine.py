@@ -28,6 +28,7 @@ from repro.http.messages import (
 )
 from repro.http.server import OriginServer
 from repro.netem.engine import EventLoop
+from repro.netem.flowid import FlowIdAllocator
 from repro.netem.path import NetworkPath
 from repro.netem.profiles import NetworkProfile
 from repro.transport.config import StackConfig
@@ -117,6 +118,7 @@ class PageLoad:
         website: Website,
         timeout: float = DEFAULT_TIMEOUT,
         seed: int = 0,
+        flow_ids: Optional[FlowIdAllocator] = None,
     ):
         self._loop = loop
         self._path = path
@@ -124,6 +126,12 @@ class PageLoad:
         self._website = website
         self._timeout = timeout
         self._server_rng = spawn_rng(seed, "server-jitter", website.name)
+        # Connection identity is owned by the load context: the n-th
+        # connection of a load always gets the same flow id (and thus
+        # the same handshake-retry jitter), whatever ran earlier in the
+        # process. Defaults to the path's allocator, which is fresh per
+        # path — one load per path means one id space per load.
+        self._flow_ids = flow_ids if flow_ids is not None else path.flow_ids
 
         self._connections: Dict[str, HttpConnection] = {}
         self._states: Dict[int, _ObjectState] = {}
@@ -190,6 +198,7 @@ class PageLoad:
             conn = open_connection(
                 self._path, self._stack,
                 OriginServer(host, jitter_rng=self._server_rng),
+                flow_ids=self._flow_ids,
             )
             self._connections[host] = conn
             self._handshakes_in_progress += 1

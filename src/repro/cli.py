@@ -46,7 +46,7 @@ from repro.study.design import StudyPlan
 from repro.study.simulate import run_campaign
 from repro.testbed.campaign import Campaign, CampaignSpec, ProgressPrinter
 from repro.testbed.harness import Testbed
-from repro.testbed.store import SummaryStore
+from repro.testbed.store import StaleCampaignError, SummaryStore
 from repro.transport.config import STACKS
 from repro.web.corpus import CORPUS_SITE_NAMES, build_corpus, build_site
 from repro.web.io import save_website
@@ -172,8 +172,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # Post-hoc reporting: stream a finished campaign directory's
         # summaries through the accumulators — nothing is re-run.
         report = _make_report(args)
-        store = SummaryStore.open(args.campaign_dir,
-                                  cache_dir=args.cache_dir)
+        try:
+            store = SummaryStore.open(args.campaign_dir,
+                                      cache_dir=args.cache_dir,
+                                      check_behaviour=not args.allow_stale)
+        except StaleCampaignError as error:
+            raise SystemExit(
+                f"repro campaign: error: {error} (from the CLI: "
+                f"--allow-stale)")
         # recorded_count() is the manifest's claim (no summary loads,
         # legacy-manifest-proof); comparing it against what iteration
         # yields detects a wrong/pruned cache directory.
@@ -361,6 +367,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="report post-hoc on this finished "
                                  "campaign directory (no conditions are "
                                  "run; spec axes are ignored)")
+    p_campaign.add_argument("--allow-stale", action="store_true",
+                            help="with --campaign-dir: report on a "
+                                 "directory recorded under an older "
+                                 "SIM_BEHAVIOUR_VERSION instead of "
+                                 "refusing (results are not comparable "
+                                 "with current simulations)")
 
     p_study = sub.add_parser("study", help="run a reduced campaign")
     p_study.add_argument("--runs", type=int, default=5)

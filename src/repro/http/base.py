@@ -7,6 +7,7 @@ from typing import Callable, List, Optional
 
 from repro.http.messages import HttpRequest
 from repro.http.server import OriginServer
+from repro.netem.flowid import FlowIdAllocator
 from repro.netem.path import NetworkPath
 from repro.transport.config import StackConfig
 
@@ -17,14 +18,22 @@ class HttpConnection(abc.ABC):
     The browser engine opens one connection per contacted host — the
     paper's multi-server replay makes the number of contacted hosts (and
     therefore handshakes) a first-order QoE factor.
+
+    ``flow_ids`` is the page-load context's :class:`FlowIdAllocator`,
+    threaded down to the transport constructor so connection identity is
+    deterministic per load; when omitted the transports fall back to the
+    path's own allocator (equivalent for the usual one-path-per-load
+    layout).
     """
 
     def __init__(self, path: NetworkPath, stack: StackConfig,
-                 server: OriginServer):
+                 server: OriginServer,
+                 flow_ids: Optional[FlowIdAllocator] = None):
         self._path = path
         self._loop = path.loop
         self._stack = stack
         self._server = server
+        self._flow_ids = flow_ids
         self._established = False
         self._pending: List[HttpRequest] = []
         self._connect_started: Optional[float] = None
@@ -88,12 +97,14 @@ class HttpConnection(abc.ABC):
 
 
 def open_connection(path: NetworkPath, stack: StackConfig,
-                    server: OriginServer) -> HttpConnection:
+                    server: OriginServer,
+                    flow_ids: Optional[FlowIdAllocator] = None,
+                    ) -> HttpConnection:
     """Create the right connection type for ``stack`` (H2/TCP or H3/QUIC)."""
     # Imported here to avoid a circular import at module load time.
     from repro.http.h2 import H2Connection
     from repro.http.h3 import H3Connection
 
     if stack.is_quic:
-        return H3Connection(path, stack, server)
-    return H2Connection(path, stack, server)
+        return H3Connection(path, stack, server, flow_ids=flow_ids)
+    return H2Connection(path, stack, server, flow_ids=flow_ids)

@@ -29,6 +29,7 @@ from repro.http.messages import (
     RequestMarker,
 )
 from repro.http.server import OriginServer
+from repro.netem.flowid import FlowIdAllocator
 from repro.netem.path import NetworkPath
 from repro.transport.config import StackConfig
 from repro.transport.tcp import TcpConnection
@@ -54,12 +55,14 @@ class H2Connection(HttpConnection):
     low_water = 64 * 1024
 
     def __init__(self, path: NetworkPath, stack: StackConfig,
-                 server: OriginServer):
-        super().__init__(path, stack, server)
+                 server: OriginServer,
+                 flow_ids: Optional[FlowIdAllocator] = None):
+        super().__init__(path, stack, server, flow_ids=flow_ids)
         self._tcp = TcpConnection(
             path, stack,
             on_client_data=self._client_data,
             on_server_data=self._server_data,
+            flow_ids=self._flow_ids,
         )
         self._tcp.server_sender.writable_low_water = self.low_water
         self._tcp.server_sender.on_writable = self._fill_server_buffer

@@ -9,7 +9,7 @@ richness) — exactly the paper's eye-level comparison requirement.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.http.base import HttpConnection
 from repro.http.messages import (
@@ -22,6 +22,7 @@ from repro.http.messages import (
     RequestMarker,
 )
 from repro.http.server import OriginServer
+from repro.netem.flowid import FlowIdAllocator
 from repro.netem.path import NetworkPath
 from repro.transport.config import StackConfig
 from repro.transport.quic import QuicConnection
@@ -31,12 +32,14 @@ class H3Connection(HttpConnection):
     """Client+server of one HTTP/3-over-QUIC connection to an origin."""
 
     def __init__(self, path: NetworkPath, stack: StackConfig,
-                 server: OriginServer):
-        super().__init__(path, stack, server)
+                 server: OriginServer,
+                 flow_ids: Optional[FlowIdAllocator] = None):
+        super().__init__(path, stack, server, flow_ids=flow_ids)
         self._quic = QuicConnection(
             path, stack,
             on_client_stream_data=self._client_stream_data,
             on_server_stream_data=self._server_stream_data,
+            flow_ids=self._flow_ids,
         )
         self._stream_requests: Dict[int, HttpRequest] = {}
         self._first_byte_seen: Dict[int, bool] = {}

@@ -9,6 +9,7 @@ bandwidth/queue/loss link (:mod:`repro.netem.link`), a full-duplex path
 """
 
 from repro.netem.engine import EventLoop
+from repro.netem.flowid import FlowIdAllocator
 from repro.netem.link import EmulatedLink, LinkConfig, LinkStats
 from repro.netem.packet import Packet
 from repro.netem.path import NetworkPath
@@ -24,6 +25,7 @@ from repro.netem.profiles import (
 
 __all__ = [
     "EventLoop",
+    "FlowIdAllocator",
     "EmulatedLink",
     "LinkConfig",
     "LinkStats",

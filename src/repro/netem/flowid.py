@@ -1,0 +1,58 @@
+"""Deterministic per-context flow-id allocation.
+
+A connection's flow id does two jobs: it is the routing key
+:class:`~repro.netem.path.NetworkPath` delivers packets by, and it seeds
+the deterministic handshake-retry jitter in the transports (lossy
+networks therefore *behave* differently for different flow ids).
+
+Historically flow ids came from process-global class counters on the
+transport classes, which made simulated bytes depend on how many
+connections the process had created earlier — sequential in-process
+sweeps drifted, and campaign workers needed a counter-reset shim to
+agree with fresh processes. :class:`FlowIdAllocator` replaces that: one
+allocator per page-load context (the harness creates a fresh
+:class:`~repro.netem.path.NetworkPath`, and with it a fresh allocator,
+per load), so a connection's flow id is a pure function of its position
+within its own page load, whatever the process simulated before.
+
+TCP and QUIC keep the disjoint id ranges the class counters used, so a
+mixed-transport path can never collide and recorded ids remain
+recognisable in traces.
+"""
+
+from __future__ import annotations
+
+#: First TCP flow id handed out by a fresh allocator.
+TCP_FIRST_FLOW_ID = 1
+
+#: First QUIC flow id handed out by a fresh allocator (disjoint from TCP).
+QUIC_FIRST_FLOW_ID = 1_000_000
+
+
+class FlowIdAllocator:
+    """Hands out flow ids deterministically within one load context.
+
+    The n-th TCP connection of a context always gets
+    ``TCP_FIRST_FLOW_ID + n - 1`` and the n-th QUIC connection
+    ``QUIC_FIRST_FLOW_ID + n - 1`` — identical to what a fresh process's
+    first page load observed under the old process-global counters, so a
+    fresh process's first load is bit-compatible across the change.
+    """
+
+    __slots__ = ("_next_tcp", "_next_quic")
+
+    def __init__(self) -> None:
+        self._next_tcp = TCP_FIRST_FLOW_ID
+        self._next_quic = QUIC_FIRST_FLOW_ID
+
+    def next_tcp(self) -> int:
+        """Allocate the next TCP flow id."""
+        flow_id = self._next_tcp
+        self._next_tcp += 1
+        return flow_id
+
+    def next_quic(self) -> int:
+        """Allocate the next QUIC flow id."""
+        flow_id = self._next_quic
+        self._next_quic += 1
+        return flow_id

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.netem.engine import EventLoop
+from repro.netem.flowid import FlowIdAllocator
 from repro.netem.link import EmulatedLink, LinkConfig
 from repro.netem.packet import Packet
 from repro.netem.profiles import NetworkProfile, TraceNetworkProfile
@@ -28,7 +29,12 @@ class NetworkPath:
     """Shared duplex bottleneck connecting one client to many servers.
 
     Endpoints register per flow id; the path routes delivered packets to
-    the registered receiver for that flow and direction.
+    the registered receiver for that flow and direction. The path owns
+    the default :class:`FlowIdAllocator` for those ids: a fresh path
+    means a fresh id space, so connection identity — and the
+    handshake-retry jitter it seeds — is a pure function of a
+    connection's position within its own page load, never of process
+    history.
 
     A :class:`TraceNetworkProfile` gets a trace-driven downlink
     (Mahimahi ``mm-link`` semantics) instead of a constant-rate one; the
@@ -41,9 +47,11 @@ class NetworkPath:
         loop: EventLoop,
         profile: NetworkProfile,
         seed: int = 0,
+        flow_ids: Optional[FlowIdAllocator] = None,
     ):
         self._loop = loop
         self.profile = profile
+        self.flow_ids = flow_ids if flow_ids is not None else FlowIdAllocator()
         up_cfg, down_cfg = profile.link_configs()
         self.uplink = EmulatedLink(
             loop, up_cfg, self._deliver_to_server,

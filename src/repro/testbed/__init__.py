@@ -41,7 +41,12 @@ from repro.testbed.harness import (
     condition_fingerprint,
 )
 from repro.testbed.parallel import parallel_sweep
-from repro.testbed.store import CONDITION_AXES, ConditionKey, SummaryStore
+from repro.testbed.store import (
+    CONDITION_AXES,
+    ConditionKey,
+    StaleCampaignError,
+    SummaryStore,
+)
 
 __all__ = [
     "Campaign",
@@ -56,6 +61,7 @@ __all__ = [
     "ProgressPrinter",
     "RecordingCache",
     "RecordingSummary",
+    "StaleCampaignError",
     "SummaryStore",
     "Testbed",
     "condition_fingerprint",

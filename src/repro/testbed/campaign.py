@@ -56,6 +56,7 @@ from typing import (
 )
 
 from repro.netem.profiles import NETWORKS, NetworkProfile
+from repro.testbed import harness
 from repro.testbed.harness import (
     NetworkLike,
     RecordingCache,
@@ -197,6 +198,9 @@ class CampaignSpec:
             "selection_metric": self.selection_metric,
             "conditions": len(self.conditions()),
             "fingerprint": self.fingerprint(),
+            # Recorded so a dir from an older simulator can be told
+            # apart post-hoc (SummaryStore.open refuses stale dirs).
+            "sim_behaviour": harness.SIM_BEHAVIOUR_VERSION,
         }
 
 
@@ -272,15 +276,6 @@ _WORKER_CACHE: Optional[RecordingCache] = None
 def _init_worker(cache_dir: str) -> None:
     global _WORKER_CACHE
     _WORKER_CACHE = RecordingCache(cache_dir)
-    # Forked workers inherit the parent's transport flow-id counters,
-    # which feed handshake-retry jitter (they affect lossy-network
-    # results). Reset to the fresh-process baseline so a forked worker
-    # produces the same bytes a freshly spawned one would, regardless
-    # of what the parent simulated before.
-    from repro.transport.quic import QuicConnection
-    from repro.transport.tcp import TcpConnection
-    TcpConnection.reset_flow_ids()
-    QuicConnection.reset_flow_ids()
 
 
 def _run_condition(
@@ -389,6 +384,9 @@ class Campaign:
             "network": condition.profile.name,
             "stack": condition.stack.name,
             "seed": condition.seed,
+            # The behaviour version the recording was simulated under;
+            # SummaryStore.open checks it against the current simulator.
+            "sim_behaviour": harness.SIM_BEHAVIOUR_VERSION,
             "status": result.status,
             "attempts": result.attempts,
             "duration_s": round(result.duration_s, 4),

@@ -42,7 +42,11 @@ from repro.web.corpus import CORPUS_SITE_NAMES, build_site
 #: Bump only when simulator behaviour changes for identical parameters.
 #: Parameter changes (timeout, loss rate, ...) are captured automatically
 #: by the content-hashed condition fingerprint.
-SIM_BEHAVIOUR_VERSION = 12
+#:
+#: 13: per-load connection flow ids (handshake-retry jitter no longer
+#: depends on process history; repeat runs within one recording now
+#: restart the id space, changing lossy-network bytes).
+SIM_BEHAVIOUR_VERSION = 13
 
 #: A network axis value: a Table 2 name or any NetworkProfile instance.
 NetworkLike = Union[str, NetworkProfile]

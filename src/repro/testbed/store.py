@@ -28,7 +28,19 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.testbed import harness
 from repro.testbed.harness import RecordingCache, RecordingSummary
+
+
+class StaleCampaignError(ValueError):
+    """A campaign dir was recorded under a different SIM_BEHAVIOUR_VERSION.
+
+    Its summaries are not comparable with anything the current simulator
+    produces; re-run the campaign (the content-hashed cache keys embed
+    the version, so nothing stale is reused) or pass
+    ``check_behaviour=False`` to :meth:`SummaryStore.open` to analyse the
+    old recordings anyway.
+    """
 
 #: Axis names a :class:`ConditionKey` can be pivoted/grouped on.
 CONDITION_AXES = ("website", "network", "stack", "seed")
@@ -103,12 +115,21 @@ class SummaryStore:
         cls,
         campaign_dir: Union[str, Path],
         cache_dir: Optional[Union[str, Path]] = None,
+        check_behaviour: bool = True,
     ) -> "SummaryStore":
         """Open a finished campaign directory without re-running anything.
 
         ``cache_dir`` defaults to the layout ``Campaign`` creates
         (``<cache>/campaigns/<name>-<fingerprint>``), i.e. two levels up
         from the campaign directory.
+
+        Raises :class:`StaleCampaignError` when the directory records a
+        ``sim_behaviour`` version (in ``spec.json`` or any manifest
+        line) different from the running simulator's — those summaries
+        are not comparable with current output. ``check_behaviour=False``
+        opens it anyway (e.g. to inspect historical results). Dirs from
+        before the version was recorded carry no marker and cannot be
+        checked.
         """
         campaign_dir = Path(campaign_dir)
         manifest = campaign_dir / "manifest.jsonl"
@@ -117,7 +138,20 @@ class SummaryStore:
                 f"no campaign manifest at {manifest}")
         if cache_dir is None:
             cache_dir = campaign_dir.parent.parent
-        return cls(RecordingCache(cache_dir), campaign_dir=campaign_dir)
+        store = cls(RecordingCache(cache_dir), campaign_dir=campaign_dir)
+        if check_behaviour:
+            recorded = store.recorded_behaviour_version()
+            if recorded is not None and \
+                    recorded != harness.SIM_BEHAVIOUR_VERSION:
+                raise StaleCampaignError(
+                    f"campaign dir {campaign_dir} was recorded under "
+                    f"SIM_BEHAVIOUR_VERSION={recorded}, but the current "
+                    f"simulator is version "
+                    f"{harness.SIM_BEHAVIOUR_VERSION}, so its summaries "
+                    f"are not comparable with current output; re-run "
+                    f"the campaign, or open with check_behaviour=False "
+                    f"to analyse the stale recordings")
+        return store
 
     # -- keys ----------------------------------------------------------------
 
@@ -182,6 +216,31 @@ class SummaryStore:
             if key is not None:
                 out.append(key)
         return out
+
+    def recorded_behaviour_version(self) -> Optional[int]:
+        """The ``SIM_BEHAVIOUR_VERSION`` this campaign dir was recorded
+        under, or ``None`` when the dir predates version stamping (no
+        ``spec.json`` field and no manifest line carries one).
+
+        ``spec.json`` is consulted first (written once per campaign);
+        manifest lines are the fallback for dirs whose spec was written
+        by an older simulator but whose conditions ran under a newer
+        one — any stamped line settles it.
+        """
+        if self.campaign_dir is None:
+            return None
+        spec_path = self.campaign_dir / "spec.json"
+        if spec_path.exists():
+            try:
+                spec = json.loads(spec_path.read_text())
+            except json.JSONDecodeError:
+                spec = {}
+            if "sim_behaviour" in spec:
+                return int(spec["sim_behaviour"])
+        for record in self._manifest_records():
+            if "sim_behaviour" in record:
+                return int(record["sim_behaviour"])
+        return None
 
     def recorded_count(self) -> int:
         """How many conditions the manifest says were recorded ok.

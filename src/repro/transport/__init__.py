@@ -28,10 +28,12 @@ from repro.transport.config import (
     StackConfig,
     stack_by_name,
 )
+from repro.netem.flowid import FlowIdAllocator
 from repro.transport.quic import QuicConnection
 from repro.transport.tcp import TcpConnection
 
 __all__ = [
+    "FlowIdAllocator",
     "StackConfig",
     "TCP",
     "TCP_PLUS",

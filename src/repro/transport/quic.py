@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.netem.engine import EventLoop, ScheduledEvent
+from repro.netem.flowid import FlowIdAllocator
 from repro.netem.packet import Packet
 from repro.netem.path import NetworkPath
 from repro.transport import tls
@@ -610,15 +611,10 @@ class QuicEndpoint:
 
 
 class QuicConnection:
-    """Both endpoints of one QUIC connection over a NetworkPath."""
+    """Both endpoints of one QUIC connection over a NetworkPath.
 
-    _FIRST_FLOW_ID = 1_000_000
-    _next_flow_id = _FIRST_FLOW_ID
-
-    @classmethod
-    def reset_flow_ids(cls) -> None:
-        """Restore the fresh-process flow-id baseline (see the TCP twin)."""
-        cls._next_flow_id = cls._FIRST_FLOW_ID
+    Flow-id identity is per-load, not process-global — see the TCP twin.
+    """
 
     def __init__(
         self,
@@ -626,14 +622,15 @@ class QuicConnection:
         stack: StackConfig,
         on_client_stream_data: StreamDataCallback,
         on_server_stream_data: StreamDataCallback,
+        flow_ids: Optional[FlowIdAllocator] = None,
     ):
         if not stack.is_quic:
             raise ValueError("QuicConnection requires a QUIC stack config")
         self._path = path
         self._loop = path.loop
         self._stack = stack
-        self.flow_id = QuicConnection._next_flow_id
-        QuicConnection._next_flow_id += 1
+        allocator = flow_ids if flow_ids is not None else path.flow_ids
+        self.flow_id = allocator.next_quic()
 
         bdp = path.bdp_bytes()
         self.client = QuicEndpoint(

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.netem.engine import EventLoop, ScheduledEvent
+from repro.netem.flowid import FlowIdAllocator
 from repro.netem.packet import Packet
 from repro.netem.path import NetworkPath
 from repro.transport import tls
@@ -640,21 +641,14 @@ class TcpReceiver:
 
 
 class TcpConnection:
-    """Both endpoints of one TCP+TLS1.3 connection over a NetworkPath."""
+    """Both endpoints of one TCP+TLS1.3 connection over a NetworkPath.
 
-    _FIRST_FLOW_ID = 1
-    _next_flow_id = _FIRST_FLOW_ID
-
-    @classmethod
-    def reset_flow_ids(cls) -> None:
-        """Restore the fresh-process flow-id baseline.
-
-        Flow ids feed the handshake-retry jitter, so they affect lossy
-        network results. Campaign workers call this at startup so a
-        forked worker behaves exactly like a freshly spawned one,
-        whatever the parent process simulated before.
-        """
-        cls._next_flow_id = cls._FIRST_FLOW_ID
+    The flow id — which seeds the handshake-retry jitter and therefore
+    affects lossy-network behaviour — comes from the per-load
+    :class:`FlowIdAllocator` (``flow_ids``, defaulting to the path's
+    own), never from process-global state: a connection's identity is a
+    pure function of its position within its page load.
+    """
 
     def __init__(
         self,
@@ -662,14 +656,15 @@ class TcpConnection:
         stack: StackConfig,
         on_client_data: Callable[[int, List[object]], None],
         on_server_data: Callable[[int, List[object]], None],
+        flow_ids: Optional[FlowIdAllocator] = None,
     ):
         if stack.is_quic:
             raise ValueError("TcpConnection requires a TCP stack config")
         self._path = path
         self._loop = path.loop
         self._stack = stack
-        self.flow_id = TcpConnection._next_flow_id
-        TcpConnection._next_flow_id += 1
+        allocator = flow_ids if flow_ids is not None else path.flow_ids
+        self.flow_id = allocator.next_tcp()
 
         bdp = path.bdp_bytes()
         self.client_sender = TcpSender(

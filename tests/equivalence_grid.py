@@ -1,41 +1,50 @@
 """Shared definition of the hot-path equivalence grid.
 
-The hot-path optimisations (PR 2) must leave simulation *behaviour*
-untouched: identical parameters must produce byte-identical visual
-curves and metrics, so the content-addressed cache's
-``SIM_BEHAVIOUR_VERSION`` does not need a bump. This module defines the
-small grid used to pin that down — both stacks, a clean and a lossy
-network, two seeds — and the summary serialisation compared against the
-committed fixture ``tests/data/equivalence_grid.json``.
+Performance work on the simulator must leave *behaviour* untouched
+unless the change is intentional: identical parameters must produce
+byte-identical visual curves and metrics. This module defines the small
+grid used to pin that down — both stacks, a clean and a lossy network,
+two seeds — and the summary serialisation compared against the committed
+fixture ``tests/data/equivalence_grid.json``.
 
-The fixture was generated from the pre-optimisation (seed) simulator.
-Regenerate only after an *intentional* behaviour change (which also
-requires bumping ``SIM_BEHAVIOUR_VERSION``)::
+Both the fixture and the event-budget file record the
+``SIM_BEHAVIOUR_VERSION`` they were generated under; a tier-1 guard test
+fails when that disagrees with the running simulator, so an intentional
+behaviour change cannot land without regenerating them. To regenerate
+both files (atomically, in one command) after bumping the version::
 
-    PYTHONPATH=src:tests python -m equivalence_grid --write
+    PYTHONPATH=src python -m tests.equivalence_grid --regen
 
-The module also records/checks an **event budget**: the exact
-``EventLoop.events_processed`` of fixed fixture page loads. The budget
-catches event-count regressions (an accidental extra timer per packet)
-deterministically, without timing flakiness. Re-record with
-``--budget-write`` after an intentional event-structure change.
+(``PYTHONPATH=src:tests python -m equivalence_grid --regen`` is
+equivalent.) ``--check`` / ``--budget-check`` verify without writing;
+``--write`` / ``--budget-write`` regenerate one file each.
 
-Both checks must run in a fresh interpreter as its first simulation
-work: connection flow-ids are allocated from process-global counters and
-feed the handshake-retry jitter, so results on lossy networks depend on
-how many connections the process made before (pre-existing seed
-behaviour). The pytest wrappers therefore shell out; see
+The **event budget** records the exact ``EventLoop.events_processed`` of
+fixed fixture page loads. It catches event-count regressions (an
+accidental extra timer per packet) deterministically, without timing
+flakiness.
+
+Since flow ids became per-load (SIM_BEHAVIOUR_VERSION 13) the grid is
+process-history independent and could run in-process; the pytest
+wrappers still shell out so the checks cannot be perturbed by whatever
+other tests imported or monkeypatched first. See
 ``tests/test_hotpath_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Dict, List
 
-from repro.testbed.harness import produce_summary, resolve_network, resolve_stack
+from repro.testbed.harness import (
+    SIM_BEHAVIOUR_VERSION,
+    produce_summary,
+    resolve_network,
+    resolve_stack,
+)
 
 FIXTURE_PATH = Path(__file__).parent / "data" / "equivalence_grid.json"
 BUDGET_PATH = Path(__file__).parent / "data" / "event_budget.json"
@@ -76,14 +85,39 @@ def simulate_grid() -> Dict[str, Dict[str, object]]:
     return out
 
 
-def load_fixture() -> Dict[str, Dict[str, object]]:
+def _write_atomic(path: Path, document: Dict[str, object]) -> None:
+    """Serialise and atomically replace ``path`` (no torn files on kill)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(document, indent=1, sort_keys=True) + "\n"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(blob)
+    os.replace(tmp, path)
+
+
+def load_fixture_document() -> Dict[str, object]:
     return json.loads(FIXTURE_PATH.read_text())
 
 
+def load_fixture() -> Dict[str, Dict[str, object]]:
+    """The fixture's per-condition outputs (without the metadata)."""
+    return load_fixture_document()["conditions"]
+
+
+def fixture_behaviour_version() -> int:
+    """The SIM_BEHAVIOUR_VERSION the fixture was generated under."""
+    return int(load_fixture_document()["sim_behaviour"])
+
+
+def budget_behaviour_version() -> int:
+    """The SIM_BEHAVIOUR_VERSION the event budget was recorded under."""
+    return int(json.loads(BUDGET_PATH.read_text())["sim_behaviour"])
+
+
 def write_fixture() -> None:
-    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
-    FIXTURE_PATH.write_text(json.dumps(simulate_grid(), indent=1,
-                                       sort_keys=True) + "\n")
+    _write_atomic(FIXTURE_PATH, {
+        "sim_behaviour": SIM_BEHAVIOUR_VERSION,
+        "conditions": simulate_grid(),
+    })
 
 
 def check_fixture() -> List[str]:
@@ -105,7 +139,7 @@ BUDGET_CONDITIONS = (
 
 
 def measure_event_budgets() -> Dict[str, int]:
-    """events_processed per fixed fixture page load (fresh-process only)."""
+    """events_processed per fixed fixture page load."""
     from repro.browser.engine import PageLoad
     from repro.netem.engine import EventLoop
     from repro.netem.path import NetworkPath
@@ -124,9 +158,16 @@ def measure_event_budgets() -> Dict[str, int]:
     return out
 
 
+def write_budgets() -> None:
+    _write_atomic(BUDGET_PATH, {
+        "sim_behaviour": SIM_BEHAVIOUR_VERSION,
+        "budgets": measure_event_budgets(),
+    })
+
+
 def check_budgets() -> List[str]:
     """Human-readable violations of the recorded event budgets."""
-    budgets = json.loads(BUDGET_PATH.read_text())
+    budgets = json.loads(BUDGET_PATH.read_text())["budgets"]
     current = measure_event_budgets()
     problems = []
     for key, budget in budgets.items():
@@ -139,8 +180,20 @@ def check_budgets() -> List[str]:
 
 
 def main(argv: List[str]) -> int:
-    mode = argv[0] if argv else "--write"
-    if mode == "--write":
+    mode = argv[0] if argv else "--regen"
+    if mode == "--regen":
+        # Simulate everything first, then replace both files atomically:
+        # a failure mid-way leaves the committed fixtures untouched and
+        # the two files can never record different behaviour versions.
+        fixture = {"sim_behaviour": SIM_BEHAVIOUR_VERSION,
+                   "conditions": simulate_grid()}
+        budgets = {"sim_behaviour": SIM_BEHAVIOUR_VERSION,
+                   "budgets": measure_event_budgets()}
+        _write_atomic(FIXTURE_PATH, fixture)
+        _write_atomic(BUDGET_PATH, budgets)
+        print(f"wrote {FIXTURE_PATH}")
+        print(f"wrote {BUDGET_PATH}")
+    elif mode == "--write":
         write_fixture()
         print(f"wrote {FIXTURE_PATH}")
     elif mode == "--check":
@@ -150,9 +203,7 @@ def main(argv: List[str]) -> int:
             return 1
         print("equivalence grid byte-identical")
     elif mode == "--budget-write":
-        BUDGET_PATH.parent.mkdir(parents=True, exist_ok=True)
-        BUDGET_PATH.write_text(json.dumps(measure_event_budgets(),
-                                          indent=1, sort_keys=True) + "\n")
+        write_budgets()
         print(f"wrote {BUDGET_PATH}")
     elif mode == "--budget-check":
         problems = check_budgets()

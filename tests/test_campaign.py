@@ -220,35 +220,38 @@ class TestBatching:
         assert second.counts == {"resumed": len(second.results)}
 
     def test_worker_results_independent_of_parent_state(self, tmp_path):
-        """Workers must start from the fresh-process flow-id baseline.
+        """Campaign bytes must not depend on what the parent simulated.
 
         Flow ids feed handshake-retry jitter (visible on lossy
-        networks); forked workers inherit the parent's counters, so
-        without the reset in _init_worker a campaign's stored bytes
-        would depend on whatever the parent simulated earlier.
+        networks). They are allocated per load now, so forked workers —
+        which inherit the parent's whole interpreter state — and inline
+        runs (processes=1, same process as the pollution) must both
+        store the same bytes as a fresh process, with no reset shim.
         """
-        from repro.transport.quic import QuicConnection
-        from repro.transport.tcp import TcpConnection
+        from repro.browser.engine import load_page
+        from repro.netem.profiles import network_by_name
+        from repro.transport.config import stack_by_name
+        from repro.web.corpus import build_site
 
         spec = CampaignSpec(name="fresh-baseline", sites=["gov.uk"],
                             networks=["MSS"], stacks=["TCP", "QUIC"],
                             seeds=[0], runs=2)
         Campaign(spec, cache_dir=tmp_path / "clean").run(processes=2)
-        tcp_before = TcpConnection._next_flow_id
-        quic_before = QuicConnection._next_flow_id
-        try:
-            # Pollute the parent exactly like a prior in-process sweep.
-            TcpConnection._next_flow_id += 12345
-            QuicConnection._next_flow_id += 54321
-            Campaign(spec, cache_dir=tmp_path / "dirty").run(processes=2)
-        finally:
-            TcpConnection._next_flow_id = tcp_before
-            QuicConnection._next_flow_id = quic_before
+        # Pollute the parent exactly like a prior in-process sweep:
+        # real page loads that used to advance the global counters.
+        site = build_site("gov.uk", seed=0)
+        for stack in ("TCP", "QUIC"):
+            load_page(site, network_by_name("MSS"), stack_by_name(stack),
+                      seed=11)
+        Campaign(spec, cache_dir=tmp_path / "dirty").run(processes=2)
+        Campaign(spec, cache_dir=tmp_path / "inline").run(processes=1)
         clean = sorted((tmp_path / "clean").glob("*.json"))
         dirty = sorted((tmp_path / "dirty").glob("*.json"))
-        assert [p.name for p in clean] == [p.name for p in dirty]
-        for a, b in zip(clean, dirty):
-            assert a.read_bytes() == b.read_bytes()
+        inline = sorted((tmp_path / "inline").glob("*.json"))
+        assert [p.name for p in clean] == [p.name for p in dirty] \
+            == [p.name for p in inline]
+        for a, b, c in zip(clean, dirty, inline):
+            assert a.read_bytes() == b.read_bytes() == c.read_bytes()
 
     def test_batch_size_rejected_below_one(self, tmp_path):
         spec = CampaignSpec(name="bad-batch", **self.GRID)
@@ -433,3 +436,36 @@ class TestKilledCampaign:
         counts = result.counts
         assert counts.get("resumed", 0) + counts.get("cached", 0) >= 1
         assert len(result.results) == 8
+
+
+class TestBehaviourVersioning:
+    """A behaviour bump must invalidate everything recorded before it."""
+
+    SPEC = dict(sites=["gov.uk"], networks=["DSL"], stacks=["TCP"],
+                seeds=[5], runs=1)
+
+    def test_manifest_and_spec_record_behaviour_version(self, tmp_path):
+        campaign = Campaign(CampaignSpec(name="stamped", **self.SPEC),
+                            cache_dir=tmp_path)
+        campaign.run(processes=1)
+        spec = json.loads((campaign.campaign_dir / "spec.json").read_text())
+        assert spec["sim_behaviour"] == harness_mod.SIM_BEHAVIOUR_VERSION
+        for line in campaign.manifest_path.read_text().splitlines():
+            assert json.loads(line)["sim_behaviour"] == \
+                harness_mod.SIM_BEHAVIOUR_VERSION
+
+    def test_stale_campaign_is_cache_miss_not_reuse(self, tmp_path,
+                                                    monkeypatch):
+        """Recordings from version N are never served at version N+1:
+        the fingerprints (and with them the campaign dir) change, so the
+        re-run simulates from scratch instead of resuming stale bytes."""
+        first = Campaign(CampaignSpec(name="vbump", **self.SPEC),
+                         cache_dir=tmp_path)
+        assert first.run(processes=1).counts == {"simulated": 1}
+        # The simulator's behaviour changes in some future PR...
+        monkeypatch.setattr(harness_mod, "SIM_BEHAVIOUR_VERSION",
+                            harness_mod.SIM_BEHAVIOUR_VERSION + 1)
+        second = Campaign(CampaignSpec(name="vbump", **self.SPEC),
+                          cache_dir=tmp_path)
+        assert second.campaign_dir != first.campaign_dir
+        assert second.run(processes=1).counts == {"simulated": 1}

@@ -128,6 +128,31 @@ class TestCli:
         assert "DSL" in out and "±" in out
         assert "conditions/s" not in out  # nothing was run
 
+    def test_campaign_report_refuses_stale_dir(self, tmp_path, capsys,
+                                               monkeypatch):
+        """A dir recorded under an older behaviour version errors
+        cleanly; --allow-stale is the explicit escape hatch."""
+        import repro.testbed.harness as harness_mod
+
+        run_argv = ["campaign", "--sites", "gov.uk", "--networks", "DSL",
+                    "--stacks", "TCP", "--runs", "1", "--processes", "1",
+                    "--quiet", "--cache-dir", str(tmp_path),
+                    "--name", "stale"]
+        assert main(run_argv) == 0
+        out = capsys.readouterr().out
+        manifest = next(l.split("manifest: ", 1)[1]
+                        for l in out.splitlines() if "manifest: " in l)
+        campaign_dir = str(Path(manifest).parent)
+        monkeypatch.setattr(harness_mod, "SIM_BEHAVIOUR_VERSION",
+                            harness_mod.SIM_BEHAVIOUR_VERSION + 1)
+        report_argv = ["campaign", "--campaign-dir", campaign_dir,
+                       "--cache-dir", str(tmp_path), "--report"]
+        with pytest.raises(SystemExit, match="--allow-stale"):
+            main(report_argv)
+        capsys.readouterr()
+        assert main(report_argv + ["--allow-stale"]) == 0
+        assert "±" in capsys.readouterr().out
+
     def test_campaign_bad_pivot_axis_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["campaign", "--report", "--pivot", "network,bogus",

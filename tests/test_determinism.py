@@ -1,0 +1,140 @@
+"""Process-history independence of every simulation entry point.
+
+The drift wart this pins down: flow ids used to come from process-global
+class counters and feed the handshake-retry jitter, so lossy-network
+results depended on how many connections the process had created
+earlier — a ``load_page`` called after other simulations returned
+different bytes than the same call in a fresh process, and campaign
+workers needed a counter-reset shim to agree with sequential sweeps.
+
+Flow ids are now allocated per load (:class:`FlowIdAllocator`), so
+identical parameters must yield byte-identical results no matter what
+ran before in the process, for every entry point: ``load_page``,
+``produce_summary``/``Testbed.sweep`` and ``Campaign.run`` at any
+``processes``/``batch_size``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.browser.engine import load_page
+from repro.netem.profiles import network_by_name
+from repro.testbed.campaign import Campaign, CampaignSpec
+from repro.testbed.harness import (
+    Testbed,
+    produce_summary,
+    resolve_network,
+    resolve_stack,
+)
+from repro.transport.config import stack_by_name
+from repro.web.corpus import build_site
+
+#: Lossy network: handshake retries fire, so the retry jitter — the
+#: only place flow ids influence behaviour — is actually exercised.
+LOSSY = "MSS"
+
+
+def _result_blob(result) -> str:
+    """Serialisation of everything a load measures (bytes-level probe)."""
+    return json.dumps({
+        "curve": result.curve.points,
+        "metrics": result.metrics.as_dict(),
+        "completed": result.completed,
+        "objects_loaded": result.objects_loaded,
+        "segments": result.transport.packets_or_segments_sent,
+        "retransmissions": result.transport.retransmissions,
+        "timeouts": result.transport.timeouts,
+        "setup_times": result.connection_setup_times,
+    }, sort_keys=True)
+
+
+def _load_blob(stack: str, seed: int = 0) -> str:
+    site = build_site("gov.uk", seed=0)
+    result = load_page(site, network_by_name(LOSSY),
+                       stack_by_name(stack), seed=seed)
+    return _result_blob(result)
+
+
+def _summary_blob(stack: str) -> str:
+    summary = produce_summary(
+        "gov.uk", resolve_network(LOSSY), resolve_stack(stack),
+        corpus_seed=0, seed=0, runs=2, timeout=180.0,
+        selection_metric="PLT",
+    )
+    return json.dumps(summary.to_json(), sort_keys=True)
+
+
+class TestLoadPageIndependence:
+    """The exact scenario that drifted: load_page first vs. after N
+    prior connections in the same process."""
+
+    def test_tcp_load_identical_after_prior_connections(self):
+        first = _load_blob("TCP")
+        # N prior connections: other loads advance any process-global
+        # connection state there might be (this shifted the flow-id
+        # counters before the fix).
+        _load_blob("TCP", seed=5)
+        _load_blob("QUIC", seed=6)
+        assert _load_blob("TCP") == first
+
+    def test_quic_load_identical_after_prior_connections(self):
+        first = _load_blob("QUIC")
+        _load_blob("QUIC", seed=5)
+        _load_blob("TCP", seed=6)
+        assert _load_blob("QUIC") == first
+
+    def test_repeat_summaries_identical_in_process(self):
+        # produce_summary runs several loads back to back; repeating it
+        # in-process must not see the earlier loads' connections.
+        for stack in ("TCP", "QUIC"):
+            assert _summary_blob(stack) == _summary_blob(stack)
+
+
+class TestSweepIndependence:
+    def test_sweep_bytes_independent_of_prior_sweeps(self, tmp_path):
+        """Sequential in-process Testbed sweeps must not drift."""
+        kwargs = dict(runs=2, seed=0)
+        grid = dict(sites=["gov.uk"], networks=[LOSSY],
+                    stacks=["TCP", "QUIC"])
+        Testbed(cache_dir=str(tmp_path / "a"), **kwargs).sweep(**grid)
+        # The first sweep's page loads are the process pollution.
+        Testbed(cache_dir=str(tmp_path / "b"), **kwargs).sweep(**grid)
+        names_a = sorted(p.name for p in (tmp_path / "a").glob("*.json"))
+        names_b = sorted(p.name for p in (tmp_path / "b").glob("*.json"))
+        assert names_a == names_b and names_a
+        for name in names_a:
+            assert (tmp_path / "a" / name).read_bytes() == \
+                (tmp_path / "b" / name).read_bytes()
+
+
+class TestEntryPointsAgree:
+    def test_direct_sweep_and_campaign_produce_same_bytes(self, tmp_path):
+        """load_page-backed summaries, Testbed and Campaign (inline and
+        pooled, any batch size) must all store identical bytes."""
+        spec = CampaignSpec(
+            name="agree", sites=["gov.uk"], networks=[LOSSY],
+            stacks=["TCP", "QUIC"], seeds=[0], runs=2)
+        # Pollute the process first: entry points must agree *without*
+        # anything resetting global state in between.
+        _load_blob("TCP", seed=9)
+        Campaign(spec, cache_dir=tmp_path / "inline").run(processes=1)
+        Campaign(spec, cache_dir=tmp_path / "pooled").run(processes=2,
+                                                          batch_size=1)
+        testbed = Testbed(runs=2, seed=0, cache_dir=str(tmp_path / "seq"))
+        testbed.sweep(sites=["gov.uk"], networks=[LOSSY],
+                      stacks=["TCP", "QUIC"])
+
+        inline = sorted((tmp_path / "inline").glob("*.json"))
+        pooled = sorted((tmp_path / "pooled").glob("*.json"))
+        seq = sorted(p for p in (tmp_path / "seq").glob("*.json"))
+        assert [p.name for p in inline] == [p.name for p in pooled] \
+            == [p.name for p in seq]
+        for a, b, c in zip(inline, pooled, seq):
+            assert a.read_bytes() == b.read_bytes() == c.read_bytes()
+        # And the cached bytes equal a direct produce_summary call.
+        for stack in ("TCP", "QUIC"):
+            stored = json.dumps(json.loads(next(
+                p for p in inline if f"_{stack}_" in p.name
+            ).read_text()), sort_keys=True)
+            assert stored == _summary_blob(stack)

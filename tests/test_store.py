@@ -7,7 +7,7 @@ import pytest
 import repro.testbed.campaign as campaign_mod
 import repro.testbed.harness as harness_mod
 from repro.testbed.campaign import Campaign, CampaignSpec
-from repro.testbed.store import ConditionKey, SummaryStore
+from repro.testbed.store import ConditionKey, StaleCampaignError, SummaryStore
 
 GRID = dict(sites=["gov.uk"], networks=["DSL"], stacks=["TCP", "QUIC"],
             seeds=[5, 6], runs=2)
@@ -215,6 +215,42 @@ class TestPostHoc:
         store = SummaryStore.open(campaign.campaign_dir)
         assert store.keys() == []
         assert list(store) == []
+
+    def test_open_checks_recorded_behaviour_version(self, finished_campaign,
+                                                    monkeypatch):
+        """A dir recorded under an older SIM_BEHAVIOUR_VERSION must not
+        be silently analysed as if it were current output."""
+        store = SummaryStore.open(finished_campaign.campaign_dir)
+        assert store.recorded_behaviour_version() == \
+            harness_mod.SIM_BEHAVIOUR_VERSION
+        # The simulator's behaviour changes in some future PR...
+        monkeypatch.setattr(harness_mod, "SIM_BEHAVIOUR_VERSION",
+                            harness_mod.SIM_BEHAVIOUR_VERSION + 1)
+        with pytest.raises(StaleCampaignError, match="re-run"):
+            SummaryStore.open(finished_campaign.campaign_dir)
+        # ... but historical inspection stays possible on request.
+        stale = SummaryStore.open(finished_campaign.campaign_dir,
+                                  check_behaviour=False)
+        assert len(list(stale)) == 4
+
+    def test_open_cannot_check_unstamped_legacy_dir(self, finished_campaign,
+                                                    tmp_path, monkeypatch):
+        """Dirs from before version stamping carry no marker: open()
+        accepts them (documented limitation) instead of guessing."""
+        legacy_dir = tmp_path / "legacy-version"
+        legacy_dir.mkdir()
+        stripped = []
+        for line in finished_campaign.manifest_path.read_text().splitlines():
+            record = json.loads(line)
+            record.pop("sim_behaviour", None)
+            stripped.append(json.dumps(record))
+        (legacy_dir / "manifest.jsonl").write_text(
+            "\n".join(stripped) + "\n")
+        monkeypatch.setattr(harness_mod, "SIM_BEHAVIOUR_VERSION",
+                            harness_mod.SIM_BEHAVIOUR_VERSION + 1)
+        store = SummaryStore.open(
+            legacy_dir, cache_dir=finished_campaign.cache.directory)
+        assert store.recorded_behaviour_version() is None
 
     def test_grid_report_from_posthoc_store(self, finished_campaign):
         """The acceptance path: Table-style pivot from a dir on disk."""
