@@ -1,0 +1,145 @@
+"""E-D1 — Distributed campaign scaling: N cooperative joiners, one grid.
+
+Measures conditions/second when N ``repro.testbed.distributed`` worker
+processes share one campaign directory on this machine (each worker
+simulating inline, ``processes=1``, so the scaling axis is the number of
+cooperating workers, not the per-worker pool). The lease claim protocol
+adds a file create/unlink plus a heartbeat thread per condition; this
+benchmark quantifies that overhead against the near-linear speedup the
+protocol buys.
+
+Run standalone to merge a ``distributed_scaling`` snapshot into
+``BENCH_hotpath.json`` (schema in benchmarks/README.md):
+
+    PYTHONPATH=src python benchmarks/bench_distributed_scaling.py --label after
+
+Numbers are machine-dependent: compare labels recorded on the same
+machine, prefer the speedup ratios, and only within one
+``SIM_BEHAVIOUR_VERSION``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.testbed.campaign import (  # noqa: E402
+    Campaign,
+    CampaignSpec,
+    pool_context,
+)
+from repro.testbed.distributed import (  # noqa: E402
+    LeaseConfig,
+    join_campaign,
+    run_worker,
+)
+
+BENCH_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+#: Same grid as bench_campaign_throughput: 2 sites x 2 networks x
+#: 2 stacks x 1 seed = 8 conditions.
+GRID = dict(sites=["gov.uk", "apache.org"], networks=["DSL", "LTE"],
+            stacks=["TCP", "QUIC"], seeds=[3], runs=2)
+
+#: Tight poll so the benchmark measures simulation + claims, not sleeps.
+LEASE = LeaseConfig(ttl_s=60.0, heartbeat_s=10.0, poll_s=0.05)
+
+
+def _joiner(campaign_dir: str, cache_dir: str, worker_id: str) -> None:
+    campaign = join_campaign(campaign_dir, cache_dir=cache_dir)
+    result = run_worker(campaign, worker_id=worker_id, lease=LEASE,
+                        processes=1, claim_chunk=1)
+    sys.exit(0 if result.ok else 1)
+
+
+def _run_joiners(tmp: Path, workers: int) -> dict:
+    """One cold campaign, ``workers`` cooperative processes."""
+    spec = CampaignSpec(name=f"bench-dist-{workers}", **GRID)
+    cache_dir = tmp / f"cache-{workers}"
+    campaign = Campaign(spec, cache_dir=cache_dir)
+    campaign.write_spec()
+    conditions = len(spec.conditions())
+
+    context = pool_context()
+    start = time.perf_counter()
+    joiners = [
+        context.Process(target=_joiner,
+                        args=(str(campaign.campaign_dir), str(cache_dir),
+                              f"bench-w{index}"))
+        for index in range(workers)
+    ]
+    for joiner in joiners:
+        joiner.start()
+    for joiner in joiners:
+        joiner.join()
+    elapsed = time.perf_counter() - start
+    if any(joiner.exitcode != 0 for joiner in joiners):
+        raise RuntimeError("a bench joiner failed")
+
+    manifest_lines = [
+        json.loads(line)
+        for line in open(campaign.manifest_path)
+        if line.strip()
+    ]
+    fingerprints = [line["fingerprint"] for line in manifest_lines]
+    if len(fingerprints) != len(set(fingerprints)):
+        raise RuntimeError("a condition was simulated twice")
+    return {
+        "workers": workers,
+        "conditions": conditions,
+        "seconds": round(elapsed, 4),
+        "conditions_per_s": round(conditions / elapsed, 3),
+    }
+
+
+def bench_distributed_scaling(tmp: Path, worker_counts=(1, 2, 4)) -> dict:
+    # The speedup ratios only mean "scaling" with >= N cores; on fewer
+    # cores the benchmark degenerates to measuring pure protocol
+    # overhead (the rate should stay roughly flat), so the snapshot
+    # records the machine's core count alongside the ratios.
+    out = {"cpus": os.cpu_count() or 1}
+    for workers in worker_counts:
+        row = _run_joiners(tmp, workers)
+        out[f"joiners_{workers}"] = row
+        print(f"  {workers} joiner(s): {row['seconds']:6.2f}s "
+              f"({row['conditions_per_s']:6.2f} conditions/s)",
+              flush=True)
+    base = out[f"joiners_{worker_counts[0]}"]["conditions_per_s"]
+    for workers in worker_counts[1:]:
+        rate = out[f"joiners_{workers}"]["conditions_per_s"]
+        out[f"speedup_{workers}x"] = round(rate / base, 3)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after",
+                        help="snapshot label merged into BENCH_hotpath.json")
+    parser.add_argument("--output", default=str(BENCH_PATH))
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated joiner counts (default: 1,2,4)")
+    args = parser.parse_args(argv)
+
+    worker_counts = tuple(int(n) for n in args.workers.split(",") if n)
+    with tempfile.TemporaryDirectory() as tmp:
+        results = bench_distributed_scaling(Path(tmp), worker_counts)
+
+    path = Path(args.output)
+    doc = {"schema": 1, "benchmarks": {}}
+    if path.exists():
+        doc = json.loads(path.read_text())
+    doc["benchmarks"].setdefault(
+        "distributed_scaling", {})[args.label] = results
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path} [{args.label}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

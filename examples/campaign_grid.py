@@ -78,6 +78,16 @@ def main() -> None:
     print()
     print(render_grid(by_site))
 
+    # Need the raw summaries rather than an aggregate? Iterate them
+    # lazily in sweep order (the streaming replacement for the
+    # deprecated whole-grid Campaign.summaries()).
+    slowest = max(campaign.iter_summaries(),
+                  key=lambda pair: pair[1].si)
+    print(f"\nslowest condition by SI: {slowest[0].label} "
+          f"({slowest[1].si:.2f} s)")
+    # Scaling the same grid over many cooperating workers/hosts:
+    # examples/distributed_campaign.py.
+
 
 if __name__ == "__main__":
     main()

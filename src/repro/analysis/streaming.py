@@ -194,6 +194,28 @@ class StreamingHistogram:
     def quantiles(self, qs: Sequence[float]) -> List[float]:
         return [self.quantile(q) for q in qs]
 
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable state; ``from_json`` round-trips exactly."""
+        return {
+            "bin_width": self.bin_width,
+            "count": self.count,
+            "minimum": None if math.isinf(self.minimum) else self.minimum,
+            "maximum": None if math.isinf(self.maximum) else self.maximum,
+            "bins": {str(index): count
+                     for index, count in self._bins.items()},
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "StreamingHistogram":
+        histogram = cls(bin_width=float(data["bin_width"]))
+        histogram.count = int(data["count"])
+        minimum, maximum = data.get("minimum"), data.get("maximum")
+        histogram.minimum = math.inf if minimum is None else float(minimum)
+        histogram.maximum = -math.inf if maximum is None else float(maximum)
+        histogram._bins = {int(index): int(count)
+                           for index, count in dict(data["bins"]).items()}
+        return histogram
+
 
 def anova_from_moments(
         groups: Sequence[StreamingMoments]) -> Optional[AnovaResult]:
@@ -281,6 +303,30 @@ class AxisAccumulator:
 
     def items(self) -> Iterator[Tuple[Tuple[object, ...], StreamingMoments]]:
         return iter(self.groups.items())
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable state: axes/metric plus per-group moments.
+
+        Axis values are strings or ints (see ``ConditionKey``), so the
+        JSON round-trip reconstructs group keys exactly — the basis for
+        flushing a worker's partial aggregation to disk and merging it
+        on another host.
+        """
+        return {
+            "axes": list(self.axes),
+            "metric": self.metric,
+            "groups": [{"group": list(group), "moments": moments.to_json()}
+                       for group, moments in self.groups.items()],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "AxisAccumulator":
+        accumulator = cls(axes=tuple(data["axes"]),
+                          metric=str(data["metric"]))
+        for entry in data["groups"]:
+            accumulator.groups[tuple(entry["group"])] = \
+                StreamingMoments.from_json(entry["moments"])
+        return accumulator
 
 
 # -- pivoted grid reports ----------------------------------------------------
@@ -417,6 +463,59 @@ class GridReport:
                 p = moments.welch_p(base)
         return GridCellStat(ci=moments.ci(self.confidence),
                             p_vs_baseline=p, alpha=self.alpha)
+
+    # -- state (de)serialization ---------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """Full internal state as a JSON-serialisable document.
+
+        Unlike :meth:`to_json` (a rendered readout), this round-trips
+        the accumulator itself: ``GridReport.from_state(r.to_state())``
+        yields a report that accumulates, merges and renders identically
+        to ``r``. It is what distributed campaign workers flush to
+        ``partials/<worker>.json`` so a leader on another host can
+        :meth:`merge` their shards.
+        """
+        return {
+            "row_axes": list(self.row_axes),
+            "col_axis": self.col_axis,
+            "metric": self.metric,
+            "confidence": self.confidence,
+            "baseline": self.baseline,
+            "row_order": [list(row) for row in self._row_order],
+            "col_order": list(self._col_order),
+            "cells": [{"row": list(row), "col": col,
+                       "moments": moments.to_json()}
+                      for (row, col), moments in self._cells.items()],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "GridReport":
+        """Rebuild a report from :meth:`to_state` output.
+
+        Axis values are strings or ints (``ConditionKey`` axes), so the
+        JSON round-trip reconstructs row/column keys exactly.
+        """
+        report = cls(
+            rows=tuple(state["row_axes"]),
+            cols=str(state["col_axis"]),
+            metric=str(state["metric"]),
+            confidence=float(state["confidence"]),
+            baseline=state.get("baseline"),
+        )
+        for row in state["row_order"]:
+            report._row_order.setdefault(tuple(row))
+        for col in state["col_order"]:
+            report._col_order.setdefault(col)
+        for cell in state["cells"]:
+            report._cells[(tuple(cell["row"]), cell["col"])] = \
+                StreamingMoments.from_json(cell["moments"])
+        return report
+
+    def config(self) -> Tuple[Tuple[str, ...], str, str, float]:
+        """The identity that decides whether two reports can merge."""
+        return (self.row_axes, self.col_axis, self.metric,
+                self.confidence)
 
     def to_json(self) -> Dict[str, object]:
         """JSON document mirroring the rendered pivot."""

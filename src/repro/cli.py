@@ -18,12 +18,22 @@ streams the recorded summaries through the incremental accumulators and
 renders a Table 1/2-style pivot (mean ± CI per cell, Welch significance
 marks); with ``--campaign-dir`` it reports post-hoc on a finished
 campaign directory without re-running anything.
+
+Campaigns also scale *out*: ``campaign --workers N`` runs N cooperative
+lease-claiming workers locally, and ``campaign --join DIR`` joins an
+existing campaign directory from any host that mounts it — workers
+never simulate a condition twice and each flushes a mergeable partial
+aggregate (see ``repro.testbed.distributed`` and
+``docs/architecture.md``). ``--report --campaign-dir DIR
+--from-partials`` merges those per-worker shards instead of re-reading
+every summary.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from statistics import fmean
 from typing import List, Optional, Tuple
@@ -44,7 +54,19 @@ from repro.report import (
 )
 from repro.study.design import StudyPlan
 from repro.study.simulate import run_campaign
-from repro.testbed.campaign import Campaign, CampaignSpec, ProgressPrinter
+from repro.testbed.campaign import (
+    Campaign,
+    CampaignSpec,
+    ProgressPrinter,
+    pool_context,
+)
+from repro.testbed.distributed import (
+    LeaseConfig,
+    default_worker_id,
+    join_campaign,
+    merge_partial_reports,
+    run_worker,
+)
 from repro.testbed.harness import Testbed
 from repro.testbed.store import StaleCampaignError, SummaryStore
 from repro.transport.config import STACKS
@@ -56,6 +78,17 @@ DEFAULT_SITES = [
     "wikipedia.org", "gov.uk", "etsy.com", "spotify.com", "apache.org",
     "wordpress.com",
 ]
+
+#: Grid-defining `repro campaign` flag defaults, shared between
+#: build_parser() and the --join conflict guard (a value equal to its
+#: default is treated as "not explicitly requested").
+CAMPAIGN_GRID_DEFAULTS = {
+    "seeds": [0],
+    "runs": 5,
+    "timeout": 180.0,
+    "metric": "PLT",
+    "name": "cli-campaign",
+}
 
 
 def _cmd_tables(_: argparse.Namespace) -> int:
@@ -167,11 +200,152 @@ def _print_report(report: GridReport, fmt: str) -> None:
         print(render_grid(report))
 
 
+def _worker_entry(campaign_dir: str, cache_dir: Optional[str],
+                  worker_id: str, lease: LeaseConfig,
+                  report_args: argparse.Namespace,
+                  run_kwargs: dict) -> None:
+    """Child cooperative worker (``--workers N`` spawns N-1 of these)."""
+    campaign = join_campaign(campaign_dir, cache_dir=cache_dir)
+    report = _make_report(report_args)
+    result = run_worker(campaign, worker_id=worker_id, lease=lease,
+                        report=report, **run_kwargs)
+    sys.exit(0 if result.ok else 1)
+
+
+def _lease_config(args: argparse.Namespace) -> LeaseConfig:
+    try:
+        return LeaseConfig(ttl_s=args.lease_ttl,
+                           heartbeat_s=args.lease_heartbeat,
+                           poll_s=args.lease_poll)
+    except ValueError as error:
+        raise SystemExit(f"repro campaign: error: {error}")
+
+
+def _cmd_campaign_distributed(args: argparse.Namespace,
+                              campaign: Campaign, info) -> int:
+    """Cooperative lease-claiming execution (--join and/or --workers)."""
+    lease = _lease_config(args)
+    workers = args.workers if args.workers is not None else 1
+    if workers < 1:
+        raise SystemExit(
+            f"repro campaign: error: --workers must be at least 1, "
+            f"got {workers}")
+    if args.claim_chunk is not None and args.claim_chunk < 1:
+        raise SystemExit(
+            f"repro campaign: error: --claim-chunk must be at least 1, "
+            f"got {args.claim_chunk}")
+    base_id = args.worker_id if args.worker_id is not None \
+        else default_worker_id()
+    # N workers on one box share the CPUs; an explicit --processes is
+    # honoured per worker.
+    processes = args.processes
+    if processes is None and workers > 1:
+        processes = max(1, ((os.cpu_count() or 2) - 1) // workers)
+    run_kwargs = dict(
+        processes=processes,
+        batch_size=args.batch_size,
+        failure_policy=args.failure_policy,
+        claim_chunk=args.claim_chunk,
+    )
+    campaign.write_spec()
+    print(f"worker {base_id!r} joining campaign dir "
+          f"{campaign.campaign_dir} ({workers} local worker"
+          f"{'s' if workers != 1 else ''}, lease ttl {lease.ttl_s:g}s)",
+          file=info)
+    children = []
+    ctx = pool_context()
+    for index in range(1, workers):
+        child = ctx.Process(
+            target=_worker_entry,
+            args=(str(campaign.campaign_dir), args.cache_dir,
+                  f"{base_id}-{index}", lease, args, run_kwargs),
+        )
+        child.start()
+        children.append(child)
+    progress = None if args.quiet else ProgressPrinter(stream=info)
+    try:
+        result = run_worker(
+            campaign,
+            worker_id=base_id if workers == 1 else f"{base_id}-0",
+            lease=lease, report=_make_report(args), progress=progress,
+            **run_kwargs)
+    except BaseException:
+        # Abort/Ctrl-C in this worker must not leave the siblings
+        # silently finishing the grid while the interpreter waits on
+        # them at exit. SIGINT first: it unwinds the child through its
+        # own pool/lease cleanup (a bare terminate() would orphan the
+        # child's pool workers mid-simulation).
+        import signal
+
+        for child in children:
+            if child.is_alive():
+                try:
+                    os.kill(child.pid, signal.SIGINT)
+                except OSError:
+                    pass
+        for child in children:
+            child.join(timeout=10)
+        for child in children:
+            if child.is_alive():
+                child.terminate()
+            child.join()
+        raise
+    failed_children = 0
+    for child in children:
+        child.join()
+        failed_children += child.exitcode != 0
+    counts = result.counts
+    print(f"done in {result.duration_s:.1f}s: "
+          + ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+          + (f"; {failed_children} worker(s) reported failures"
+             if failed_children else ""), file=info)
+    if not result.ok:
+        for failed in result.failed:
+            last = (failed.error or "").strip().splitlines()
+            print(f"FAILED {failed.condition.label}: "
+                  f"{last[-1] if last else 'unknown error'}", file=info)
+    if args.report:
+        try:
+            merged = merge_partial_reports(campaign.campaign_dir,
+                                           report=_make_report(args),
+                                           cache_dir=args.cache_dir)
+        except (StaleCampaignError, ValueError) as error:
+            # E.g. shards left by an earlier run with different report
+            # flags. The recordings themselves are fine — fall back to
+            # streaming every summary rather than dropping the report
+            # after a possibly long run.
+            print(f"warning: cannot merge worker partials ({error}); "
+                  f"reporting from the recorded summaries instead",
+                  file=sys.stderr)
+            merged = _make_report(args)
+            store = SummaryStore.open(campaign.campaign_dir,
+                                      cache_dir=args.cache_dir)
+            merged.consume(store)
+        if info is sys.stdout:
+            print()
+        _print_report(merged, args.format)
+    return 0 if result.ok and not failed_children else 1
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.campaign_dir is not None:
         # Post-hoc reporting: stream a finished campaign directory's
         # summaries through the accumulators — nothing is re-run.
         report = _make_report(args)
+        if args.from_partials:
+            try:
+                merged = merge_partial_reports(
+                    args.campaign_dir, report=report,
+                    cache_dir=args.cache_dir,
+                    check_behaviour=not args.allow_stale)
+            except StaleCampaignError as error:
+                raise SystemExit(
+                    f"repro campaign: error: {error} (from the CLI: "
+                    f"--allow-stale)")
+            except ValueError as error:
+                raise SystemExit(f"repro campaign: error: {error}")
+            _print_report(merged, args.format)
+            return 0
         try:
             store = SummaryStore.open(args.campaign_dir,
                                       cache_dir=args.cache_dir,
@@ -201,6 +375,38 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                   f"remaining {fed}", file=sys.stderr)
         _print_report(report, args.format)
         return 0
+    # With a JSON report, stdout must stay machine-parseable: all
+    # progress/banner lines move to stderr.
+    info = sys.stderr if args.report and args.format == "json" \
+        else sys.stdout
+    if args.join is not None:
+        _lease_config(args)  # reject bad lease flags before joining
+        # The joined directory's spec.json is the single source of
+        # truth for the grid — grid flags would silently disagree.
+        # (Non-default == explicitly requested; re-passing a default
+        # is indistinguishable and harmlessly identical.)
+        defaults = CAMPAIGN_GRID_DEFAULTS
+        for flag, conflicting in (
+                ("--sites", bool(args.sites)),
+                ("--networks", bool(args.networks)),
+                ("--stacks", bool(args.stacks)),
+                ("--loss-sweep", bool(args.loss_sweep)),
+                ("--seeds", args.seeds != defaults["seeds"]),
+                ("--runs", args.runs != defaults["runs"]),
+                ("--timeout", args.timeout != defaults["timeout"]),
+                ("--metric", args.metric != defaults["metric"]),
+                ("--name", args.name != defaults["name"])):
+            if conflicting:
+                raise SystemExit(
+                    f"repro campaign: error: {flag} conflicts with "
+                    f"--join; the joined directory's spec.json "
+                    f"defines the grid")
+        try:
+            campaign = join_campaign(args.join, cache_dir=args.cache_dir)
+        except (FileNotFoundError, StaleCampaignError,
+                ValueError) as error:
+            raise SystemExit(f"repro campaign: error: {error}")
+        return _cmd_campaign_distributed(args, campaign, info)
     try:
         networks: List[object] = [network_by_name(name)
                                   for name in (args.networks or [])]
@@ -222,15 +428,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     campaign = Campaign(spec, cache_dir=args.cache_dir)
     total = len(spec.conditions())
-    # With a JSON report, stdout must stay machine-parseable: all
-    # progress/banner lines move to stderr.
-    info = sys.stderr if args.report and args.format == "json" \
-        else sys.stdout
     print(f"campaign {spec.name!r}: {total} conditions "
           f"({len(spec.sites)} sites x {len(spec.networks)} networks x "
           f"{len(spec.stacks)} stacks x {len(spec.seeds)} seeds), "
           f"{args.runs} runs each", file=info)
     print(f"manifest: {campaign.manifest_path}", file=info)
+    if args.workers is not None:
+        return _cmd_campaign_distributed(args, campaign, info)
     progress = None if args.quiet else ProgressPrinter(stream=info)
     report = _make_report(args) if args.report else None
     sink = None
@@ -322,14 +526,22 @@ def build_parser() -> argparse.ArgumentParser:
                             help="Table 2 network names (default: all four)")
     p_campaign.add_argument("--stacks", nargs="*", default=None,
                             help="Table 1 stack names (default: all five)")
-    p_campaign.add_argument("--seeds", nargs="*", type=int, default=[0],
+    p_campaign.add_argument("--seeds", nargs="*", type=int,
+                            default=CAMPAIGN_GRID_DEFAULTS["seeds"],
                             help="simulation seeds (extra sweep axis)")
     p_campaign.add_argument("--loss-sweep", nargs="*", default=None,
                             metavar="NET:P1,P2",
                             help="derived lossy profiles, e.g. DSL:0.01,0.05")
-    p_campaign.add_argument("--runs", type=int, default=5)
-    p_campaign.add_argument("--timeout", type=float, default=180.0)
-    p_campaign.add_argument("--metric", default="PLT",
+    p_campaign.add_argument("--runs", type=int,
+                            default=CAMPAIGN_GRID_DEFAULTS["runs"],
+                            help="page loads recorded per condition "
+                                 "(a typical run is selected; default: 5)")
+    p_campaign.add_argument("--timeout", type=float,
+                            default=CAMPAIGN_GRID_DEFAULTS["timeout"],
+                            help="per-load simulated-time budget in "
+                                 "seconds (default: 180)")
+    p_campaign.add_argument("--metric",
+                            default=CAMPAIGN_GRID_DEFAULTS["metric"],
                             help="typical-run selection metric")
     p_campaign.add_argument("--processes", type=int, default=None,
                             help="worker processes (default: CPUs-1; "
@@ -338,11 +550,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="conditions per worker task (default: "
                                  "a few batches per worker)")
     p_campaign.add_argument("--failure-policy", default="retry",
-                            choices=["retry", "skip", "abort"])
+                            choices=["retry", "skip", "abort"],
+                            help="what a failed condition does to the "
+                                 "run: retry it a few times, record it "
+                                 "and move on, or abort the campaign "
+                                 "(default: retry)")
     p_campaign.add_argument("--cache-dir", default=None,
                             help="recording cache directory "
                                  "(default: $REPRO_CACHE_DIR or .repro-cache)")
-    p_campaign.add_argument("--name", default="cli-campaign",
+    p_campaign.add_argument("--name",
+                            default=CAMPAIGN_GRID_DEFAULTS["name"],
                             help="campaign name (labels the manifest dir)")
     p_campaign.add_argument("--quiet", action="store_true",
                             help="suppress per-condition progress lines")
@@ -373,6 +590,52 @@ def build_parser() -> argparse.ArgumentParser:
                                  "SIM_BEHAVIOUR_VERSION instead of "
                                  "refusing (results are not comparable "
                                  "with current simulations)")
+    p_campaign.add_argument("--from-partials", action="store_true",
+                            help="with --campaign-dir: merge the "
+                                 "workers' partials/<worker>.json "
+                                 "shards (plus any uncovered summaries) "
+                                 "instead of re-reading every summary; "
+                                 "requires the shards' pivot config to "
+                                 "match the report flags")
+    p_campaign.add_argument("--join", default=None, metavar="DIR",
+                            help="join an existing campaign directory "
+                                 "as a cooperative lease-claiming "
+                                 "worker (the grid comes from the "
+                                 "directory's spec.json; run from any "
+                                 "host that mounts DIR and the cache)")
+    p_campaign.add_argument("--workers", type=int, default=None,
+                            metavar="N",
+                            help="run N cooperative workers on this "
+                                 "machine (with or without --join); "
+                                 "each claims conditions through the "
+                                 "lease protocol and writes its own "
+                                 "partial aggregate (default: plain "
+                                 "single-worker execution)")
+    p_campaign.add_argument("--worker-id", default=None,
+                            help="cooperative worker identity stamped "
+                                 "on claims, manifest lines and partial "
+                                 "files (default: <host>-<pid>)")
+    p_campaign.add_argument("--lease-ttl", type=float, default=60.0,
+                            metavar="SECONDS",
+                            help="seconds without a heartbeat before "
+                                 "another worker may reclaim a claimed "
+                                 "condition (default: 60)")
+    p_campaign.add_argument("--lease-heartbeat", type=float,
+                            default=15.0, metavar="SECONDS",
+                            help="seconds between heartbeat touches on "
+                                 "held claims; must be well below "
+                                 "--lease-ttl (default: 15)")
+    p_campaign.add_argument("--lease-poll", type=float, default=1.0,
+                            metavar="SECONDS",
+                            help="seconds between polls of conditions "
+                                 "other workers hold (default: 1)")
+    p_campaign.add_argument("--claim-chunk", type=int, default=None,
+                            metavar="N",
+                            help="conditions one worker claims per "
+                                 "pass; small chunks share a grid more "
+                                 "evenly, large ones amortise claim "
+                                 "overhead (default: two rounds of the "
+                                 "worker's process pool)")
 
     p_study = sub.add_parser("study", help="run a reduced campaign")
     p_study.add_argument("--runs", type=int, default=5)

@@ -21,6 +21,10 @@ Three layers:
   campaign's recordings: lazy ``(key, summary)`` iteration, live (via
   :meth:`Campaign.summary_store` or the ``sink`` argument of
   :meth:`Campaign.run`) or post-hoc from a campaign directory on disk.
+* :mod:`repro.testbed.distributed` — cooperative multi-host execution:
+  lease-based claims let any number of :func:`run_worker` processes
+  (``repro campaign --join DIR``) share one campaign directory without
+  double-simulating, each flushing a mergeable partial aggregate.
 """
 
 from repro.testbed.campaign import (
@@ -33,6 +37,15 @@ from repro.testbed.campaign import (
     Progress,
     ProgressPrinter,
     run_campaign_spec,
+    spec_from_json,
+)
+from repro.testbed.distributed import (
+    LeaseConfig,
+    LeaseManager,
+    default_worker_id,
+    join_campaign,
+    merge_partial_reports,
+    run_worker,
 )
 from repro.testbed.harness import (
     RecordingCache,
@@ -61,10 +74,17 @@ __all__ = [
     "ProgressPrinter",
     "RecordingCache",
     "RecordingSummary",
+    "LeaseConfig",
+    "LeaseManager",
     "StaleCampaignError",
     "SummaryStore",
     "Testbed",
     "condition_fingerprint",
+    "default_worker_id",
+    "join_campaign",
+    "merge_partial_reports",
     "parallel_sweep",
     "run_campaign_spec",
+    "run_worker",
+    "spec_from_json",
 ]

@@ -34,6 +34,7 @@ reopens a finished campaign directory post-hoc — see
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import multiprocessing
@@ -55,7 +56,11 @@ from typing import (
     Union,
 )
 
-from repro.netem.profiles import NETWORKS, NetworkProfile
+from repro.netem.profiles import (
+    NETWORKS,
+    NetworkProfile,
+    TraceNetworkProfile,
+)
 from repro.testbed import harness
 from repro.testbed.harness import (
     NetworkLike,
@@ -185,7 +190,14 @@ class CampaignSpec:
         return digest.hexdigest()[:16]
 
     def describe(self) -> Dict[str, object]:
-        """JSON-serialisable summary written next to the manifest."""
+        """JSON-serialisable summary written next to the manifest.
+
+        The ``axes`` section carries the *full* network/stack payloads
+        (every dataclass field, incl. derived loss-sweep and
+        trace-driven profiles), so a worker on another host can rebuild
+        the exact spec from ``spec.json`` alone — see
+        :func:`spec_from_json` and ``repro campaign --join``.
+        """
         return {
             "name": self.name,
             "sites": list(self.sites),
@@ -201,15 +213,78 @@ class CampaignSpec:
             # Recorded so a dir from an older simulator can be told
             # apart post-hoc (SummaryStore.open refuses stale dirs).
             "sim_behaviour": harness.SIM_BEHAVIOUR_VERSION,
+            "axes": {
+                "networks": [
+                    dict(dataclasses.asdict(profile),
+                         type=type(profile).__name__)
+                    for profile in self.networks
+                ],
+                "stacks": [dataclasses.asdict(stack)
+                           for stack in self.stacks],
+            },
         }
+
+
+def _profile_from_json(data: Dict[str, object]) -> NetworkProfile:
+    fields = {k: v for k, v in data.items() if k != "type"}
+    if data.get("type") == "TraceNetworkProfile":
+        fields["downlink_trace_ms"] = tuple(fields["downlink_trace_ms"])
+        return TraceNetworkProfile(**fields)  # type: ignore[arg-type]
+    fields.pop("downlink_trace_ms", None)
+    return NetworkProfile(**fields)  # type: ignore[arg-type]
+
+
+def spec_from_json(data: Dict[str, object]) -> CampaignSpec:
+    """Rebuild a :class:`CampaignSpec` from ``describe()`` output.
+
+    Prefers the full ``axes`` payloads (exact reconstruction of derived
+    loss-sweep and trace-driven profiles); ``spec.json`` files written
+    before the payloads existed fall back to resolving the recorded
+    Table 1/2 names, and raise if an axis entry was a derived object
+    whose name cannot be resolved.
+    """
+    axes = data.get("axes")
+    if axes:
+        networks: List[NetworkLike] = [
+            _profile_from_json(entry) for entry in axes["networks"]]
+        stacks: List[StackLike] = [
+            StackConfig(**entry) for entry in axes["stacks"]]
+    else:
+        try:
+            networks = [resolve_network(name)
+                        for name in data["networks"]]
+            stacks = [resolve_stack(name) for name in data["stacks"]]
+        except KeyError as error:
+            raise ValueError(
+                f"spec.json predates full axis payloads and names a "
+                f"derived axis value that cannot be resolved: "
+                f"{error.args[0]}") from None
+    return CampaignSpec(
+        sites=list(data["sites"]),
+        networks=networks,
+        stacks=stacks,
+        seeds=[int(seed) for seed in data["seeds"]],
+        runs=int(data["runs"]),
+        corpus_seed=int(data["corpus_seed"]),
+        timeout=float(data["timeout"]),
+        selection_metric=str(data["selection_metric"]),
+        name=str(data["name"]),
+    )
 
 
 @dataclass
 class ConditionResult:
-    """Outcome of one condition within a campaign run."""
+    """Outcome of one condition within a campaign run.
+
+    ``status`` is one of ``simulated`` (this worker ran it), ``cached``
+    (found in the shared recording cache), ``resumed`` (manifest said it
+    was already done), ``shared`` (a cooperating distributed worker
+    recorded it while this run waited — see
+    :mod:`repro.testbed.distributed`), or ``failed``.
+    """
 
     condition: Condition
-    status: str                  # simulated | cached | resumed | failed
+    status: str          # simulated | cached | resumed | shared | failed
     attempts: int = 1
     duration_s: float = 0.0
     error: Optional[str] = None
@@ -313,7 +388,7 @@ def _run_condition_batch(
     return [_run_condition(payload) for payload in batch]
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
+def pool_context() -> multiprocessing.context.BaseContext:
     """Fork where the platform supports it: workers start in
     milliseconds instead of re-importing the interpreter + library
     (spawn cost dominates small campaigns)."""
@@ -340,6 +415,7 @@ class Campaign:
         spec: CampaignSpec,
         cache_dir: Optional[Union[str, Path]] = None,
         campaign_dir: Optional[Union[str, Path]] = None,
+        worker: Optional[str] = None,
     ):
         self.spec = spec
         if cache_dir is None:
@@ -352,6 +428,9 @@ class Campaign:
                 f"{safe_name[:40]}-{spec.fingerprint()}"
         self.campaign_dir = Path(campaign_dir)
         self.manifest_path = self.campaign_dir / "manifest.jsonl"
+        #: Cooperative-worker identity stamped on manifest lines this
+        #: instance appends (None for ordinary single-host runs).
+        self.worker = worker
 
     # -- manifest ------------------------------------------------------------
 
@@ -393,15 +472,32 @@ class Campaign:
             "error": result.error,
             "at": time.time(),
         }
+        if self.worker is not None:
+            record["worker"] = self.worker
         with open(self.manifest_path, "a") as handle:
             handle.write(json.dumps(record) + "\n")
             handle.flush()
 
-    def _write_spec(self) -> None:
+    def write_spec(self) -> Path:
+        """Materialise the campaign directory with its ``spec.json``.
+
+        Called automatically by :meth:`run`; also useful standalone to
+        create a directory other hosts can ``repro campaign --join``
+        before any condition has settled. Never overwrites an existing
+        spec (the fingerprint-derived directory name makes "same spec"
+        mean "same directory").
+        """
         self.campaign_dir.mkdir(parents=True, exist_ok=True)
         spec_path = self.campaign_dir / "spec.json"
         if not spec_path.exists():
-            spec_path.write_text(json.dumps(self.spec.describe(), indent=2))
+            # Atomic: spec.json is the --join entry point, and a
+            # half-written file would brick the directory for every
+            # joiner (the exists() guard means it is never rewritten).
+            tmp = spec_path.with_name(
+                f".{spec_path.name}.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(self.spec.describe(), indent=2))
+            os.replace(tmp, spec_path)
+        return spec_path
 
     # -- execution -----------------------------------------------------------
 
@@ -413,6 +509,7 @@ class Campaign:
         progress: Optional[ProgressCallback] = None,
         batch_size: Optional[int] = None,
         sink: Optional[SummarySink] = None,
+        claims: Optional["ClaimProtocol"] = None,
     ) -> CampaignResult:
         """Record every condition, resuming any earlier partial run.
 
@@ -437,6 +534,24 @@ class Campaign:
         first, then simulated ones in completion order), so incremental
         aggregation can run concurrently with the sweep instead of
         loading the whole grid afterwards.
+
+        ``claims`` makes the work queue cooperative: before a condition
+        is simulated it must be acquired from the claim object, and
+        conditions another worker holds are deferred and polled instead
+        of re-simulated. This is how any number of
+        :mod:`repro.testbed.distributed` workers on different hosts
+        share one campaign directory. The object implements
+
+        * ``select(conditions) -> (mine, theirs)`` — partition pending
+          conditions into acquired leases and ones held elsewhere;
+        * ``release(condition)`` — drop a lease after the condition's
+          manifest line landed (success or terminal failure);
+        * ``recorded(condition, summary)`` — this worker
+          simulated+stored the condition (partial-aggregation hook);
+        * ``wait(deferred) -> (settled, reclaimed, still_deferred)`` —
+          one bounded poll: conditions now recorded by another worker,
+          conditions whose lease went stale (ours to retry), and the
+          rest.
         """
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -446,7 +561,7 @@ class Campaign:
             raise ValueError(
                 f"batch_size must be at least 1, got {batch_size}")
         started = time.perf_counter()
-        self._write_spec()
+        self.write_spec()
         conditions = self.spec.conditions()
         manifest = self._load_manifest()
 
@@ -469,10 +584,23 @@ class Campaign:
                 settled[fingerprint] = ConditionResult(
                     condition, "resumed",
                     attempts=int(record.get("attempts", 1)))
+            elif claims is not None and claims.committed(fingerprint):
+                # A peer committed this condition after our manifest
+                # snapshot (late-joiner race); its line exists, so
+                # appending a "cached" one would duplicate it.
+                settled[fingerprint] = ConditionResult(
+                    condition, "resumed")
+            elif claims is not None and not claims.adopt(condition):
+                # An unmanifested recording another joiner is adopting
+                # right now: exactly one of us appends its line.
+                settled[fingerprint] = ConditionResult(
+                    condition, "resumed")
             else:
                 result = ConditionResult(condition, "cached")
                 settled[fingerprint] = result
                 self._append_manifest(result)
+                if claims is not None:
+                    claims.release(condition)
 
         total = len({c.fingerprint() for c in conditions})
         done = 0
@@ -497,7 +625,11 @@ class Campaign:
 
         attempts: Dict[str, int] = {}
         pending = todo
-        while pending:
+        deferred: List[Condition] = []
+        while pending or deferred:
+            if claims is not None and pending:
+                pending, theirs = claims.select(pending)
+                deferred.extend(theirs)
             failures: List[Tuple[Condition, str, float]] = []
             for condition, error, duration in self._execute(
                     pending, processes, batch_size):
@@ -511,14 +643,26 @@ class Campaign:
                         duration_s=duration)
                     settled[fingerprint] = result
                     self._append_manifest(result)
+                    # One read serves both consumers of the summary.
+                    summary = self.cache.load(condition.label,
+                                              fingerprint) \
+                        if (claims is not None or sink is not None) \
+                        else None
+                    if claims is not None:
+                        claims.release(condition)
+                        if summary is not None:
+                            claims.recorded(condition, summary)
                     tick(result)
-                    feed_sink(condition)
+                    if sink is not None and summary is not None:
+                        sink(condition, summary)
                     continue
                 if failure_policy == "abort":
                     result = ConditionResult(
                         condition, "failed", attempts=attempts[fingerprint],
                         duration_s=duration, error=error)
                     self._append_manifest(result)
+                    if claims is not None:
+                        claims.release(condition)
                     raise CampaignError(
                         f"condition {condition.label} failed:\n{error}")
                 failures.append((condition, error, duration))
@@ -535,8 +679,26 @@ class Campaign:
                     duration_s=duration, error=error)
                 settled[fingerprint] = result
                 self._append_manifest(result)
+                if claims is not None:
+                    claims.release(condition)
                 done += 1
                 tick(result)
+
+            if claims is not None and deferred and not pending:
+                # Out of our own work: poll conditions other workers
+                # hold. Ones they recorded settle as "shared" (their
+                # manifest line, our sink feed); stale leases come back
+                # to us for re-simulation.
+                settled_elsewhere, reclaimed, deferred = \
+                    claims.wait(deferred)
+                for condition in settled_elsewhere:
+                    fingerprint = condition.fingerprint()
+                    done += 1
+                    result = ConditionResult(condition, "shared")
+                    settled[fingerprint] = result
+                    tick(result)
+                    feed_sink(condition)
+                pending.extend(reclaimed)
 
         ordered, seen = [], set()
         for condition in conditions:
@@ -557,6 +719,8 @@ class Campaign:
         batch_size: Optional[int] = None,
     ) -> Iterator[Tuple[Condition, Optional[str], float]]:
         """Yield ``(condition, error, duration)`` as conditions settle."""
+        if not conditions:
+            return  # claim-wait poll cycles pass empty batches
         if processes is None:
             # Workers beyond the core count only add scheduling overhead
             # for CPU-bound simulation; an explicit request is honoured.
@@ -578,7 +742,7 @@ class Campaign:
         batches = [payloads[i:i + batch_size]
                    for i in range(0, len(payloads), batch_size)]
         processes = min(processes, len(batches))
-        with _pool_context().Pool(
+        with pool_context().Pool(
             processes=processes,
             initializer=_init_worker,
             initargs=(str(self.cache.directory),),

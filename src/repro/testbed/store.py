@@ -4,7 +4,9 @@
 the analysis layer: it iterates ``(ConditionKey, RecordingSummary)``
 pairs straight off the campaign manifest and the content-addressed
 recording cache, one summary in memory at a time, instead of
-materialising the whole grid the way ``Campaign.summaries()`` did.
+materialising the whole grid the way the deprecated
+``Campaign.summaries()`` does — new callers want
+``Campaign.iter_summaries()`` / ``Campaign.summary_store()``.
 
 Two ways to build one:
 
@@ -45,10 +47,21 @@ class StaleCampaignError(ValueError):
 #: Axis names a :class:`ConditionKey` can be pivoted/grouped on.
 CONDITION_AXES = ("website", "network", "stack", "seed")
 
+#: Campaign-directory subdirectory holding per-condition lease files
+#: (the distributed claim protocol — see ``repro.testbed.distributed``).
+CLAIMS_DIRNAME = "claims"
+
+#: Campaign-directory subdirectory holding per-worker partial
+#: aggregates (``<worker>.json``, serialized ``GridReport`` state).
+PARTIALS_DIRNAME = "partials"
+
 #: Manifest statuses that mean "a recording exists for this condition".
 #: Owned here (the manifest-reading layer); the campaign orchestrator
-#: imports it, so the two can never drift apart.
-OK_STATUSES = ("simulated", "cached", "resumed")
+#: imports it, so the two can never drift apart. ``shared`` only ever
+#: appears in in-memory ConditionResults (a cooperating distributed
+#: worker recorded the condition — that worker wrote the manifest line),
+#: but it means the same thing: the recording exists.
+OK_STATUSES = ("simulated", "cached", "resumed", "shared")
 
 #: Labels end in ``_s<seed>`` (see ``harness.condition_label``).
 _SEED_SUFFIX = re.compile(r"_s(\d+)$")
@@ -241,6 +254,43 @@ class SummaryStore:
             if "sim_behaviour" in record:
                 return int(record["sim_behaviour"])
         return None
+
+    # -- distributed partial aggregates --------------------------------------
+
+    def partial_paths(self) -> List[Path]:
+        """Per-worker partial aggregate files, sorted by worker id.
+
+        Workers in a distributed run flush
+        ``partials/<worker>.json`` shards (see
+        ``repro.testbed.distributed``); an empty list means the
+        campaign ran single-host or no worker flushed yet.
+        """
+        if self.campaign_dir is None:
+            return []
+        partials = self.campaign_dir / PARTIALS_DIRNAME
+        if not partials.is_dir():
+            return []
+        return sorted(path for path in partials.glob("*.json")
+                      if not path.name.startswith("."))
+
+    def load_partial_state(self, path: Path,
+                           check_behaviour: bool = True) \
+            -> Dict[str, object]:
+        """Parse one partial aggregate, checking its behaviour stamp.
+
+        Raises :class:`StaleCampaignError` when the shard was recorded
+        under a different ``SIM_BEHAVIOUR_VERSION`` than the running
+        simulator (unless ``check_behaviour=False``).
+        """
+        state = json.loads(Path(path).read_text())
+        recorded = state.get("sim_behaviour")
+        if check_behaviour and recorded is not None and \
+                int(recorded) != harness.SIM_BEHAVIOUR_VERSION:
+            raise StaleCampaignError(
+                f"partial aggregate {path} was recorded under "
+                f"SIM_BEHAVIOUR_VERSION={recorded}, but the current "
+                f"simulator is version {harness.SIM_BEHAVIOUR_VERSION}")
+        return state
 
     def recorded_count(self) -> int:
         """How many conditions the manifest says were recorded ok.
