@@ -9,6 +9,7 @@ campaign          run a declarative, resumable campaign over a process pool
 study             run a reduced campaign and print Table 3 + Figures 4/5
 sites             list the 36 corpus sites with their characteristics
 export SITE PATH  write a corpus site as HAR-flavoured JSON
+lint              determinism & hot-path static analysis (simlint)
 
 ``campaign`` is the scale-out entry point: arbitrary axes (sites,
 networks incl. ``--loss-sweep`` derived profiles, stacks, seeds), live
@@ -39,6 +40,8 @@ from statistics import fmean
 from typing import List, Optional, Tuple
 
 from repro.analysis.streaming import GRID_AXES, GridReport
+from repro.lint.cli import add_lint_arguments
+from repro.lint.cli import run as run_lint_cli
 from repro.browser.engine import load_page
 from repro.browser.metrics import VisualMetrics
 from repro.netem.profiles import NETWORKS, network_by_name, with_loss
@@ -637,6 +640,13 @@ def build_parser() -> argparse.ArgumentParser:
                                  "overhead (default: two rounds of the "
                                  "worker's process pool)")
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="determinism & hot-path static analysis over the source "
+             "tree (simlint); exits non-zero on any unsuppressed "
+             "finding")
+    add_lint_arguments(p_lint)
+
     p_study = sub.add_parser("study", help="run a reduced campaign")
     p_study.add_argument("--runs", type=int, default=5)
     p_study.add_argument("--seed", type=int, default=3)
@@ -651,6 +661,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return run_lint_cli(args, prog="repro lint")
+
+
 COMMANDS = {
     "tables": _cmd_tables,
     "sites": _cmd_sites,
@@ -659,6 +673,7 @@ COMMANDS = {
     "campaign": _cmd_campaign,
     "study": _cmd_study,
     "export": _cmd_export,
+    "lint": _cmd_lint,
 }
 
 

@@ -1,0 +1,40 @@
+"""simlint: determinism & hot-path static analysis for the simulator.
+
+The determinism contract — a condition's bytes are a pure function of
+(spec, seed, ``SIM_BEHAVIOUR_VERSION``) — is enforced in three layers:
+
+1. **Static rules** (``repro lint``): AST checks for the patterns that
+   historically broke the contract — wall-clock reads, ambient RNGs,
+   process-global mutable state, unordered set iteration — plus the
+   ``__slots__`` manifest protecting PR 2's hot-path memory win.
+2. **The behaviour-surface guard**: a committed content-hash manifest
+   of every sim-behaviour-affecting file; edits fail the lint until
+   they carry a version bump and an explicit
+   ``--accept-behaviour-surface`` regeneration.
+3. **The runtime sanitizer** (:mod:`repro.lint.sanitizer`): the same
+   forbidden entry points monkeypatched to raise when reached from
+   sim-core frames during a real simulation (``REPRO_SANITIZE=1`` or
+   the ``nondeterminism_sanitizer`` pytest fixture).
+
+See the "Determinism contract enforcement" section of
+``docs/architecture.md`` for the rule-by-rule policy.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import Finding, LintResult, run_lint
+from repro.lint.sanitizer import (
+    NondeterminismError,
+    maybe_sanitized,
+    sanitized,
+)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "NondeterminismError",
+    "load_config",
+    "maybe_sanitized",
+    "run_lint",
+    "sanitized",
+]

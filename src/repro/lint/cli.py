@@ -1,0 +1,164 @@
+"""``repro lint`` / ``python -m repro.lint`` — the simlint front end.
+
+The argument definitions live in :func:`add_lint_arguments` so the main
+``repro`` CLI (:mod:`repro.cli`) and the standalone module entry point
+share one flag set with one set of ``--help`` strings — the PR-5
+convention: every flag documents itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import repro
+from repro.lint import surface
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import render, run_lint
+from repro.lint.rules import ALL_RULE_DESCRIPTIONS
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package tree (works from any cwd)."""
+    return Path(repro.__file__).resolve().parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``lint`` flags to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: the repro "
+             "package tree itself); the behaviour-surface guard "
+             "only runs on full-tree scans")
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="finding output format: human-readable lines, or a JSON "
+             "object with per-finding records for CI (default: text)")
+    parser.add_argument(
+        "--select", default=None, metavar="RULE[,RULE]",
+        help="comma-separated rule ids to run, e.g. "
+             "no-wallclock,slots-required (default: every rule; see "
+             "--list-rules)")
+    parser.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="simlint JSON config overriding the built-in sim-core / "
+             "allowlist / slots-manifest / surface defaults (default: "
+             "simlint.json next to the scanned tree if present, else "
+             "built-ins)")
+    parser.add_argument(
+        "--accept-behaviour-surface", action="store_true",
+        help="regenerate the committed behaviour-surface manifest from "
+             "the current tree and exit; run this after bumping "
+             "SIM_BEHAVIOUR_VERSION (behaviour changed) or confirming "
+             "an edit is behaviour-preserving, and commit the result")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with its one-line description and "
+             "exit")
+
+
+def _surface_manifest(root: Path) -> Path:
+    """The behaviour-surface manifest governing ``root``.
+
+    The manifest lives *inside* the tree it describes
+    (``<root>/lint/behaviour_surface.json``), so scanning a scratch
+    copy of the package never compares it against the installed repo's
+    committed hashes. For the installed tree itself this resolves to
+    :data:`repro.lint.surface.DEFAULT_MANIFEST_PATH` (looked up at call
+    time so tests can repoint it).
+    """
+    if root.resolve() == default_root():
+        return surface.DEFAULT_MANIFEST_PATH
+    return root / "lint" / "behaviour_surface.json"
+
+
+def _resolve_config(args: argparse.Namespace,
+                    roots: List[Path]) -> LintConfig:
+    if args.config is not None:
+        return load_config(args.config)
+    # Convention: a simlint.json sitting next to the scanned package
+    # tree (i.e. in the src/ directory or the repo root above it)
+    # overrides the defaults without needing --config.
+    for root in roots:
+        for candidate in (root.parent / "simlint.json",
+                          root.parent.parent / "simlint.json"):
+            if candidate.is_file():
+                return load_config(candidate)
+    return LintConfig()
+
+
+def run(args: argparse.Namespace, prog: str = "repro lint") -> int:
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in ALL_RULE_DESCRIPTIONS)
+        for rule_id, description in ALL_RULE_DESCRIPTIONS.items():
+            print(f"{rule_id:<{width}}  {description}")
+        return 0
+    roots = [Path(p) for p in (args.paths or [default_root()])]
+    for root in roots:
+        if not root.exists():
+            print(f"{prog}: error: no such path: {root}",
+                  file=sys.stderr)
+            return 2
+    try:
+        config = _resolve_config(args, roots)
+    except (ValueError, OSError) as error:
+        print(f"{prog}: error: {error}", file=sys.stderr)
+        return 2
+    # The behaviour surface is anchored at the package tree; find the
+    # scanned root that contains it (full-tree scans), else skip the
+    # surface guard — hashing a partial tree would report every
+    # unscanned file as removed.
+    surface_root = next(
+        (root for root in roots
+         if root.is_dir() and (root / "netem").is_dir()), None)
+    if args.accept_behaviour_surface:
+        if surface_root is None:
+            print(f"{prog}: error: --accept-behaviour-surface needs a "
+                  f"full package tree (a directory containing the "
+                  f"sim-core packages) among the scanned paths",
+                  file=sys.stderr)
+            return 2
+        manifest = _surface_manifest(surface_root)
+        path = surface.write_manifest(surface_root, config, manifest)
+        files = len(surface.compute_surface(surface_root, config))
+        print(f"accepted behaviour surface: {files} files hashed into "
+              f"{path}")
+        return 0
+    select = None
+    if args.select is not None:
+        select = {rule.strip() for rule in args.select.split(",")
+                  if rule.strip()}
+        unknown = select - set(ALL_RULE_DESCRIPTIONS)
+        if unknown:
+            print(f"{prog}: error: unknown rule(s) "
+                  f"{', '.join(sorted(unknown))}; known rules: "
+                  f"{', '.join(ALL_RULE_DESCRIPTIONS)}",
+                  file=sys.stderr)
+            return 2
+    extra = []
+    if surface_root is not None and \
+            (select is None or surface.RULE_ID in select):
+        manifest = _surface_manifest(surface_root)
+        # A tree that never accepted a surface (a scratch copy, another
+        # project's package) is not governed by the guard; the repro
+        # tree itself always is — there a missing manifest is a loud
+        # finding, not a skip.
+        if manifest.exists() or \
+                surface_root.resolve() == default_root():
+            extra = surface.check_surface(surface_root, config, manifest)
+    result = run_lint(roots, config, select=select, extra_findings=extra)
+    print(render(result, args.format))
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: determinism & hot-path static analysis "
+                    "for the repro simulator (see 'repro lint' for the "
+                    "same flags on the main CLI)",
+    )
+    add_lint_arguments(parser)
+    return run(parser.parse_args(argv), prog="python -m repro.lint")

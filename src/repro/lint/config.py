@@ -1,0 +1,133 @@
+"""simlint configuration: what counts as sim-core, and what is exempt.
+
+The determinism contract (see ``docs/architecture.md``) says a
+condition's bytes are a pure function of (spec, seed,
+``SIM_BEHAVIOUR_VERSION``).  The lint rules enforce the *patterns* that
+protect that contract, and this module decides **where** they apply:
+
+* ``sim_core`` — dotted package prefixes whose modules produce
+  simulation bytes.  Wall-clock reads, ambient RNGs, process-global
+  mutable state and unordered iteration are forbidden there outright.
+* ``allow_modules`` — a per-rule module allowlist for orchestration
+  layers with a legitimate need (e.g. lease stamping reads wall-clock).
+  Entries are ``fnmatch`` patterns over dotted module names.  Prefer an
+  inline ``# simlint: allow[<rule>] -- <reason>`` suppression for a
+  single call site; use the allowlist only when a whole module's purpose
+  is exempt.
+* ``slots_required`` — hot-path record classes that must declare
+  ``__slots__`` (or ``@dataclass(slots=True)``) so PR 2's memory win
+  cannot silently regress.
+* ``behaviour_surface`` — path prefixes (relative to the scanned
+  package root) hashed into the committed behaviour-surface manifest;
+  editing any of them requires a ``SIM_BEHAVIOUR_VERSION`` bump or an
+  explicit ``repro lint --accept-behaviour-surface`` regeneration.
+
+Defaults are baked in below; a ``simlint.json`` file (repo root, or
+``--config PATH``) may override any field — the config is data, not
+code, so a scenario PR can widen the surface without touching the
+linter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+#: Packages whose modules produce simulation bytes. ``repro.util`` is
+#: deliberately absent: ``util/rng.py`` is the sanctioned RNG
+#: constructor the sim-core threads generators from.
+DEFAULT_SIM_CORE: Tuple[str, ...] = (
+    "repro.netem",
+    "repro.transport",
+    "repro.http",
+    "repro.browser",
+    "repro.web",
+    "repro.study",
+)
+
+#: Hot-path record classes that must stay slotted (PR 2).
+DEFAULT_SLOTS_REQUIRED: Tuple[str, ...] = (
+    "Packet",
+    "TcpSegment",
+    "_SentRange",
+    "StreamChunk",
+    "QuicPacketPayload",
+    "_SentPacket",
+    "_SendStream",
+    "_RecvStream",
+    "ScheduledEvent",
+    "LossDraws",
+    "RangeSet",
+    "FlowIdAllocator",
+)
+
+#: Paths (relative to the package root, e.g. ``src/repro``) hashed into
+#: the behaviour-surface manifest: the six sim-core packages plus the
+#: RNG/units helpers every one of them leans on.
+DEFAULT_BEHAVIOUR_SURFACE: Tuple[str, ...] = (
+    "netem",
+    "transport",
+    "http",
+    "browser",
+    "web",
+    "study",
+    "util/rng.py",
+    "util/units.py",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved simlint configuration (defaults + optional JSON)."""
+
+    sim_core: Tuple[str, ...] = DEFAULT_SIM_CORE
+    #: rule id -> fnmatch patterns over dotted module names.
+    allow_modules: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    slots_required: Tuple[str, ...] = DEFAULT_SLOTS_REQUIRED
+    behaviour_surface: Tuple[str, ...] = DEFAULT_BEHAVIOUR_SURFACE
+
+    def is_sim_core(self, module: str) -> bool:
+        """True when ``module`` (dotted) produces simulation bytes."""
+        return any(module == prefix or module.startswith(prefix + ".")
+                   for prefix in self.sim_core)
+
+    def module_allowed(self, rule: str, module: str) -> bool:
+        """True when ``module`` is allowlisted for ``rule``."""
+        patterns = self.allow_modules.get(rule, ())
+        patterns += self.allow_modules.get("*", ())
+        return any(fnmatchcase(module, pattern) for pattern in patterns)
+
+
+def load_config(path: Optional[Union[str, Path]] = None) -> LintConfig:
+    """Build a config from defaults, overridden by a JSON file.
+
+    ``path`` of ``None`` returns pure defaults.  The JSON object may
+    set any subset of the :class:`LintConfig` fields; unknown keys are
+    rejected so a typoed override cannot silently widen the contract.
+    """
+    if path is None:
+        return LintConfig()
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: simlint config must be a JSON object")
+    known = {f.name for f in fields(LintConfig)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"{path}: unknown simlint config keys: {', '.join(unknown)} "
+            f"(expected a subset of {', '.join(sorted(known))})")
+    kwargs: Dict[str, object] = {}
+    for key, value in data.items():
+        if key == "allow_modules":
+            if not isinstance(value, dict):
+                raise ValueError(
+                    f"{path}: allow_modules must map rule ids to "
+                    f"lists of module patterns")
+            kwargs[key] = {rule: tuple(patterns)
+                           for rule, patterns in value.items()}
+        else:
+            kwargs[key] = tuple(value)
+    return LintConfig(**kwargs)

@@ -1,0 +1,298 @@
+"""simlint engine: file walking, AST parsing, suppressions, reporting.
+
+A *rule* is a callable ``check(module, config) -> Iterable[Finding]``
+registered in :mod:`repro.lint.rules`.  The engine owns everything
+around the rules: discovering files, parsing them once into a
+:class:`ModuleSource`, applying inline suppressions and the config
+allowlist, and rendering findings as text or JSON.
+
+Suppression syntax
+------------------
+A finding is suppressed by a comment on the same line (or the line
+directly above, for expressions that do not fit one line)::
+
+    started = time.time()  # simlint: allow[no-wallclock] -- lease stamp
+
+The written reason after ``--`` is mandatory: a suppression without one
+is itself reported (rule ``bad-suppression``), so every exemption in the
+tree carries its justification.  Multiple rules may be listed
+comma-separated inside the brackets.  Comments are found with
+:mod:`tokenize`, never by substring search, so the marker text inside a
+string literal does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.config import LintConfig
+
+#: Matches the whole suppression comment; group 1 = rule list, group 2 =
+#: the justification (may be empty -> bad-suppression).
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*allow\[([^\]]*)\]\s*(?:--\s*(.*\S)?\s*)?$")
+#: Any comment that mentions simlint but is not a valid suppression.
+_SUPPRESS_HINT_RE = re.compile(r"#\s*simlint\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    module: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "module": self.module, "message": self.message}
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# simlint: allow[...] -- reason`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class ModuleSource:
+    """One parsed python file, shared by every rule."""
+
+    path: Path
+    name: str                    # dotted module name, e.g. repro.netem.link
+    source: str
+    tree: ast.Module
+    is_sim_core: bool
+    suppressions: List[Suppression] = field(default_factory=list)
+    bad_suppressions: List[Finding] = field(default_factory=list)
+    #: local name -> dotted origin, from every import statement in the
+    #: module (scope-insensitive on purpose: an approximation that is
+    #: exact for this codebase's flat import style).
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, name: str,
+              config: LintConfig) -> "ModuleSource":
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        module = cls(path=path, name=name, source=source, tree=tree,
+                     is_sim_core=config.is_sim_core(name))
+        module._collect_suppressions()
+        module._collect_imports()
+        return module
+
+    # -- suppressions --------------------------------------------------------
+
+    def _collect_suppressions(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.source).readline)
+            comments = [(tok.start[0], tok.string) for tok in tokens
+                        if tok.type == tokenize.COMMENT]
+        except tokenize.TokenError:
+            comments = []
+        for line, text in comments:
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                if _SUPPRESS_HINT_RE.search(text):
+                    self.bad_suppressions.append(Finding(
+                        rule="bad-suppression", path=str(self.path),
+                        line=line, module=self.name,
+                        message=f"unparseable simlint comment {text!r}; "
+                                f"expected '# simlint: allow[<rule>] "
+                                f"-- <reason>'"))
+                continue
+            rules = tuple(r.strip() for r in match.group(1).split(",")
+                          if r.strip())
+            reason = (match.group(2) or "").strip()
+            if not rules or not reason:
+                what = "a rule name" if not rules else \
+                    "a written justification after '--'"
+                self.bad_suppressions.append(Finding(
+                    rule="bad-suppression", path=str(self.path),
+                    line=line, module=self.name,
+                    message=f"suppression is missing {what}: {text!r}"))
+                continue
+            self.suppressions.append(
+                Suppression(line=line, rules=rules, reason=reason))
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Consume a suppression covering ``finding``, if one exists."""
+        for supp in self.suppressions:
+            if supp.line in (finding.line, finding.line - 1) \
+                    and finding.rule in supp.rules:
+                supp.used = True
+                return True
+        return False
+
+    # -- imports -------------------------------------------------------------
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    origin = alias.name if alias.asname else \
+                        alias.name.split(".", 1)[0]
+                    self.imports[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of an expression, through the import map.
+
+        ``np.random.default_rng`` with ``import numpy as np`` resolves
+        to ``numpy.random.default_rng``; ``perf_counter`` after
+        ``from time import perf_counter`` resolves to
+        ``time.perf_counter``.  Returns None for non-name expressions.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.imports.get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(rule=rule, path=str(self.path),
+                       line=getattr(node, "lineno", 0),
+                       module=self.name, message=message)
+
+
+def iter_python_files(root: Path) -> Iterable[Path]:
+    """Every ``.py`` file under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` anchored at the package root.
+
+    ``root`` may be the package directory itself (``src/repro``) or any
+    subpackage or file within it; enclosing package directories are
+    discovered through their ``__init__.py``, so a partial scan
+    (``repro lint src/repro/netem``) names modules exactly like a
+    full-tree scan (``repro.netem.link``) and sim-core rules apply
+    either way.
+    """
+    base = (root if root.is_dir() else root.parent).resolve()
+    top = base
+    while (top.parent / "__init__.py").is_file():
+        top = top.parent
+    rel = path.resolve().relative_to(top.parent)
+    parts = rel.parts
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + (parts[-1][:-3],)
+    return ".".join(parts)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    checked_files: int
+    suppressed_count: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "checked_files": self.checked_files,
+            "suppressed": self.suppressed_count,
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"simlint: {len(self.findings)} finding"
+            f"{'s' if len(self.findings) != 1 else ''} in "
+            f"{self.checked_files} files "
+            f"({self.suppressed_count} suppressed)")
+        return "\n".join(lines)
+
+
+def run_lint(
+    roots: Sequence[Path],
+    config: LintConfig,
+    select: Optional[Set[str]] = None,
+    extra_findings: Sequence[Finding] = (),
+) -> LintResult:
+    """Run the registered AST rules over ``roots``.
+
+    ``select`` restricts to a subset of rule ids; ``extra_findings``
+    lets non-AST checks (the behaviour-surface guard) merge into the
+    same report.  Findings are sorted by (path, line, rule) so output
+    is stable across filesystems.
+    """
+    from repro.lint.rules import RULES
+
+    active = {rule_id: rule for rule_id, rule in RULES.items()
+              if select is None or rule_id in select}
+    modules: List[ModuleSource] = []
+    findings: List[Finding] = []
+    suppressed = 0
+    seen: Set[Path] = set()
+    for root in roots:
+        for path in iter_python_files(root):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            module = ModuleSource.parse(path, module_name_for(path, root),
+                                        config)
+            modules.append(module)
+            for rule_id, rule in active.items():
+                if config.module_allowed(rule_id, module.name):
+                    continue
+                for finding in rule.check(module, config):
+                    if module.suppressed(finding):
+                        suppressed += 1
+                    else:
+                        findings.append(finding)
+            findings.extend(module.bad_suppressions)
+    for rule_id, rule in active.items():
+        finalize = getattr(rule, "finalize", None)
+        if finalize is not None:
+            findings.extend(finalize(modules, config))
+    findings.extend(extra_findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintResult(findings=findings, checked_files=len(modules),
+                      suppressed_count=suppressed)
+
+
+def render(result: LintResult, fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps(result.to_json(), indent=2)
+    return result.render_text()

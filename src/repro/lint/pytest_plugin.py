@@ -1,0 +1,23 @@
+"""Pytest integration for the runtime nondeterminism sanitizer.
+
+Registered from ``tests/conftest.py`` via
+``pytest_plugins = ("repro.lint.pytest_plugin",)``; external users of
+the library can opt in with ``-p repro.lint.pytest_plugin``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.sanitizer import NondeterminismError, sanitized  # noqa: F401
+
+
+@pytest.fixture
+def nondeterminism_sanitizer():
+    """Run the test under the runtime nondeterminism sanitizer.
+
+    Any wall-clock read or ambient RNG draw reached from a sim-core
+    frame inside the test raises :exc:`NondeterminismError`.
+    """
+    with sanitized():
+        yield

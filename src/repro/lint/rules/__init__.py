@@ -1,0 +1,38 @@
+"""simlint rule registry.
+
+Each rule module exposes ``RULE_ID``, ``DESCRIPTION`` and
+``check(module, config)`` (plus an optional tree-wide
+``finalize(modules, config)``).  The behaviour-surface guard is not an
+AST rule — it hashes files, driven from the CLI — but it registers its
+id and description here so ``--list-rules`` and ``--select`` know the
+complete rule set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lint import surface
+from repro.lint.rules import (
+    ambient_rng,
+    global_state,
+    slots,
+    unordered,
+    wallclock,
+)
+
+#: AST rules, keyed by rule id, in documentation order.
+RULES: Dict[str, object] = {
+    wallclock.RULE_ID: wallclock,
+    ambient_rng.RULE_ID: ambient_rng,
+    global_state.RULE_ID: global_state,
+    unordered.RULE_ID: unordered,
+    slots.RULE_ID: slots,
+}
+
+#: Every rule id (AST rules + the behaviour-surface guard) with its
+#: one-line description, for --list-rules and --select validation.
+ALL_RULE_DESCRIPTIONS: Dict[str, str] = {
+    **{rule_id: module.DESCRIPTION for rule_id, module in RULES.items()},
+    surface.RULE_ID: surface.DESCRIPTION,
+}

@@ -1,0 +1,106 @@
+"""Rule ``no-ambient-rng``: randomness must be threaded, never ambient.
+
+Every stochastic draw in a simulation must trace back to the
+condition's RNG tree (:mod:`repro.util.rng`), or identical
+re-simulation — the basis of campaign caches and distributed lease
+sharing — breaks.  Two tiers:
+
+* **Everywhere**: ambient entropy sources are flagged — ``random.*``
+  module-level functions (they share one hidden global state),
+  ``np.random.default_rng()`` *without* a seed argument,
+  ``np.random.<fn>()`` legacy global-state functions, ``os.urandom``,
+  ``uuid.uuid4`` and ``secrets.*``.
+* **Sim-core only**: *any* ``np.random.default_rng(...)`` call is
+  flagged, seeded or not.  Sim-core modules receive Generators from the
+  condition's RNG tree (``util/rng.py`` is the sanctioned constructor);
+  a locally-constructed generator — even a seeded one — hides a second
+  seeding root that the condition fingerprint knows nothing about
+  (the ``EmulatedLink`` silent ``default_rng(0)`` fallback was exactly
+  this shape).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, ModuleSource
+
+RULE_ID = "no-ambient-rng"
+DESCRIPTION = ("ambient randomness (random.*, unseeded default_rng, "
+               "os.urandom, uuid4, secrets) is forbidden; thread "
+               "Generators from the condition's RNG tree (util/rng.py)")
+
+#: random-module instance constructors that take their own seed are not
+#: ambient by themselves (though sim-core still must not construct RNGs).
+_RANDOM_NON_AMBIENT = frozenset({"random.Random"})
+
+_AMBIENT_EXACT = frozenset({"os.urandom", "uuid.uuid4", "uuid.uuid1"})
+
+
+def _ambient_origin(origin: str) -> Optional[str]:
+    """Why ``origin`` is ambient entropy, or None if it is not."""
+    if origin in _AMBIENT_EXACT:
+        return f"{origin}() draws OS entropy"
+    if origin.startswith("secrets."):
+        return f"{origin}() draws OS entropy"
+    if origin.startswith("random.") and origin not in _RANDOM_NON_AMBIENT \
+            and origin.count(".") == 1:
+        return f"{origin}() uses the hidden process-global random state"
+    if origin.startswith("numpy.random.") and origin.count(".") == 2 \
+            and origin != "numpy.random.default_rng":
+        # Legacy global-state numpy API (np.random.random, .randint, ...).
+        name = origin.rsplit(".", 1)[1]
+        if name[:1].islower():
+            return f"{origin}() uses the global numpy random state"
+    return None
+
+
+def _default_rng_seeded(node: ast.Call) -> bool:
+    """True when a ``default_rng`` call passes an explicit seed."""
+    if node.args:
+        # A literal None positional is still ambient.
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and first.value is None:
+            return False
+        return True
+    for keyword in node.keywords:
+        if keyword.arg == "seed":
+            value = keyword.value
+            return not (isinstance(value, ast.Constant)
+                        and value.value is None)
+        if keyword.arg is None:  # **kwargs: assume the caller knows
+            return True
+    return False
+
+
+def check(module: ModuleSource, config: LintConfig) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        origin = module.resolve(node.func)
+        if origin is None:
+            continue
+        reason = _ambient_origin(origin)
+        if reason is not None:
+            yield module.finding(
+                RULE_ID, node,
+                f"{reason}; derive randomness from the condition's "
+                f"RNG tree (repro.util.rng) instead")
+            continue
+        if origin == "numpy.random.default_rng":
+            if module.is_sim_core:
+                yield module.finding(
+                    RULE_ID, node,
+                    f"sim-core module {module.name} constructs its own "
+                    f"Generator; accept one threaded from the "
+                    f"condition's RNG tree (repro.util.rng.spawn_rng) "
+                    f"instead — a local seed root is invisible to the "
+                    f"condition fingerprint")
+            elif not _default_rng_seeded(node):
+                yield module.finding(
+                    RULE_ID, node,
+                    "np.random.default_rng() without an explicit seed "
+                    "draws OS entropy; pass a seed or a SeedSequence "
+                    "from the condition's RNG tree")

@@ -1,0 +1,188 @@
+"""Rule ``no-global-mutable-state``: sim-core owns no process history.
+
+The PR-4 flow-id drift bug was a class-level counter
+(``TcpConnection._next_flow_id``) advanced from instance methods: any
+page load's bytes then depended on how many connections the *process*
+had ever opened, so forked campaign workers, joined workers and inline
+runs disagreed.  This rule flags that exact shape — and its relatives —
+in sim-core modules:
+
+* rebinding a module-level name from inside a function (``global X``
+  with an assignment);
+* assigning or augmenting a **class-level** attribute from an instance
+  or class method (``Cls.counter += 1``, ``type(self).cache[...] = v``,
+  ``cls.seen.add(...)`` mutator calls);
+* calling a mutating method on, or storing into, a module-level mutable
+  container (``_CACHE.append(...)``, ``_TABLE[key] = v``).
+
+Per-instance state is fine — an instance lives inside one page-load
+context.  Module-level *constants* are fine — only containers observed
+being mutated from function bodies are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, ModuleSource
+
+RULE_ID = "no-global-mutable-state"
+DESCRIPTION = ("process-global mutable state (global rebinding, "
+               "class-level counters/containers written from methods, "
+               "mutated module-level containers) is forbidden in "
+               "sim-core")
+
+#: Method names that mutate their receiver.
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert", "add",
+    "update", "setdefault", "pop", "popleft", "popitem", "remove",
+    "discard", "clear", "sort", "reverse", "rotate",
+})
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "collections.deque", "collections.Counter",
+    "collections.defaultdict", "collections.OrderedDict",
+})
+
+
+def _is_mutable_literal(node: ast.AST, module: ModuleSource) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        origin = module.resolve(node.func)
+        return origin in _MUTABLE_CALLS
+    return False
+
+
+def _module_mutables(module: ModuleSource) -> Set[str]:
+    """Module-level names bound to mutable containers."""
+    names: Set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) \
+                and _is_mutable_literal(node.value, module):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name) \
+                and _is_mutable_literal(node.value, module):
+            names.add(node.target.id)
+    return names
+
+
+def _refers_to_class(node: ast.AST, cls_name: str, receiver: str) -> bool:
+    """Does ``node`` denote the class object itself?
+
+    Matches ``ClsName``, ``cls`` (a classmethod receiver), ``type(self)``
+    and ``self.__class__``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id in (cls_name, receiver) and node.id != "self" \
+            or node.id == "cls"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "type" and len(node.args) == 1 \
+            and isinstance(node.args[0], ast.Name) \
+            and node.args[0].id == receiver:
+        return True
+    if isinstance(node, ast.Attribute) and node.attr == "__class__" \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == receiver:
+        return True
+    return False
+
+
+def _walk_functions(tree: ast.Module):
+    """Yield every function/method body node with its enclosing class."""
+    class Visitor(ast.NodeVisitor):
+        def __init__(self):
+            self.found = []
+            self._class_stack: List[ast.ClassDef] = []
+
+        def visit_ClassDef(self, node: ast.ClassDef):
+            self._class_stack.append(node)
+            self.generic_visit(node)
+            self._class_stack.pop()
+
+        def _visit_func(self, node):
+            cls = self._class_stack[-1] if self._class_stack else None
+            self.found.append((node, cls))
+            self.generic_visit(node)
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+
+    visitor = Visitor()
+    visitor.visit(tree)
+    return visitor.found
+
+
+def check(module: ModuleSource, config: LintConfig) -> Iterator[Finding]:
+    if not module.is_sim_core:
+        return
+    mutables = _module_mutables(module)
+    for func, cls in _walk_functions(module.tree):
+        receiver = func.args.args[0].arg if (cls is not None
+                                             and func.args.args) else None
+        # (a) global rebinding from a function body.
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                yield module.finding(
+                    RULE_ID, node,
+                    f"'global {', '.join(node.names)}' rebinds "
+                    f"module-level state from {func.name}(); sim state "
+                    f"must live on per-load objects")
+        for node in ast.walk(func):
+            # (b) class-attribute writes from methods: Cls.x = / += ...
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                base = target
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if isinstance(base, ast.Attribute) and cls is not None \
+                        and receiver is not None \
+                        and _refers_to_class(base.value, cls.name,
+                                             receiver):
+                    yield module.finding(
+                        RULE_ID, node,
+                        f"method {func.name}() writes class-level "
+                        f"attribute {cls.name}.{base.attr}; this is "
+                        f"process-global state (the retired flow-id "
+                        f"wart) — move it onto the instance or a "
+                        f"per-load allocator")
+                elif isinstance(base, ast.Name) and base.id in mutables \
+                        and isinstance(target, ast.Subscript):
+                    yield module.finding(
+                        RULE_ID, node,
+                        f"function {func.name}() stores into "
+                        f"module-level container {base.id!r}; "
+                        f"module-level mutables accumulate process "
+                        f"history")
+            # (c) mutator calls on module-level containers / class attrs.
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATORS:
+                owner = node.func.value
+                if isinstance(owner, ast.Name) and owner.id in mutables:
+                    yield module.finding(
+                        RULE_ID, node,
+                        f"function {func.name}() calls "
+                        f"{owner.id}.{node.func.attr}() on a "
+                        f"module-level container; module-level mutables "
+                        f"accumulate process history")
+                elif isinstance(owner, ast.Attribute) and cls is not None \
+                        and receiver is not None \
+                        and _refers_to_class(owner.value, cls.name,
+                                             receiver):
+                    yield module.finding(
+                        RULE_ID, node,
+                        f"method {func.name}() mutates class-level "
+                        f"container {cls.name}.{owner.attr} via "
+                        f".{node.func.attr}(); this is process-global "
+                        f"state — move it onto the instance")

@@ -1,0 +1,83 @@
+"""Rule ``slots-required``: hot-path record classes must stay slotted.
+
+PR 2's memory win (176/352 -> 80 bytes per hot record) relies on
+``__slots__`` / ``@dataclass(slots=True)`` on the per-packet and
+per-range record classes.  Nothing at runtime notices if a refactor
+drops the declaration — instances silently grow a ``__dict__`` and the
+regression only shows up in a benchmark nobody re-ran.  The manifest of
+protected class names lives in the lint config
+(``LintConfig.slots_required``); every definition of a manifest class
+must declare slots, and a manifest name that no longer exists anywhere
+is itself a finding so the manifest cannot rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, ModuleSource
+
+RULE_ID = "slots-required"
+DESCRIPTION = ("hot-path record classes named in the config manifest "
+               "must declare __slots__ (or @dataclass(slots=True))")
+
+def _declares_slots(cls: ast.ClassDef) -> bool:
+    for item in cls.body:
+        if isinstance(item, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in item.targets):
+                return True
+        elif isinstance(item, ast.AnnAssign) \
+                and isinstance(item.target, ast.Name) \
+                and item.target.id == "__slots__":
+            return True
+    for decorator in cls.decorator_list:
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "slots" \
+                        and isinstance(keyword.value, ast.Constant) \
+                        and keyword.value.value is True:
+                    return True
+    return False
+
+
+def check(module: ModuleSource, config: LintConfig) -> Iterator[Finding]:
+    manifest = set(config.slots_required)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef) or node.name not in manifest:
+            continue
+        if not _declares_slots(node):
+            yield module.finding(
+                RULE_ID, node,
+                f"hot-path record class {node.name} must declare "
+                f"__slots__ (or @dataclass(slots=True)); dropping it "
+                f"silently regresses per-instance memory")
+
+
+def finalize(modules: List[ModuleSource],
+             config: LintConfig) -> Iterable[Finding]:
+    # Completeness only makes sense on a full-tree scan: every sim-core
+    # package must appear among the scanned modules, else a
+    # single-file lint would wrongly report the rest of the manifest
+    # as missing.
+    covered = {prefix for prefix in config.sim_core
+               if any(m.name == prefix or m.name.startswith(prefix + ".")
+                      for m in modules)}
+    if covered != set(config.sim_core):
+        return
+    seen: Set[str] = set()
+    manifest = set(config.slots_required)
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name in manifest:
+                seen.add(node.name)
+    # Renamed/deleted manifest classes fail loudly so the manifest is
+    # updated alongside the refactor, not forgotten.
+    for name in sorted(manifest - seen):
+        yield Finding(
+            rule=RULE_ID, path="<slots manifest>", line=0,
+            message=f"manifest class {name!r} was not found in the "
+                    f"scanned tree; update the slots_required manifest "
+                    f"(simlint config) to track the rename or removal")

@@ -1,0 +1,108 @@
+"""Rule ``no-unordered-iteration``: set iteration order is not contract.
+
+CPython iterates a ``set`` in hash-table order — stable only for a
+fixed ``PYTHONHASHSEED`` and interning history.  If that order feeds
+event scheduling or RNG draws, two "identical" simulations diverge.
+In sim-core modules, iterating a set (a ``for`` loop or comprehension
+over a set literal, a ``set()``/``frozenset()`` call, a set
+comprehension, or a local name bound to one) is flagged; iterate
+``sorted(...)`` or keep the data in a list/dict (insertion-ordered)
+instead.  Membership tests (``x in my_set``) are fine — only iteration
+leaks the order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, ModuleSource
+
+RULE_ID = "no-unordered-iteration"
+DESCRIPTION = ("iterating a set in sim-core leaks hash order into "
+               "event/RNG order; iterate sorted(...) or an "
+               "insertion-ordered container instead")
+
+_SET_CALLS = frozenset({"set", "frozenset"})
+
+
+def _is_set_expr(node: ast.AST, module: ModuleSource,
+                 local_sets: Set[str]) -> Optional[str]:
+    """Describe why ``node`` evaluates to a set, or None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        origin = module.resolve(node.func)
+        if origin in _SET_CALLS:
+            return f"a {origin}(...) call"
+    if isinstance(node, ast.Name) and node.id in local_sets:
+        return f"the set-valued local {node.id!r}"
+    if isinstance(node, ast.BinOp) \
+            and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub,
+                                     ast.BitXor)):
+        left = _is_set_expr(node.left, module, local_sets)
+        right = _is_set_expr(node.right, module, local_sets)
+        if left or right:
+            return "a set expression"
+    return None
+
+
+def _local_set_names(func: ast.AST, module: ModuleSource) -> Set[str]:
+    """Names bound to an obvious set value within ``func``'s body."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) \
+                and _is_set_expr(node.value, module, names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name) \
+                and _is_set_expr(node.value, module, names):
+            names.add(node.target.id)
+    return names
+
+
+def check(module: ModuleSource, config: LintConfig) -> Iterator[Finding]:
+    if not module.is_sim_core:
+        return
+    # Innermost enclosing function of every node (module tree = None),
+    # so set-valued locals are looked up in the right scope exactly once.
+    enclosing = {}
+    stack = [(module.tree, None)]
+    while stack:
+        node, scope = stack.pop()
+        enclosing[node] = scope
+        for child in ast.iter_child_nodes(node):
+            child_scope = node if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)) else scope
+            stack.append((child, child_scope))
+    local_cache = {}
+
+    def sets_in_scope(scope) -> Set[str]:
+        key = id(scope)
+        if key not in local_cache:
+            local_cache[key] = _local_set_names(
+                scope if scope is not None else module.tree, module)
+        return local_cache[key]
+
+    for node in ast.walk(module.tree):
+        iters = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            why = _is_set_expr(it, module,
+                               sets_in_scope(enclosing.get(node)))
+            if why is not None:
+                yield module.finding(
+                    RULE_ID, it,
+                    f"iterating {why} in sim-core module "
+                    f"{module.name}; hash order can feed event "
+                    f"scheduling or RNG draws — iterate sorted(...) "
+                    f"or an insertion-ordered container")

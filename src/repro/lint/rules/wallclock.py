@@ -1,0 +1,50 @@
+"""Rule ``no-wallclock``: no real-time clock reads.
+
+A condition's bytes must be a pure function of (spec, seed,
+``SIM_BEHAVIOUR_VERSION``); simulated time comes from the
+:class:`~repro.netem.engine.EventLoop`, never the host clock.  Any call
+that reads wall-clock or CPU time is flagged — everywhere, not just in
+sim-core, because orchestration timestamps are rare, deliberate acts
+that should each carry a written ``# simlint: allow[no-wallclock]``
+justification (lease stamps, duration reporting) or live in an
+allowlisted module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, ModuleSource
+
+RULE_ID = "no-wallclock"
+DESCRIPTION = ("wall-clock / CPU-clock reads (time.time, monotonic, "
+               "perf_counter, datetime.now, ...) are forbidden; "
+               "simulated time comes from the EventLoop")
+
+#: Fully-resolved call origins that read a real clock.
+WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+def check(module: ModuleSource, config: LintConfig) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        origin = module.resolve(node.func)
+        if origin in WALLCLOCK_CALLS:
+            where = "sim-core" if module.is_sim_core else "orchestration"
+            yield module.finding(
+                RULE_ID, node,
+                f"{origin}() reads the host clock in {where} module "
+                f"{module.name}; simulation time must come from the "
+                f"EventLoop (suppress deliberate orchestration "
+                f"timestamps with a justified allow comment)")

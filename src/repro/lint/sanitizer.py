@@ -1,0 +1,190 @@
+"""Runtime nondeterminism sanitizer: the lint rules, enforced live.
+
+Static analysis catches the patterns it knows; this module catches the
+rest at runtime.  While active, the ambient entropy and wall-clock
+entry points (``time.time``/``monotonic``/``perf_counter`` families,
+``random`` module functions, ``os.urandom``, ``uuid.uuid4``,
+``np.random.default_rng`` without a seed) are monkeypatched with
+wrappers that inspect the *calling stack*: a call with any sim-core
+frame on it (``repro.netem``, ``repro.transport``, ... — the same
+``LintConfig.sim_core`` list the static rules use) raises
+:exc:`NondeterminismError`; calls from orchestration frames (campaign
+timing, lease heartbeats — including daemon threads) pass straight
+through to the real functions.
+
+Three entry points:
+
+* ``with sanitized(): ...`` — context manager, used directly by tests;
+* the ``nondeterminism_sanitizer`` pytest fixture
+  (:mod:`repro.lint.pytest_plugin`, registered in ``tests/conftest.py``);
+* ``REPRO_SANITIZE=1`` — the harness wraps every
+  :func:`~repro.testbed.harness.produce_summary` simulation in the
+  sanitizer, so any sweep, campaign or distributed worker can run its
+  whole grid as a live nondeterminism smoke test.
+
+The patched functions are process-wide while the context is active;
+nesting is supported via reference counting, and a seeded
+``default_rng(seed)`` (the sanctioned ``util/rng.py`` path) is always
+allowed — the goal is to catch *ambient* draws, not the RNG tree.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.lint.config import LintConfig
+
+#: Environment variable the harness consults; "1" activates the
+#: sanitizer around every simulated recording.
+ENV_FLAG = "REPRO_SANITIZE"
+
+
+class NondeterminismError(RuntimeError):
+    """An ambient entropy/clock source was reached from sim-core code."""
+
+
+_lock = threading.Lock()
+_depth = 0
+_config = LintConfig()
+_originals: List[Tuple[object, str, object]] = []
+
+
+def _sim_core_frame(skip: int = 2) -> Optional[str]:
+    """Dotted name of the nearest sim-core frame on the stack, if any."""
+    frame = sys._getframe(skip)
+    while frame is not None:
+        name = frame.f_globals.get("__name__", "")
+        if _config.is_sim_core(name):
+            return f"{name}:{frame.f_lineno}"
+        frame = frame.f_back
+    return None
+
+
+def _guard(label: str, real, hint: str):
+    def wrapper(*args, **kwargs):
+        caller = _sim_core_frame()
+        if caller is not None:
+            raise NondeterminismError(
+                f"{label} called from sim-core frame {caller} during a "
+                f"sanitized simulation; {hint}")
+        return real(*args, **kwargs)
+
+    wrapper.__name__ = getattr(real, "__name__", label)
+    wrapper.__qualname__ = wrapper.__name__
+    return wrapper
+
+
+def _guard_default_rng(real):
+    def wrapper(seed=None, *args, **kwargs):
+        if seed is None:
+            caller = _sim_core_frame()
+            if caller is not None:
+                raise NondeterminismError(
+                    f"np.random.default_rng() without a seed called "
+                    f"from sim-core frame {caller} during a sanitized "
+                    f"simulation; thread a Generator from the "
+                    f"condition's RNG tree (repro.util.rng)")
+        return real(seed, *args, **kwargs)
+
+    wrapper.__name__ = "default_rng"
+    wrapper.__qualname__ = "default_rng"
+    return wrapper
+
+
+_CLOCK_HINT = ("simulated time comes from the EventLoop, never the "
+               "host clock")
+_RNG_HINT = ("thread randomness from the condition's RNG tree "
+             "(repro.util.rng)")
+
+#: (module object, attribute, wrapper factory) for every patched entry
+#: point.  random-module functions are looked up at patch time so a
+#: prior test's monkeypatching cannot leak stale references in.
+_RANDOM_FUNCTIONS = (
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "getrandbits", "randbytes", "seed",
+)
+_TIME_FUNCTIONS = (
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+)
+
+
+def _patch_all() -> None:
+    for name in _TIME_FUNCTIONS:
+        real = getattr(time, name)
+        _originals.append((time, name, real))
+        setattr(time, name, _guard(f"time.{name}", real, _CLOCK_HINT))
+    for name in _RANDOM_FUNCTIONS:
+        real = getattr(random, name, None)
+        if real is None:  # randbytes is 3.9+; stay version-tolerant
+            continue
+        _originals.append((random, name, real))
+        setattr(random, name, _guard(f"random.{name}", real, _RNG_HINT))
+    _originals.append((os, "urandom", os.urandom))
+    setattr(os, "urandom", _guard("os.urandom", os.urandom, _RNG_HINT))
+    _originals.append((uuid, "uuid4", uuid.uuid4))
+    setattr(uuid, "uuid4", _guard("uuid.uuid4", uuid.uuid4, _RNG_HINT))
+    _originals.append((np.random, "default_rng", np.random.default_rng))
+    setattr(np.random, "default_rng",
+            _guard_default_rng(np.random.default_rng))
+
+
+def _unpatch_all() -> None:
+    while _originals:
+        module, name, real = _originals.pop()
+        setattr(module, name, real)
+
+
+@contextmanager
+def sanitized(config: Optional[LintConfig] = None) -> Iterator[None]:
+    """Activate the nondeterminism sanitizer for the enclosed block."""
+    global _depth, _config
+    with _lock:
+        if config is not None:
+            _config = config
+        if _depth == 0:
+            _patch_all()
+        _depth += 1
+    try:
+        yield
+    finally:
+        with _lock:
+            _depth -= 1
+            if _depth == 0:
+                _unpatch_all()
+                _config = LintConfig()
+
+
+def active() -> bool:
+    """True while at least one ``sanitized()`` context is live."""
+    return _depth > 0
+
+
+def env_requested() -> bool:
+    """True when ``REPRO_SANITIZE=1`` asks the harness to sanitize."""
+    return os.environ.get(ENV_FLAG) == "1"
+
+
+@contextmanager
+def maybe_sanitized() -> Iterator[None]:
+    """``sanitized()`` when ``REPRO_SANITIZE=1``, else a no-op.
+
+    The harness wraps each simulation in this, so the env flag turns
+    any existing entry point (sweep, campaign, distributed worker)
+    into a nondeterminism smoke test without code changes.
+    """
+    if env_requested():
+        with sanitized():
+            yield
+    else:
+        yield

@@ -1,0 +1,156 @@
+"""Rule ``behaviour-surface``: sim-behaviour code changes must be owned.
+
+PR 4's fixture guard catches "the simulator's *bytes* changed without a
+``SIM_BEHAVIOUR_VERSION`` bump" — but only for the conditions in the
+fixture grid.  This guard extends it to "the *code that produces the
+bytes* changed": a committed manifest
+(``src/repro/lint/behaviour_surface.json``) records a SHA-256 per file
+in the behaviour surface (the sim-core packages plus ``util/rng.py`` /
+``util/units.py``; see ``LintConfig.behaviour_surface``) alongside the
+``SIM_BEHAVIOUR_VERSION`` it was taken at.
+
+``repro lint`` fails when the hashes or the version disagree with the
+manifest.  The resolution is always deliberate and always the same
+command: after either bumping ``SIM_BEHAVIOUR_VERSION`` (behaviour
+changed) or convincing review the edit is behaviour-preserving, run::
+
+    python -m repro.lint --accept-behaviour-surface
+
+to regenerate the manifest, and commit it with the edit.  An edit can
+therefore never slip in silently: it either carries a version bump or
+an explicit, diff-visible acceptance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding
+
+RULE_ID = "behaviour-surface"
+DESCRIPTION = ("sim-behaviour-affecting files are content-hashed into a "
+               "committed manifest; editing one requires a "
+               "SIM_BEHAVIOUR_VERSION bump and/or an explicit "
+               "--accept-behaviour-surface regeneration")
+
+#: The committed manifest travels inside the package.
+DEFAULT_MANIFEST_PATH = Path(__file__).parent / "behaviour_surface.json"
+
+_ACCEPT_HINT = ("run 'python -m repro.lint --accept-behaviour-surface' "
+                "after bumping SIM_BEHAVIOUR_VERSION (behaviour "
+                "changed) or confirming the edit is "
+                "behaviour-preserving, then commit the regenerated "
+                "manifest")
+
+
+def _current_version() -> int:
+    from repro.testbed.harness import SIM_BEHAVIOUR_VERSION
+    return SIM_BEHAVIOUR_VERSION
+
+
+def surface_files(root: Path, config: LintConfig) -> List[Path]:
+    """Files hashed into the manifest, sorted by repo-relative path."""
+    out: List[Path] = []
+    for entry in config.behaviour_surface:
+        path = root / entry
+        if path.is_dir():
+            out.extend(p for p in path.rglob("*.py") if p.is_file())
+        elif path.is_file():
+            out.append(path)
+    return sorted(set(out))
+
+
+def compute_surface(root: Path, config: LintConfig) -> Dict[str, str]:
+    """``relative-path -> sha256`` over the current tree."""
+    hashes: Dict[str, str] = {}
+    for path in surface_files(root, config):
+        rel = path.relative_to(root).as_posix()
+        hashes[rel] = hashlib.sha256(path.read_bytes()).hexdigest()
+    return hashes
+
+
+def write_manifest(
+    root: Path,
+    config: LintConfig,
+    manifest_path: Optional[Union[str, Path]] = None,
+    version: Optional[int] = None,
+) -> Path:
+    """Regenerate the manifest from the current tree (the accept path).
+
+    The default manifest location is resolved at call time so tests can
+    point :data:`DEFAULT_MANIFEST_PATH` at a scratch file.
+    """
+    manifest_path = Path(manifest_path if manifest_path is not None
+                         else DEFAULT_MANIFEST_PATH)
+    payload = {
+        "sim_behaviour": version if version is not None
+        else _current_version(),
+        "files": compute_surface(root, config),
+    }
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    manifest_path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                             + "\n")
+    return manifest_path
+
+
+def check_surface(
+    root: Path,
+    config: LintConfig,
+    manifest_path: Optional[Union[str, Path]] = None,
+    version: Optional[int] = None,
+) -> List[Finding]:
+    """Compare the tree against the committed manifest.
+
+    ``version`` defaults to the running simulator's
+    ``SIM_BEHAVIOUR_VERSION``; tests inject values to simulate bumped
+    and unbumped edits.  The default manifest location is resolved at
+    call time so tests can point :data:`DEFAULT_MANIFEST_PATH` at a
+    scratch file.
+    """
+    manifest_path = Path(manifest_path if manifest_path is not None
+                         else DEFAULT_MANIFEST_PATH)
+    current = version if version is not None else _current_version()
+    if not manifest_path.exists():
+        return [Finding(
+            rule=RULE_ID, path=str(manifest_path), line=0,
+            message=f"behaviour-surface manifest is missing; "
+                    f"{_ACCEPT_HINT}")]
+    try:
+        recorded = json.loads(manifest_path.read_text())
+        recorded_version = int(recorded["sim_behaviour"])
+        recorded_files = dict(recorded["files"])
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return [Finding(
+            rule=RULE_ID, path=str(manifest_path), line=0,
+            message=f"behaviour-surface manifest is unreadable; "
+                    f"{_ACCEPT_HINT}")]
+    findings: List[Finding] = []
+    actual = compute_surface(root, config)
+    bumped = recorded_version != current
+    if bumped:
+        findings.append(Finding(
+            rule=RULE_ID, path=str(manifest_path), line=0,
+            message=f"SIM_BEHAVIOUR_VERSION is {current} but the "
+                    f"manifest was accepted at {recorded_version}; "
+                    f"{_ACCEPT_HINT}"))
+    for rel in sorted(set(recorded_files) | set(actual)):
+        if rel not in actual:
+            what = f"{rel} was removed from the behaviour surface"
+        elif rel not in recorded_files:
+            what = f"{rel} is new in the behaviour surface"
+        elif recorded_files[rel] != actual[rel]:
+            what = f"{rel} changed"
+        else:
+            continue
+        detail = "" if bumped else \
+            " without a SIM_BEHAVIOUR_VERSION bump or an explicit " \
+            "acceptance — campaign caches and fixtures may silently " \
+            "disagree with the new code"
+        findings.append(Finding(
+            rule=RULE_ID, path=str(root / rel), line=0,
+            message=f"{what}{detail}; {_ACCEPT_HINT}"))
+    return findings

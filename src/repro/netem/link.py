@@ -148,7 +148,7 @@ class EmulatedLink:
     """
 
     __slots__ = (
-        "_loop", "_config", "_deliver", "_rng", "_name", "stats",
+        "_loop", "_config", "_deliver", "_name", "stats",
         "_capacity", "_rate", "_propagation", "_loss_rate",
         "_queue_bytes", "_busy_until", "_pending_free", "_in_flight",
         "_loss_draws",
@@ -162,10 +162,22 @@ class EmulatedLink:
         rng: Optional[np.random.Generator] = None,
         name: str = "link",
     ):
+        """A lossy link requires an explicit ``rng``.
+
+        Loss draws must come from the condition's RNG tree
+        (:func:`repro.util.rng.spawn_rng`) so identical conditions
+        re-simulate identically; a silent locally-seeded fallback would
+        hide a second seeding root from the condition fingerprint.
+        Loss-free links never draw, so ``rng`` may be omitted.
+        """
+        if config.loss_rate > 0.0 and rng is None:
+            raise ValueError(
+                f"link {name!r} has loss_rate={config.loss_rate} but no "
+                f"rng; thread a Generator from the condition's RNG tree "
+                f"(repro.util.rng.spawn_rng)")
         self._loop = loop
         self._config = config
         self._deliver = deliver
-        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._name = name
         # The computed capacity property is invariant; resolve it once
         # instead of re-deriving it on every send.
@@ -182,7 +194,7 @@ class EmulatedLink:
         #: (arrival times are strictly increasing, so FIFO pop matches
         #: the event order).
         self._in_flight: Deque[Packet] = deque()
-        self._loss_draws = LossDraws(self._rng)
+        self._loss_draws = LossDraws(rng) if rng is not None else None
         self.stats = LinkStats()
 
     @property

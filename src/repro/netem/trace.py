@@ -84,6 +84,10 @@ def cellular_like_trace(
     """
     if not 0 <= burstiness < 1:
         raise ValueError("burstiness must be in [0, 1)")
+    # Trace *synthesis* enters a condition as data (the trace hashes
+    # into the fingerprint), not as a simulation-time draw, so a
+    # generator seeded by the explicit argument is sound here.
+    # simlint: allow[no-ambient-rng] -- seeded by the explicit argument; output is fingerprinted data, not a sim draw
     rng = np.random.default_rng(seed)
     stamps: List[int] = []
     log_rate = 0.0
@@ -123,6 +127,14 @@ class TraceLink:
             raise ValueError("queue must be positive")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss rate must be in [0, 1)")
+        # Same contract as EmulatedLink: loss draws must come from the
+        # condition's RNG tree, so a lossy trace link requires an
+        # explicit generator instead of a silent locally-seeded one.
+        if loss_rate > 0.0 and rng is None:
+            raise ValueError(
+                f"trace link {name!r} has loss_rate={loss_rate} but no "
+                f"rng; thread a Generator from the condition's RNG tree "
+                f"(repro.util.rng.spawn_rng)")
         self._loop = loop
         self._trace = list(trace_ms)
         self._period_ms = self._trace[-1]
@@ -132,7 +144,6 @@ class TraceLink:
         self._propagation = propagation_delay_s
         self._queue_cap = queue_bytes
         self._loss_rate = loss_rate
-        self._rng = rng if rng is not None else np.random.default_rng(0)
         self.name = name
 
         self._queue: Deque[Packet] = deque()
@@ -145,7 +156,7 @@ class TraceLink:
         #: Packets between dequeue and delivery; arrival times are
         #: non-decreasing so FIFO pop matches the event order.
         self._in_flight: Deque[Packet] = deque()
-        self._loss_draws = LossDraws(self._rng)
+        self._loss_draws = LossDraws(rng) if rng is not None else None
 
     @property
     def queued_bytes(self) -> int:

@@ -364,14 +364,17 @@ def _run_condition(
     """
     index, condition = payload
     assert _WORKER_CACHE is not None
+    # simlint: allow[no-wallclock] -- wall-clock duration of the worker task, reported as orchestration telemetry only
     start = time.perf_counter()
     try:
         fingerprint = condition.fingerprint()
         if _WORKER_CACHE.load(condition.label, fingerprint) is None:
             summary = condition.produce()
             _WORKER_CACHE.store(condition.label, fingerprint, summary)
+        # simlint: allow[no-wallclock] -- task duration telemetry, never feeds simulation state
         return index, None, time.perf_counter() - start
     except Exception:
+        # simlint: allow[no-wallclock] -- task duration telemetry, never feeds simulation state
         return index, traceback.format_exc(), time.perf_counter() - start
 
 
@@ -470,6 +473,7 @@ class Campaign:
             "attempts": result.attempts,
             "duration_s": round(result.duration_s, 4),
             "error": result.error,
+            # simlint: allow[no-wallclock] -- manifest lines are stamped with real time for human provenance, not simulation input
             "at": time.time(),
         }
         if self.worker is not None:
@@ -560,6 +564,7 @@ class Campaign:
         if batch_size is not None and batch_size < 1:
             raise ValueError(
                 f"batch_size must be at least 1, got {batch_size}")
+        # simlint: allow[no-wallclock] -- campaign wall-clock duration for progress/result reporting
         started = time.perf_counter()
         self.write_spec()
         conditions = self.spec.conditions()
@@ -608,6 +613,7 @@ class Campaign:
         def tick(result: ConditionResult) -> None:
             if progress is not None:
                 progress(Progress(done, total, result,
+                                  # simlint: allow[no-wallclock] -- elapsed wall time shown in the progress line
                                   time.perf_counter() - started))
 
         def feed_sink(condition: Condition) -> None:
@@ -709,6 +715,7 @@ class Campaign:
         return CampaignResult(
             spec=self.spec, results=ordered,
             manifest_path=self.manifest_path,
+            # simlint: allow[no-wallclock] -- campaign duration reported to the user, not simulation input
             duration_s=time.perf_counter() - started,
         )
 

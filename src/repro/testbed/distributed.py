@@ -163,6 +163,7 @@ class LeaseManager:
                 "worker": self.worker_id,
                 "pid": os.getpid(),
                 "host": socket.gethostname(),
+                # simlint: allow[no-wallclock] -- lease provenance stamp; staleness is judged by file mtime, humans read this field
                 "acquired_at": time.time(),
             }, handle)
         with self._lock:
@@ -186,6 +187,7 @@ class LeaseManager:
             return
         tombstone = path.with_name(
             f"{path.name}.release-{self.worker_id}-"
+            # simlint: allow[no-ambient-rng] -- tombstone names must be unique across racing workers; never feeds simulation bytes
             f"{uuid.uuid4().hex[:8]}")
         try:
             os.rename(path, tombstone)
@@ -226,6 +228,7 @@ class LeaseManager:
     def age_s(self, fingerprint: str) -> Optional[float]:
         """Seconds since the lease's last heartbeat (None: no lease)."""
         try:
+            # simlint: allow[no-wallclock] -- lease staleness is real elapsed time since the holder's last heartbeat
             return time.time() - self.path(fingerprint).stat().st_mtime
         except FileNotFoundError:
             return None
@@ -247,6 +250,7 @@ class LeaseManager:
             return False
         path = self.path(fingerprint)
         tombstone = path.with_name(
+            # simlint: allow[no-ambient-rng] -- tombstone names must be unique across racing workers; never feeds simulation bytes
             f"{path.name}.stale-{self.worker_id}-{uuid.uuid4().hex[:8]}")
         try:
             os.rename(path, tombstone)
@@ -504,9 +508,11 @@ class PartialAggregator:
             "campaign_fingerprint": self._campaign.spec.fingerprint(),
             "fingerprints": self.fingerprints,
             "report": self.report.to_state(),
+            # simlint: allow[no-wallclock] -- partial-aggregate provenance stamp for humans, not simulation input
             "at": time.time(),
         }, indent=1)
         tmp = self.path.with_name(
+            # simlint: allow[no-ambient-rng] -- per-writer unique temp name for the atomic replace; never feeds simulation bytes
             f".{self.path.name}.{uuid.uuid4().hex[:8]}.tmp")
         tmp.write_text(payload)
         os.replace(tmp, self.path)

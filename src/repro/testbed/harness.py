@@ -268,14 +268,25 @@ def produce_summary(
     This is the single producer used by :class:`Testbed`, the parallel
     sweep and the campaign orchestrator, so all of them emit
     byte-identical summaries for identical parameters.
+
+    With ``REPRO_SANITIZE=1`` in the environment, the whole simulation
+    runs under the runtime nondeterminism sanitizer
+    (:mod:`repro.lint.sanitizer`): any wall-clock read or ambient RNG
+    draw reached from a sim-core frame raises instead of silently
+    breaking the determinism contract.  The env flag propagates to
+    campaign worker processes, so every entry point doubles as a
+    sanitizer smoke test.
     """
-    site = build_site(website, seed=corpus_seed)
-    recording = record_website(
-        site, profile, stack,
-        runs=runs, seed=seed,
-        selection_metric=selection_metric,
-        timeout=timeout,
-    )
+    from repro.lint.sanitizer import maybe_sanitized
+
+    with maybe_sanitized():
+        site = build_site(website, seed=corpus_seed)
+        recording = record_website(
+            site, profile, stack,
+            runs=runs, seed=seed,
+            selection_metric=selection_metric,
+            timeout=timeout,
+        )
     selected = recording.selected
     return RecordingSummary(
         website=website,

@@ -19,6 +19,10 @@ from repro.netem.path import NetworkPath
 from repro.netem.profiles import DSL
 from repro.testbed.harness import Testbed
 
+#: Exposes the ``nondeterminism_sanitizer`` fixture (runtime half of
+#: the simlint determinism contract) to every test module.
+pytest_plugins = ("repro.lint.pytest_plugin",)
+
 #: Small sites that load quickly in tests.
 SMALL_SITES = ["gov.uk", "apache.org"]
 

@@ -135,6 +135,22 @@ class TestValidation:
             LinkConfig(rate_bytes_per_s=1, propagation_delay_s=0,
                        queue_ms=10, loss_rate=1.0)
 
+    def test_lossy_link_requires_rng(self):
+        """Loss draws must come from the condition's RNG tree; the old
+        silent ``default_rng(0)`` fallback hid a second seeding root."""
+        loop = EventLoop()
+        config = LinkConfig(rate_bytes_per_s=1e6, propagation_delay_s=0,
+                            queue_ms=10, loss_rate=0.1)
+        with pytest.raises(ValueError, match="loss_rate=0.1 but no rng"):
+            EmulatedLink(loop, config, lambda p: None)
+
+    def test_loss_free_link_needs_no_rng(self):
+        loop = EventLoop()
+        config = LinkConfig(rate_bytes_per_s=1e6, propagation_delay_s=0,
+                            queue_ms=10)
+        link = EmulatedLink(loop, config, lambda p: None)
+        assert link.send(Packet(size=1500, payload="x"))
+
     def test_bad_queue_bytes(self):
         with pytest.raises(ValueError):
             LinkConfig(rate_bytes_per_s=1, propagation_delay_s=0,

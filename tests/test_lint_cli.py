@@ -1,0 +1,189 @@
+"""The ``repro lint`` / ``python -m repro.lint`` front end.
+
+Acceptance pins: the committed repo lints clean (exit 0), JSON output
+is machine-readable for CI, unknown rules are usage errors (exit 2),
+and every lint flag carries real ``--help`` text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import add_lint_arguments, default_root, main
+from repro.lint.rules import ALL_RULE_DESCRIPTIONS
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRepoIsClean:
+    def test_repo_lints_clean(self, capsys):
+        """The headline acceptance criterion: zero findings, exit 0."""
+        code, out, err = run_cli(capsys)
+        assert code == 0, out + err
+        assert "0 findings" in out
+
+    def test_json_format_parses(self, capsys):
+        code, out, _ = run_cli(capsys, "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["findings"] == []
+        assert payload["checked_files"] > 50
+        assert payload["suppressed"] >= 10  # the triaged allow comments
+
+    def test_subcommand_wired_into_main_cli(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "--format",
+             "json"],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert json.loads(proc.stdout)["findings"] == []
+
+
+class TestFlags:
+    def test_list_rules_names_every_rule(self, capsys):
+        code, out, _ = run_cli(capsys, "--list-rules")
+        assert code == 0
+        for rule_id in ALL_RULE_DESCRIPTIONS:
+            assert rule_id in out
+
+    def test_select_runs_subset(self, capsys):
+        code, out, _ = run_cli(capsys, "--select", "no-wallclock")
+        assert code == 0
+        assert "0 findings" in out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "--select", "no-such-rule")
+        assert code == 2
+        assert "unknown rule" in err and "no-such-rule" in err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "/no/such/tree")
+        assert code == 2
+        assert "no such path" in err
+
+    def test_partial_scan_skips_surface_guard(self, capsys):
+        # Linting a single subpackage must not hash-compare the whole
+        # tree (everything unscanned would look "removed").
+        code, out, _ = run_cli(capsys, str(default_root() / "netem"))
+        assert code == 0
+        assert "0 findings" in out
+
+    def test_findings_fail_with_exit_1(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "netem"
+        bad.mkdir(parents=True)
+        (bad / "clocky.py").write_text("import time\nT = time.time()\n")
+        code, out, _ = run_cli(capsys, str(tmp_path / "repro"))
+        assert code == 1
+        assert "no-wallclock" in out
+        # A scratch tree never accepted a surface, so it is not judged
+        # against the repo's committed manifest.
+        assert "behaviour-surface" not in out
+
+    def test_accept_behaviour_surface_requires_full_tree(self, capsys,
+                                                         tmp_path):
+        code, _, err = run_cli(capsys, "--accept-behaviour-surface",
+                               str(tmp_path))
+        assert code == 2
+        assert "full package tree" in err
+
+
+class TestHelpText:
+    def test_every_flag_documents_itself(self):
+        """Satellite pin: no argparse default/missing help strings."""
+        parser = argparse.ArgumentParser(prog="repro lint")
+        add_lint_arguments(parser)
+        for action in parser._actions:
+            if isinstance(action, argparse._HelpAction):
+                continue
+            assert action.help, f"missing help text: {action.dest}"
+            assert len(action.help) > 20, \
+                f"placeholder help text: {action.dest}"
+
+    def test_module_entry_point_help(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--help"],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin"},
+        )
+        assert proc.returncode == 0
+        assert "simlint" in proc.stdout
+        for flag in ("--format", "--select", "--config",
+                     "--accept-behaviour-surface", "--list-rules"):
+            assert flag in proc.stdout
+
+
+class TestAcceptRoundTrip:
+    def test_accept_then_clean(self, capsys, tmp_path):
+        """--accept-behaviour-surface regenerates the manifest in place.
+
+        The manifest lives inside the scanned tree
+        (``<tree>/lint/behaviour_surface.json``), so this whole round
+        trip is hermetic — it cannot touch the repo's committed
+        manifest.
+        """
+        tree = tmp_path / "repro"
+        (tree / "netem").mkdir(parents=True)
+        (tree / "netem" / "link.py").write_text("RATE = 1\n")
+
+        code, out, _ = run_cli(capsys, "--accept-behaviour-surface",
+                               str(tree))
+        assert code == 0 and "accepted behaviour surface" in out
+        assert (tree / "lint" / "behaviour_surface.json").is_file()
+        code, out, _ = run_cli(capsys, str(tree))
+        assert code == 0, out
+
+        (tree / "netem" / "link.py").write_text("RATE = 2\n")
+        code, out, _ = run_cli(capsys, str(tree))
+        assert code == 1
+        assert "behaviour-surface" in out
+
+
+class TestConfigDiscovery:
+    def test_simlint_json_next_to_tree_is_picked_up(self, capsys,
+                                                    tmp_path):
+        tree = tmp_path / "repro"
+        (tree / "netem").mkdir(parents=True)
+        (tree / "netem" / "clocky.py").write_text(
+            "import time\nT = time.time()\n")
+        (tmp_path / "simlint.json").write_text(json.dumps({
+            "allow_modules": {"no-wallclock": ["repro.netem.clocky"]},
+        }))
+        code, out, _ = run_cli(capsys, str(tree))
+        assert code == 0, out  # the allowlist silenced the only finding
+        assert "no-wallclock" not in out
+
+    def test_bad_config_is_usage_error(self, capsys, tmp_path):
+        config = tmp_path / "bad.json"
+        config.write_text(json.dumps({"unknown_key": 1}))
+        code, _, err = run_cli(capsys, "--config", str(config),
+                               str(default_root() / "netem"))
+        assert code == 2
+        assert "unknown" in err
+
+
+@pytest.mark.slow
+class TestSanitizedSweepEntry:
+    def test_repro_sweep_under_sanitize_env(self):
+        """REPRO_SANITIZE propagates through the real CLI entry point."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "sweep",
+             "--runs", "1", "--sites", "gov.uk"],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin",
+                 "REPRO_SANITIZE": "1"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

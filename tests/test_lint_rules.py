@@ -1,0 +1,450 @@
+"""simlint rule corpus: minimal must-flag / must-not-flag snippets.
+
+Each rule gets positive snippets (the pattern it exists to catch,
+including the historical shapes: the flow-id class counter, the silent
+``default_rng(0)`` link fallback) and negative snippets (the sanctioned
+equivalents) — plus the suppression-comment round-trip and the
+config-driven module allowlist.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import run_lint
+
+SIM_CORE_REL = "repro/netem/snippet.py"
+ORCH_REL = "repro/testbed/snippet.py"
+
+
+def lint_snippet(tmp_path, source, rel=SIM_CORE_REL, config=None,
+                 select=None):
+    """Write ``source`` into a scratch package tree and lint it."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return run_lint([tmp_path / "repro"], config or LintConfig(),
+                    select=select)
+
+
+def rules_of(result):
+    return [f.rule for f in result.findings]
+
+
+class TestNoWallclock:
+    def test_flags_time_time_in_sim_core(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import time
+            def stamp():
+                return time.time()
+        """)
+        assert rules_of(result) == ["no-wallclock"]
+        assert "reads the host clock" in result.findings[0].message
+
+    def test_flags_from_import_alias(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            from time import perf_counter as pc
+            def stamp():
+                return pc()
+        """)
+        assert rules_of(result) == ["no-wallclock"]
+
+    def test_flags_datetime_now(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+        """)
+        assert rules_of(result) == ["no-wallclock"]
+
+    def test_flags_orchestration_modules_too(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import time
+            def stamp():
+                return time.monotonic()
+        """, rel=ORCH_REL)
+        assert rules_of(result) == ["no-wallclock"]
+
+    def test_ignores_loop_time_and_sleep(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import time
+            def wait(loop):
+                time.sleep(0.1)
+                return loop.now
+        """)
+        assert result.findings == []
+
+
+class TestNoAmbientRng:
+    def test_flags_random_module_functions(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import random
+            def draw():
+                return random.random() + random.randint(0, 3)
+        """)
+        assert rules_of(result) == ["no-ambient-rng"] * 2
+
+    def test_flags_unseeded_default_rng_everywhere(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import numpy as np
+            def draw():
+                return np.random.default_rng().random()
+        """, rel="repro/analysis/snippet.py")
+        assert rules_of(result) == ["no-ambient-rng"]
+
+    def test_flags_none_seed_as_unseeded(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import numpy as np
+            def draw():
+                return np.random.default_rng(None).random()
+        """, rel="repro/analysis/snippet.py")
+        assert rules_of(result) == ["no-ambient-rng"]
+
+    def test_seeded_default_rng_ok_outside_sim_core(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import numpy as np
+            def draw(seed):
+                return np.random.default_rng(seed).random()
+        """, rel="repro/analysis/snippet.py")
+        assert result.findings == []
+
+    def test_sim_core_flags_even_seeded_default_rng(self, tmp_path):
+        # The retired EmulatedLink fallback: default_rng(0) inside
+        # sim-core hides a second seeding root from the fingerprint.
+        result = lint_snippet(tmp_path, """
+            import numpy as np
+            class Link:
+                def __init__(self, rng=None):
+                    self._rng = rng if rng is not None \\
+                        else np.random.default_rng(0)
+        """)
+        assert rules_of(result) == ["no-ambient-rng"]
+
+    def test_flags_urandom_and_uuid4(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import os
+            from uuid import uuid4
+            def token():
+                return os.urandom(8), uuid4()
+        """)
+        assert rules_of(result) == ["no-ambient-rng"] * 2
+
+    def test_threaded_spawn_rng_ok(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            from repro.util.rng import spawn_rng
+            def draw(seed):
+                return spawn_rng(seed, "link").random()
+        """)
+        assert result.findings == []
+
+
+class TestNoGlobalMutableState:
+    def test_flags_class_counter_from_method(self, tmp_path):
+        # The exact shape of the retired flow-id wart.
+        result = lint_snippet(tmp_path, """
+            class Conn:
+                _next_flow_id = 0
+                def open(self):
+                    flow_id = Conn._next_flow_id
+                    Conn._next_flow_id += 1
+                    return flow_id
+        """)
+        assert rules_of(result) == ["no-global-mutable-state"]
+        assert "flow-id" in result.findings[0].message
+
+    def test_flags_type_self_write(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            class Conn:
+                seen = 0
+                def open(self):
+                    type(self).seen += 1
+        """)
+        assert rules_of(result) == ["no-global-mutable-state"]
+
+    def test_flags_class_container_mutator(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            class Conn:
+                registry = []
+                def open(self):
+                    Conn.registry.append(self)
+        """)
+        assert rules_of(result) == ["no-global-mutable-state"]
+
+    def test_flags_global_rebinding(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            COUNT = 0
+            def bump():
+                global COUNT
+                COUNT += 1
+        """)
+        assert rules_of(result) == ["no-global-mutable-state"]
+
+    def test_flags_module_container_mutation(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            _CACHE = {}
+            def remember(key, value):
+                _CACHE[key] = value
+        """)
+        assert rules_of(result) == ["no-global-mutable-state"]
+
+    def test_instance_state_ok(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            class Conn:
+                def __init__(self):
+                    self.sent = 0
+                def open(self):
+                    self.sent += 1
+        """)
+        assert result.findings == []
+
+    def test_module_constant_ok(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            NETWORKS = ["DSL", "LTE"]
+            def first():
+                return NETWORKS[0]
+        """)
+        assert result.findings == []
+
+    def test_not_applied_outside_sim_core(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            _CACHE = {}
+            def remember(key, value):
+                _CACHE[key] = value
+        """, rel=ORCH_REL)
+        assert result.findings == []
+
+
+class TestNoUnorderedIteration:
+    def test_flags_set_literal_loop(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            def schedule(loop):
+                for host in {"a", "b"}:
+                    loop.call_at(0.0, host)
+        """)
+        assert rules_of(result) == ["no-unordered-iteration"]
+
+    def test_flags_set_call_and_local(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            def schedule(hosts):
+                pending = set(hosts)
+                for host in pending:
+                    yield host
+        """)
+        assert rules_of(result) == ["no-unordered-iteration"]
+
+    def test_flags_comprehension_over_set(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            def order(hosts):
+                return [h for h in set(hosts)]
+        """)
+        assert rules_of(result) == ["no-unordered-iteration"]
+
+    def test_sorted_set_ok(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            def schedule(hosts):
+                for host in sorted(set(hosts)):
+                    yield host
+        """)
+        assert result.findings == []
+
+    def test_membership_test_ok(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            def known(host, seen):
+                seen_set = set(seen)
+                return host in seen_set
+        """)
+        assert result.findings == []
+
+    def test_not_applied_outside_sim_core(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            def order(hosts):
+                return [h for h in set(hosts)]
+        """, rel=ORCH_REL)
+        assert result.findings == []
+
+
+class TestSlotsRequired:
+    def test_flags_manifest_class_without_slots(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            class Packet:
+                def __init__(self, size):
+                    self.size = size
+        """, select={"slots-required"})
+        assert rules_of(result) == ["slots-required"]
+
+    def test_dunder_slots_ok(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            class Packet:
+                __slots__ = ("size",)
+                def __init__(self, size):
+                    self.size = size
+        """, select={"slots-required"})
+        assert result.findings == []
+
+    def test_dataclass_slots_ok(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            from dataclasses import dataclass
+            @dataclass(slots=True)
+            class Packet:
+                size: int
+        """, select={"slots-required"})
+        assert result.findings == []
+
+    def test_non_manifest_class_ignored(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            class Helper:
+                def __init__(self):
+                    self.x = 1
+        """, select={"slots-required"})
+        assert result.findings == []
+
+    def test_missing_manifest_class_reported_on_full_scan(self, tmp_path):
+        config = LintConfig(sim_core=("repro.netem",),
+                            slots_required=("Packet", "Renamed"))
+        result = lint_snippet(tmp_path, """
+            class Packet:
+                __slots__ = ("size",)
+        """, config=config, select={"slots-required"})
+        assert rules_of(result) == ["slots-required"]
+        assert "Renamed" in result.findings[0].message
+
+    def test_partial_scan_skips_completeness(self, tmp_path):
+        # Default sim-core spans six packages; a tree covering only
+        # netem is a partial scan, so no missing-class findings.
+        result = lint_snippet(tmp_path, """
+            class Packet:
+                __slots__ = ("size",)
+        """, select={"slots-required"})
+        assert result.findings == []
+
+
+class TestSuppressions:
+    def test_same_line_suppression_with_reason(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import time
+            def stamp():
+                return time.time()  # simlint: allow[no-wallclock] -- test reason
+        """)
+        assert result.findings == []
+        assert result.suppressed_count == 1
+
+    def test_line_above_suppression(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import time
+            def stamp():
+                # simlint: allow[no-wallclock] -- stamp is telemetry
+                return time.time()
+        """)
+        assert result.findings == []
+        assert result.suppressed_count == 1
+
+    def test_suppression_covers_multiple_rules(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import time, random
+            def stamp():
+                # simlint: allow[no-wallclock, no-ambient-rng] -- both deliberate
+                return time.time() + random.random()
+        """)
+        assert result.findings == []
+        assert result.suppressed_count == 2
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import time
+            def stamp():
+                return time.time()  # simlint: allow[no-ambient-rng] -- wrong rule
+        """)
+        assert rules_of(result) == ["no-wallclock"]
+
+    def test_missing_reason_is_a_finding(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import time
+            def stamp():
+                return time.time()  # simlint: allow[no-wallclock]
+        """)
+        assert sorted(rules_of(result)) == ["bad-suppression",
+                                            "no-wallclock"]
+        assert "justification" in [
+            f for f in result.findings if f.rule == "bad-suppression"
+        ][0].message
+
+    def test_malformed_marker_is_a_finding(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            def ok():  # simlint: allow-everything
+                return 1
+        """)
+        assert rules_of(result) == ["bad-suppression"]
+
+    def test_marker_inside_string_is_not_a_suppression(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            import time
+            def stamp():
+                note = "# simlint: allow[no-wallclock] -- not a comment"
+                return time.time(), note
+        """)
+        assert rules_of(result) == ["no-wallclock"]
+
+
+class TestModuleNaming:
+    def test_partial_scan_names_match_full_scan(self, tmp_path):
+        """Scanning a subpackage must still anchor names at the package
+        root — otherwise sim-core rules silently stop matching."""
+        from repro.lint.engine import module_name_for
+
+        pkg = tmp_path / "repro"
+        (pkg / "netem").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "netem" / "__init__.py").write_text("")
+        link = pkg / "netem" / "link.py"
+        link.write_text("")
+        assert module_name_for(link, pkg) == "repro.netem.link"
+        assert module_name_for(link, pkg / "netem") == "repro.netem.link"
+        assert module_name_for(link, link) == "repro.netem.link"
+
+    def test_sim_core_rules_apply_on_subpackage_scan(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "netem").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "netem" / "__init__.py").write_text("")
+        (pkg / "netem" / "bad.py").write_text(
+            "def f(s):\n    for x in {1, 2}:\n        pass\n")
+        result = run_lint([pkg / "netem"], LintConfig())
+        assert rules_of(result) == ["no-unordered-iteration"]
+
+
+class TestConfig:
+    def test_module_allowlist_drops_findings(self, tmp_path):
+        config = LintConfig(
+            allow_modules={"no-wallclock": ("repro.testbed.*",)})
+        result = lint_snippet(tmp_path, """
+            import time
+            def stamp():
+                return time.time()
+        """, rel=ORCH_REL, config=config)
+        assert result.findings == []
+
+    def test_allowlist_is_per_rule(self, tmp_path):
+        config = LintConfig(
+            allow_modules={"no-wallclock": ("repro.testbed.*",)})
+        result = lint_snippet(tmp_path, """
+            import time, random
+            def stamp():
+                return time.time() + random.random()
+        """, rel=ORCH_REL, config=config)
+        assert rules_of(result) == ["no-ambient-rng"]
+
+    def test_load_config_overrides_and_rejects_unknown(self, tmp_path):
+        cfg = tmp_path / "simlint.json"
+        cfg.write_text('{"sim_core": ["repro.custom"], '
+                       '"allow_modules": {"no-wallclock": ["repro.x.*"]}}')
+        config = load_config(cfg)
+        assert config.is_sim_core("repro.custom.engine")
+        assert not config.is_sim_core("repro.netem.link")
+        assert config.module_allowed("no-wallclock", "repro.x.y")
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"simcore": []}')
+        with pytest.raises(ValueError, match="unknown simlint config"):
+            load_config(bad)

@@ -1,0 +1,124 @@
+"""Behaviour-surface guard: code edits must carry a version bump/accept.
+
+Simulates the workflows on a scratch package tree: an unbumped sim-core
+edit fails, a bump without regeneration fails with regen instructions,
+and an explicit ``--accept-behaviour-surface`` regeneration clears both.
+Also pins the real repo's committed manifest against the live tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.surface import (
+    DEFAULT_MANIFEST_PATH,
+    check_surface,
+    compute_surface,
+    write_manifest,
+)
+from repro.testbed.harness import SIM_BEHAVIOUR_VERSION
+
+CONFIG = LintConfig(behaviour_surface=("netem", "util/rng.py"))
+
+
+def make_tree(tmp_path: Path) -> Path:
+    root = tmp_path / "repro"
+    (root / "netem").mkdir(parents=True)
+    (root / "util").mkdir(parents=True)
+    (root / "netem" / "link.py").write_text("RATE = 1\n")
+    (root / "netem" / "engine.py").write_text("class EventLoop: pass\n")
+    (root / "util" / "rng.py").write_text("def spawn_rng(s): return s\n")
+    (root / "util" / "units.py").write_text("MTU = 1500\n")  # not hashed
+    return root
+
+
+class TestSurfaceGuard:
+    def test_clean_tree_passes(self, tmp_path):
+        root = make_tree(tmp_path)
+        manifest = tmp_path / "surface.json"
+        write_manifest(root, CONFIG, manifest, version=13)
+        assert check_surface(root, CONFIG, manifest, version=13) == []
+
+    def test_only_configured_surface_is_hashed(self, tmp_path):
+        root = make_tree(tmp_path)
+        hashes = compute_surface(root, CONFIG)
+        assert set(hashes) == {"netem/link.py", "netem/engine.py",
+                               "util/rng.py"}
+
+    def test_unbumped_edit_fails_with_instructions(self, tmp_path):
+        root = make_tree(tmp_path)
+        manifest = tmp_path / "surface.json"
+        write_manifest(root, CONFIG, manifest, version=13)
+        (root / "netem" / "link.py").write_text("RATE = 2\n")
+        findings = check_surface(root, CONFIG, manifest, version=13)
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "netem/link.py changed" in message
+        assert "without a SIM_BEHAVIOUR_VERSION bump" in message
+        assert "--accept-behaviour-surface" in message
+
+    def test_new_and_removed_files_are_findings(self, tmp_path):
+        root = make_tree(tmp_path)
+        manifest = tmp_path / "surface.json"
+        write_manifest(root, CONFIG, manifest, version=13)
+        (root / "netem" / "middlebox.py").write_text("class Box: pass\n")
+        (root / "netem" / "engine.py").unlink()
+        findings = check_surface(root, CONFIG, manifest, version=13)
+        messages = " | ".join(f.message for f in findings)
+        assert "netem/middlebox.py is new" in messages
+        assert "netem/engine.py was removed" in messages
+
+    def test_bump_without_regen_still_fails(self, tmp_path):
+        # Bumping the version alone is not enough: the manifest must be
+        # regenerated so the *next* unbumped edit is detectable.
+        root = make_tree(tmp_path)
+        manifest = tmp_path / "surface.json"
+        write_manifest(root, CONFIG, manifest, version=13)
+        (root / "netem" / "link.py").write_text("RATE = 2\n")
+        findings = check_surface(root, CONFIG, manifest, version=14)
+        messages = " | ".join(f.message for f in findings)
+        assert "SIM_BEHAVIOUR_VERSION is 14" in messages
+        assert "accepted at 13" in messages
+        # The per-file finding drops the "without a bump" accusation.
+        change = [f for f in findings if "link.py" in f.path]
+        assert change and "without a" not in change[0].message
+
+    def test_accept_clears_both(self, tmp_path):
+        root = make_tree(tmp_path)
+        manifest = tmp_path / "surface.json"
+        write_manifest(root, CONFIG, manifest, version=13)
+        (root / "netem" / "link.py").write_text("RATE = 2\n")
+        write_manifest(root, CONFIG, manifest, version=14)
+        assert check_surface(root, CONFIG, manifest, version=14) == []
+
+    def test_missing_or_corrupt_manifest_is_a_finding(self, tmp_path):
+        root = make_tree(tmp_path)
+        manifest = tmp_path / "surface.json"
+        findings = check_surface(root, CONFIG, manifest, version=13)
+        assert len(findings) == 1 and "missing" in findings[0].message
+        manifest.write_text("{not json")
+        findings = check_surface(root, CONFIG, manifest, version=13)
+        assert len(findings) == 1 and "unreadable" in findings[0].message
+
+
+class TestCommittedManifest:
+    def test_repo_manifest_matches_live_tree(self):
+        """The committed manifest must always match the committed code.
+
+        If this fails, a sim-behaviour-affecting file was edited
+        without running ``python -m repro.lint
+        --accept-behaviour-surface`` (after deciding whether the edit
+        needs a SIM_BEHAVIOUR_VERSION bump).
+        """
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        findings = check_surface(root, LintConfig(), DEFAULT_MANIFEST_PATH,
+                                 version=SIM_BEHAVIOUR_VERSION)
+        assert findings == [], "\n".join(f.message for f in findings)
+
+    def test_repo_manifest_version_is_current(self):
+        recorded = json.loads(DEFAULT_MANIFEST_PATH.read_text())
+        assert recorded["sim_behaviour"] == SIM_BEHAVIOUR_VERSION

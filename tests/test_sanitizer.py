@@ -1,0 +1,195 @@
+"""Runtime nondeterminism sanitizer: raise on ambient draws in sim-core.
+
+The static rules (:mod:`repro.lint.rules`) catch the patterns they can
+see; these tests pin the runtime half: while ``sanitized()`` is active,
+wall-clock and ambient-RNG entry points raise when reached from a
+sim-core frame, pass through from orchestration frames, and restore
+cleanly on exit.  The end-to-end tests run real simulations under
+``REPRO_SANITIZE=1`` — clean code passes, an injected ``time.time()``
+in the link hot path is caught.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import textwrap
+import time
+import uuid
+
+import numpy as np
+import pytest
+
+from repro.lint.sanitizer import (
+    ENV_FLAG,
+    NondeterminismError,
+    active,
+    maybe_sanitized,
+    sanitized,
+)
+from repro.netem.link import EmulatedLink
+from repro.testbed.harness import produce_summary, resolve_network, \
+    resolve_stack
+
+
+def from_sim_core(thunk, module="repro.netem.injected"):
+    """Call ``thunk`` with a sim-core frame on the stack.
+
+    ``exec`` compiles a forwarder whose ``f_globals['__name__']`` is a
+    sim-core dotted name — exactly what the sanitizer's stack walk keys
+    on — without touching any real sim module.
+    """
+    source = textwrap.dedent("""
+        def forward(thunk):
+            return thunk()
+    """)
+    namespace = {"__name__": module}
+    exec(source, namespace)
+    return namespace["forward"](thunk)
+
+
+def _summarise_gov_uk(stack: str):
+    return produce_summary(
+        "gov.uk", resolve_network("DSL"), resolve_stack(stack),
+        corpus_seed=0, seed=0, runs=1, timeout=180.0,
+        selection_metric="PLT",
+    )
+
+
+class TestGuards:
+    def test_wallclock_from_sim_core_raises(self):
+        with sanitized():
+            with pytest.raises(NondeterminismError, match="time.time"):
+                from_sim_core(lambda: time.time())
+            with pytest.raises(NondeterminismError,
+                               match="perf_counter"):
+                from_sim_core(lambda: time.perf_counter())
+
+    def test_ambient_rng_from_sim_core_raises(self):
+        with sanitized():
+            with pytest.raises(NondeterminismError, match="random.random"):
+                from_sim_core(lambda: random.random())
+            with pytest.raises(NondeterminismError, match="os.urandom"):
+                from_sim_core(lambda: os.urandom(8))
+            with pytest.raises(NondeterminismError, match="uuid.uuid4"):
+                from_sim_core(lambda: uuid.uuid4())
+            with pytest.raises(NondeterminismError, match="default_rng"):
+                from_sim_core(lambda: np.random.default_rng())
+
+    def test_seeded_default_rng_is_allowed_from_sim_core(self):
+        # The sanctioned util/rng.py path: explicit seeds are the RNG
+        # tree, not ambient entropy.
+        with sanitized():
+            rng = from_sim_core(lambda: np.random.default_rng(42))
+            assert float(rng.random()) == pytest.approx(
+                float(np.random.default_rng(42).random()))
+
+    def test_orchestration_frames_pass_through(self):
+        # This test module is not sim-core, so the real functions run.
+        with sanitized():
+            assert time.time() > 0
+            assert 0.0 <= random.random() < 1.0
+            assert len(os.urandom(4)) == 4
+            assert uuid.uuid4().version == 4
+
+    def test_error_names_the_sim_core_frame(self):
+        with sanitized():
+            with pytest.raises(NondeterminismError,
+                               match=r"repro\.netem\.injected:\d+"):
+                from_sim_core(lambda: time.monotonic())
+
+
+class TestLifecycle:
+    def test_patches_restored_on_exit(self):
+        originals = (time.time, random.random, os.urandom, uuid.uuid4,
+                     np.random.default_rng)
+        with sanitized():
+            assert time.time is not originals[0]
+        assert (time.time, random.random, os.urandom, uuid.uuid4,
+                np.random.default_rng) == originals
+
+    def test_restored_even_after_guard_fires(self):
+        original = time.time
+        with pytest.raises(NondeterminismError):
+            with sanitized():
+                from_sim_core(lambda: time.time())
+        assert time.time is original
+
+    def test_nesting_refcounts(self):
+        original = time.time
+        with sanitized():
+            with sanitized():
+                assert active()
+            # Inner exit must not unpatch while the outer is live.
+            assert active() and time.time is not original
+        assert not active() and time.time is original
+
+    def test_fixture_activates_sanitizer(self, nondeterminism_sanitizer):
+        assert active()
+        with pytest.raises(NondeterminismError):
+            from_sim_core(lambda: time.time())
+
+    def test_maybe_sanitized_is_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        with maybe_sanitized():
+            assert not active()
+
+    def test_maybe_sanitized_activates_with_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        with maybe_sanitized():
+            assert active()
+        assert not active()
+
+
+class TestHarnessSmoke:
+    """``REPRO_SANITIZE=1`` turns real simulations into smoke tests."""
+
+    def test_clean_simulation_passes_sanitized(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        summary = _summarise_gov_uk("TCP")
+        assert summary.selected_metrics["PLT"] > 0
+
+    def test_injected_wallclock_in_hot_path_is_caught(self, monkeypatch):
+        # The acceptance scenario: someone sneaks a host-clock read into
+        # a sim-core module.  Wrap EmulatedLink.send in a forwarder
+        # whose frame *is* sim-core (exec trick) and which reads
+        # time.time() — the sanitized simulation must refuse to run.
+        source = textwrap.dedent("""
+            def evil_send(self, packet):
+                time.time()
+                return orig(self, packet)
+        """)
+        namespace = {"__name__": "repro.netem.link", "time": time,
+                     "orig": EmulatedLink.send}
+        exec(source, namespace)
+        monkeypatch.setattr(EmulatedLink, "send", namespace["evil_send"])
+        monkeypatch.setenv(ENV_FLAG, "1")
+        with pytest.raises(NondeterminismError, match="time.time"):
+            _summarise_gov_uk("TCP")
+
+    def test_injected_ambient_rng_is_caught(self, monkeypatch):
+        source = textwrap.dedent("""
+            def evil_send(self, packet):
+                random.random()
+                return orig(self, packet)
+        """)
+        namespace = {"__name__": "repro.netem.link", "random": random,
+                     "orig": EmulatedLink.send}
+        exec(source, namespace)
+        monkeypatch.setattr(EmulatedLink, "send", namespace["evil_send"])
+        monkeypatch.setenv(ENV_FLAG, "1")
+        with pytest.raises(NondeterminismError, match="random.random"):
+            _summarise_gov_uk("TCP")
+
+    @pytest.mark.slow
+    def test_sanitized_smoke_grid(self, monkeypatch):
+        """Fuller sanitized grid: both stacks, a lossy network."""
+        monkeypatch.setenv(ENV_FLAG, "1")
+        for network in ("DSL", "MSS"):
+            for stack in ("TCP", "QUIC"):
+                summary = produce_summary(
+                    "gov.uk", resolve_network(network),
+                    resolve_stack(stack), corpus_seed=0, seed=0,
+                    runs=2, timeout=180.0, selection_metric="PLT",
+                )
+                assert summary.selected_metrics["PLT"] > 0

@@ -1,5 +1,6 @@
 """Trace-driven link emulation (Mahimahi mm-link traces)."""
 
+import numpy as np
 import pytest
 
 from repro.netem.engine import EventLoop
@@ -124,3 +125,13 @@ class TestTraceLink:
             TraceLink(loop, [10], lambda p: None, queue_bytes=0)
         with pytest.raises(ValueError):
             TraceLink(loop, [10], lambda p: None, loss_rate=1.0)
+
+    def test_lossy_trace_link_requires_rng(self):
+        """Same contract as EmulatedLink: no silent local seeding."""
+        loop = EventLoop()
+        with pytest.raises(ValueError, match="loss_rate=0.1 but no rng"):
+            TraceLink(loop, [10], lambda p: None, loss_rate=0.1)
+        # An explicit generator from the RNG tree is accepted.
+        link = TraceLink(loop, [10], lambda p: None, loss_rate=0.1,
+                         rng=np.random.default_rng(7))
+        assert link is not None
