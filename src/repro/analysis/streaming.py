@@ -385,6 +385,10 @@ class GridReport:
         # Insertion-ordered sets (dict keys) of row tuples / col values.
         self._row_order: Dict[Tuple[object, ...], None] = {}
         self._col_order: Dict[object, None] = {}
+        # Degraded-coverage marks (set by mark_coverage): condition
+        # labels the campaign spec expects but nothing recorded.
+        self.missing: List[str] = []
+        self.expected: Optional[int] = None
 
     @property
     def alpha(self) -> float:
@@ -426,6 +430,59 @@ class GridReport:
                 self._cells[cell_key] = moments.copy()
             else:
                 mine.merge(moments)
+        return self
+
+    def mark_coverage(self, expected: int,
+                      missing: Sequence[str]) -> "GridReport":
+        """Record which expected conditions this report does *not* cover.
+
+        Set by degraded-mode mergers (crashed workers, quarantined
+        conditions — see ``merge_partial_reports``): ``expected`` is the
+        spec's condition count, ``missing`` the labels with no recording
+        behind them. Coverage is presentation metadata, not accumulator
+        state — it does not survive ``to_state`` and never affects
+        ``merge`` identity, so a degraded report still merges and, once
+        the gaps are re-simulated, renders byte-identically to a
+        fault-free run.
+        """
+        self.expected = int(expected)
+        self.missing = sorted(missing)
+        return self
+
+    @property
+    def degraded(self) -> bool:
+        """True when the report is known to miss expected conditions."""
+        return bool(self.missing)
+
+    def reorder(self, keys: Iterable[object]) -> "GridReport":
+        """Reorder rows/columns to follow ``keys``' first appearance.
+
+        Merged reports inherit row/column order from whichever shard
+        merged first — which for distributed (and especially chaos)
+        runs depends on worker timing. Reordering to the campaign
+        spec's deterministic sweep order makes the render independent
+        of execution history, so a crash-and-recover run is
+        byte-identical to a fault-free one. Keys absent from the data
+        are ignored; rows/columns the keys don't name keep their
+        relative order at the end. Note the default baseline column is
+        the *first* column, so reordering also pins which column the
+        Welch marks compare against.
+        """
+        row_order: Dict[Tuple[object, ...], None] = {}
+        col_order: Dict[object, None] = {}
+        for key in keys:
+            row = tuple(getattr(key, axis) for axis in self.row_axes)
+            col = getattr(key, self.col_axis)
+            if row in self._row_order:
+                row_order.setdefault(row)
+            if col in self._col_order:
+                col_order.setdefault(col)
+        for row in self._row_order:
+            row_order.setdefault(row)
+        for col in self._col_order:
+            col_order.setdefault(col)
+        self._row_order = row_order
+        self._col_order = col_order
         return self
 
     # -- readout -------------------------------------------------------------
@@ -539,7 +596,7 @@ class GridReport:
                 "row": dict(zip(self.row_axes, row)),
                 "cells": cells,
             })
-        return {
+        document: Dict[str, object] = {
             "metric": self.metric,
             "confidence": self.confidence,
             "row_axes": list(self.row_axes),
@@ -548,6 +605,15 @@ class GridReport:
             "columns": [str(c) for c in self._col_order],
             "rows": rows_out,
         }
+        if self.missing:
+            # Only a *degraded* report carries the coverage block, so a
+            # fully-recovered chaos run stays byte-identical to a
+            # fault-free one.
+            document["coverage"] = {
+                "expected": self.expected,
+                "missing": list(self.missing),
+            }
+        return document
 
 
 def grid_report(

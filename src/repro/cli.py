@@ -28,6 +28,14 @@ aggregate (see ``repro.testbed.distributed`` and
 ``docs/architecture.md``). ``--report --campaign-dir DIR
 --from-partials`` merges those per-worker shards instead of re-reading
 every summary.
+
+And they are chaos-hardened: ``campaign --supervise N`` runs N workers
+under a supervisor that respawns crashes with capped backoff and
+quarantines conditions that keep killing workers;
+``--inject-faults PLAN`` arms a deterministic fault plan (crashes,
+heartbeat stalls, torn manifest writes, lease storms — see
+``repro.testbed.faults``); ``campaign --status DIR`` prints a one-shot
+health report over a live or finished campaign directory.
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ from repro.report import (
 )
 from repro.study.design import StudyPlan
 from repro.study.simulate import run_campaign
+from repro.testbed import faults
 from repro.testbed.campaign import (
     Campaign,
     CampaignSpec,
@@ -69,6 +78,11 @@ from repro.testbed.distributed import (
     join_campaign,
     merge_partial_reports,
     run_worker,
+)
+from repro.testbed.supervisor import (
+    Supervisor,
+    campaign_status,
+    render_status,
 )
 from repro.testbed.harness import Testbed
 from repro.testbed.store import StaleCampaignError, SummaryStore
@@ -224,6 +238,81 @@ def _lease_config(args: argparse.Namespace) -> LeaseConfig:
         raise SystemExit(f"repro campaign: error: {error}")
 
 
+def _parse_fault_plan(text: str) -> "faults.FaultPlan":
+    try:
+        return faults.FaultPlan.parse(text)
+    except (ValueError, OSError, json.JSONDecodeError) as error:
+        raise SystemExit(
+            f"repro campaign: error: bad --inject-faults plan: {error}")
+
+
+def _report_merged(args: argparse.Namespace, campaign: Campaign,
+                   info) -> None:
+    """Render the merged (possibly degraded) post-run report."""
+    try:
+        merged = merge_partial_reports(campaign.campaign_dir,
+                                       report=_make_report(args),
+                                       cache_dir=args.cache_dir)
+    except (StaleCampaignError, ValueError) as error:
+        # E.g. shards left by an earlier run with different report
+        # flags. The recordings themselves are fine — fall back to
+        # streaming every summary rather than dropping the report
+        # after a possibly long run.
+        print(f"warning: cannot merge worker partials ({error}); "
+              f"reporting from the recorded summaries instead",
+              file=sys.stderr)
+        merged = _make_report(args)
+        store = SummaryStore.open(campaign.campaign_dir,
+                                  cache_dir=args.cache_dir)
+        merged.consume(store)
+    if info is sys.stdout:
+        print()
+    _print_report(merged, args.format)
+
+
+def _cmd_campaign_supervised(args: argparse.Namespace,
+                             campaign: Campaign, info) -> int:
+    """Supervised execution: ``--supervise N`` (+ ``--inject-faults``)."""
+    lease = _lease_config(args)
+    workers = args.supervise
+    if workers < 1:
+        raise SystemExit(
+            f"repro campaign: error: --supervise must be at least 1, "
+            f"got {workers}")
+    plan = faults.FaultPlan()
+    if args.inject_faults:
+        plan = _parse_fault_plan(args.inject_faults)
+    processes = args.processes
+    if processes is None and workers > 1:
+        processes = max(1, ((os.cpu_count() or 2) - 1) // workers)
+    run_kwargs = dict(
+        processes=processes,
+        batch_size=args.batch_size,
+        failure_policy=args.failure_policy,
+        claim_chunk=args.claim_chunk,
+    )
+    campaign.write_spec()
+    print(f"supervising {workers} worker(s) over "
+          f"{campaign.campaign_dir}"
+          + (f", faults: {plan.describe()}" if plan else ""),
+          file=info)
+    supervisor = Supervisor(
+        campaign.campaign_dir,
+        workers=workers,
+        cache_dir=args.cache_dir,
+        plan=plan,
+        lease=lease,
+        retry_budget=args.retry_budget,
+        max_respawns=args.max_respawns,
+        run_kwargs=run_kwargs,
+    )
+    outcome = supervisor.run()
+    print(outcome.describe(), file=info)
+    if args.report:
+        _report_merged(args, campaign, info)
+    return 0 if outcome.ok else 1
+
+
 def _cmd_campaign_distributed(args: argparse.Namespace,
                               campaign: Campaign, info) -> int:
     """Cooperative lease-claiming execution (--join and/or --workers)."""
@@ -308,29 +397,31 @@ def _cmd_campaign_distributed(args: argparse.Namespace,
             print(f"FAILED {failed.condition.label}: "
                   f"{last[-1] if last else 'unknown error'}", file=info)
     if args.report:
-        try:
-            merged = merge_partial_reports(campaign.campaign_dir,
-                                           report=_make_report(args),
-                                           cache_dir=args.cache_dir)
-        except (StaleCampaignError, ValueError) as error:
-            # E.g. shards left by an earlier run with different report
-            # flags. The recordings themselves are fine — fall back to
-            # streaming every summary rather than dropping the report
-            # after a possibly long run.
-            print(f"warning: cannot merge worker partials ({error}); "
-                  f"reporting from the recorded summaries instead",
-                  file=sys.stderr)
-            merged = _make_report(args)
-            store = SummaryStore.open(campaign.campaign_dir,
-                                      cache_dir=args.cache_dir)
-            merged.consume(store)
-        if info is sys.stdout:
-            print()
-        _print_report(merged, args.format)
+        _report_merged(args, campaign, info)
     return 0 if result.ok and not failed_children else 1
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.status is not None:
+        # One-shot read-only health report; safe against a live run.
+        status = campaign_status(args.status, ttl_s=args.lease_ttl)
+        if args.format == "json":
+            print(json.dumps(status, indent=2))
+        else:
+            print(render_status(status))
+        return 0
+    if args.supervise is not None and args.workers is not None:
+        raise SystemExit(
+            "repro campaign: error: --supervise conflicts with "
+            "--workers; the supervisor spawns and respawns its own "
+            "worker subprocesses")
+    if args.inject_faults and args.supervise is None:
+        # Unsupervised chaos smoke: arm the plan in this process and
+        # export it so --workers children (run_worker) pick it up too.
+        plan = _parse_fault_plan(args.inject_faults)
+        os.environ[faults.PLAN_ENV] = plan.describe()
+        faults.install(plan,
+                       worker=os.environ.get(faults.WORKER_ENV, "*"))
     if args.campaign_dir is not None:
         # Post-hoc reporting: stream a finished campaign directory's
         # summaries through the accumulators — nothing is re-run.
@@ -409,6 +500,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except (FileNotFoundError, StaleCampaignError,
                 ValueError) as error:
             raise SystemExit(f"repro campaign: error: {error}")
+        if args.supervise is not None:
+            return _cmd_campaign_supervised(args, campaign, info)
         return _cmd_campaign_distributed(args, campaign, info)
     try:
         networks: List[object] = [network_by_name(name)
@@ -436,6 +529,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
           f"{len(spec.stacks)} stacks x {len(spec.seeds)} seeds), "
           f"{args.runs} runs each", file=info)
     print(f"manifest: {campaign.manifest_path}", file=info)
+    if args.supervise is not None:
+        return _cmd_campaign_supervised(args, campaign, info)
     if args.workers is not None:
         return _cmd_campaign_distributed(args, campaign, info)
     progress = None if args.quiet else ProgressPrinter(stream=info)
@@ -639,6 +734,39 @@ def build_parser() -> argparse.ArgumentParser:
                                  "evenly, large ones amortise claim "
                                  "overhead (default: two rounds of the "
                                  "worker's process pool)")
+    p_campaign.add_argument("--supervise", type=int, default=None,
+                            metavar="N",
+                            help="run N workers under a supervisor "
+                                 "that respawns crashed/stalled ones "
+                                 "with capped backoff and quarantines "
+                                 "conditions that keep killing workers "
+                                 "(conflicts with --workers)")
+    p_campaign.add_argument("--inject-faults", default=None,
+                            metavar="PLAN",
+                            help="deterministic chaos plan: "
+                                 "'kind:worker@index[:arg]; ...' "
+                                 "entries (kinds: crash, stall, "
+                                 "torn-write, storm), 'seed:N' for a "
+                                 "generated plan, or a .json plan file "
+                                 "(see repro.testbed.faults)")
+    p_campaign.add_argument("--retry-budget", type=int, default=3,
+                            metavar="K",
+                            help="with --supervise: worker deaths one "
+                                 "condition may cause before it is "
+                                 "quarantined as poisoned (default: 3)")
+    p_campaign.add_argument("--max-respawns", type=int, default=8,
+                            metavar="N",
+                            help="with --supervise: respawns allowed "
+                                 "per worker slot before the "
+                                 "supervisor gives up on it "
+                                 "(default: 8)")
+    p_campaign.add_argument("--status", default=None, metavar="DIR",
+                            help="print a one-shot health report over "
+                                 "a campaign directory (done/pending/"
+                                 "leased/stale/poisoned counts, "
+                                 "per-worker liveness, torn-line "
+                                 "warnings; --format json for machine "
+                                 "output) and exit")
 
     p_lint = sub.add_parser(
         "lint",

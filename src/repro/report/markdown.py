@@ -31,12 +31,20 @@ def md_table(headers: Sequence[str],
 
 def md_grid(report: GridReport) -> str:
     """Markdown twin of :func:`repro.report.tables.render_grid`."""
-    from repro.report.tables import grid_caption, grid_headers_and_rows
+    from repro.report.tables import (
+        grid_caption,
+        grid_degraded_note,
+        grid_headers_and_rows,
+    )
 
     if report.is_empty:
         return "_(no recorded conditions to report)_"
     headers, rows = grid_headers_and_rows(report)
-    return f"### {grid_caption(report)}\n\n" + md_table(headers, rows)
+    rendered = f"### {grid_caption(report)}\n\n" + md_table(headers, rows)
+    note = grid_degraded_note(report)
+    if note is not None:
+        rendered += f"\n\n_{note}_"
+    return rendered
 
 
 def md_table1() -> str:

@@ -61,13 +61,39 @@ def grid_caption(report: GridReport) -> str:
             f"(columns){marks}")
 
 
+def grid_degraded_note(report: GridReport) -> Optional[str]:
+    """Degraded-coverage footer text, or None for a complete report.
+
+    ``missing`` is duck-typed so reports deserialized without coverage
+    metadata (and older GridReport pickles) render unchanged.
+    """
+    missing = getattr(report, "missing", None)
+    if not missing:
+        return None
+    expected = getattr(report, "expected", None)
+    shown = ", ".join(missing[:4])
+    if len(missing) > 4:
+        shown += f", ... ({len(missing) - 4} more)"
+    total = f" of {expected} expected" if expected is not None else ""
+    return (f"DEGRADED: {len(missing)} condition(s){total} have no "
+            f"recording (crashed or quarantined workers): {shown}")
+
+
 def render_grid(report: GridReport) -> str:
     """Table 1/2-style pivot of a campaign grid (see
-    :class:`~repro.analysis.streaming.GridReport`)."""
+    :class:`~repro.analysis.streaming.GridReport`).
+
+    A report whose ``mark_coverage`` recorded missing conditions gains a
+    DEGRADED footer; complete reports render exactly as before.
+    """
     if report.is_empty:
         return "(no recorded conditions to report)"
     headers, rows = grid_headers_and_rows(report)
-    return grid_caption(report) + "\n" + render_table(headers, rows)
+    rendered = grid_caption(report) + "\n" + render_table(headers, rows)
+    note = grid_degraded_note(report)
+    if note is not None:
+        rendered += "\n" + note
+    return rendered
 
 
 def render_table1() -> str:

@@ -61,7 +61,7 @@ from repro.netem.profiles import (
     NetworkProfile,
     TraceNetworkProfile,
 )
-from repro.testbed import harness
+from repro.testbed import faults, harness
 from repro.testbed.harness import (
     NetworkLike,
     RecordingCache,
@@ -74,7 +74,13 @@ from repro.testbed.harness import (
     resolve_network,
     resolve_stack,
 )
-from repro.testbed.store import OK_STATUSES, ConditionKey, SummaryStore
+from repro.testbed.store import (
+    OK_STATUSES,
+    ConditionKey,
+    SummaryStore,
+    append_record,
+    read_jsonl,
+)
 from repro.transport.config import STACKS, StackConfig
 from repro.web.corpus import CORPUS_SITE_NAMES
 
@@ -280,11 +286,13 @@ class ConditionResult:
     (found in the shared recording cache), ``resumed`` (manifest said it
     was already done), ``shared`` (a cooperating distributed worker
     recorded it while this run waited — see
-    :mod:`repro.testbed.distributed`), or ``failed``.
+    :mod:`repro.testbed.distributed`), ``failed``, or ``poisoned``
+    (quarantined by a supervisor after repeatedly killing workers —
+    see :mod:`repro.testbed.supervisor`; never retried, never ``ok``).
     """
 
     condition: Condition
-    status: str          # simulated | cached | resumed | shared | failed
+    status: str  # simulated | cached | resumed | shared | failed | poisoned
     attempts: int = 1
     duration_s: float = 0.0
     error: Optional[str] = None
@@ -438,20 +446,18 @@ class Campaign:
     # -- manifest ------------------------------------------------------------
 
     def _load_manifest(self) -> Dict[str, Dict[str, object]]:
-        """fingerprint → last manifest record (later lines win)."""
+        """fingerprint → last manifest record (later lines win).
+
+        Torn and checksum-failed lines are skipped with a warning (see
+        :func:`repro.testbed.store.read_jsonl`); their conditions fall
+        back to the cache check below, so a line a killed writer tore
+        is re-settled on resume instead of crashing anything.
+        """
         records: Dict[str, Dict[str, object]] = {}
         if not self.manifest_path.exists():
             return records
-        with open(self.manifest_path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn final line from a killed run
-                records[str(record.get("fingerprint"))] = record
+        for record in read_jsonl(self.manifest_path):
+            records[str(record.get("fingerprint"))] = record
         return records
 
     def _append_manifest(self, result: ConditionResult) -> None:
@@ -478,9 +484,9 @@ class Campaign:
         }
         if self.worker is not None:
             record["worker"] = self.worker
-        with open(self.manifest_path, "a") as handle:
-            handle.write(json.dumps(record) + "\n")
-            handle.flush()
+        # Checksummed single-write append; also the torn-write fault
+        # point (see repro.testbed.faults / repro.testbed.store).
+        append_record(self.manifest_path, record)
 
     def write_spec(self) -> Path:
         """Materialise the campaign directory with its ``spec.json``.
@@ -570,12 +576,30 @@ class Campaign:
         conditions = self.spec.conditions()
         manifest = self._load_manifest()
 
+        # Supervisor quarantine support (duck-typed so plain claim
+        # objects need not implement it): conditions marked poisoned —
+        # they repeatedly killed workers — settle as terminal failures
+        # instead of being retried forever by every surviving worker.
+        poisoned_check = getattr(claims, "poisoned", None) \
+            if claims is not None else None
+
         settled: Dict[str, ConditionResult] = {}
         todo: List[Condition] = []
         for condition in conditions:
             fingerprint = condition.fingerprint()
             if fingerprint in settled:
                 continue  # duplicate axis entry: one recording serves both
+            if poisoned_check is not None and \
+                    str(manifest.get(fingerprint, {})
+                        .get("status")) == "poisoned" \
+                    and poisoned_check(fingerprint):
+                # Already recorded as quarantined by an earlier worker
+                # (or incarnation); settle without another line.
+                settled[fingerprint] = ConditionResult(
+                    condition, "poisoned",
+                    error=str(manifest[fingerprint].get("error") or
+                              "quarantined"))
+                continue
             # The manifest says what happened; the cache is the truth.
             # A manifest "ok" whose recording was since pruned must be
             # re-simulated, not reported as resumed.
@@ -589,22 +613,40 @@ class Campaign:
                 settled[fingerprint] = ConditionResult(
                     condition, "resumed",
                     attempts=int(record.get("attempts", 1)))
-            elif claims is not None and claims.committed(fingerprint):
+            elif claims is None:
+                result = ConditionResult(condition, "cached")
+                settled[fingerprint] = result
+                self._append_manifest(result)
+            elif claims.committed(fingerprint):
                 # A peer committed this condition after our manifest
                 # snapshot (late-joiner race); its line exists, so
                 # appending a "cached" one would duplicate it.
                 settled[fingerprint] = ConditionResult(
                     condition, "resumed")
-            elif claims is not None and not claims.adopt(condition):
-                # An unmanifested recording another joiner is adopting
-                # right now: exactly one of us appends its line.
-                settled[fingerprint] = ConditionResult(
-                    condition, "resumed")
             else:
-                result = ConditionResult(condition, "cached")
-                settled[fingerprint] = result
-                self._append_manifest(result)
-                if claims is not None:
+                # Test-synchronisation fire point for the adoption race
+                # regression (see tests/test_distributed.py).
+                faults.fire("pre-adopt", fingerprint=fingerprint)
+                if not claims.adopt(condition):
+                    # An unmanifested recording another joiner is
+                    # adopting right now: exactly one of us appends
+                    # its line.
+                    settled[fingerprint] = ConditionResult(
+                        condition, "resumed")
+                elif claims.committed(fingerprint):
+                    # Adoption race: a peer adopted, appended its
+                    # "cached" line and released between our
+                    # committed() check above and winning this lease —
+                    # appending would duplicate its line. Peers always
+                    # append before releasing, so one re-check while
+                    # *holding* the lease decides for real.
+                    settled[fingerprint] = ConditionResult(
+                        condition, "resumed")
+                    claims.release(condition)
+                else:
+                    result = ConditionResult(condition, "cached")
+                    settled[fingerprint] = result
+                    self._append_manifest(result)
                     claims.release(condition)
 
         total = len({c.fingerprint() for c in conditions})
@@ -633,6 +675,33 @@ class Campaign:
         pending = todo
         deferred: List[Condition] = []
         while pending or deferred:
+            if poisoned_check is not None:
+                fresh_pending, fresh_deferred = [], []
+                for queue, fresh in ((pending, fresh_pending),
+                                     (deferred, fresh_deferred)):
+                    for condition in queue:
+                        fingerprint = condition.fingerprint()
+                        if not poisoned_check(fingerprint):
+                            fresh.append(condition)
+                            continue
+                        result = ConditionResult(
+                            condition, "poisoned",
+                            attempts=attempts.get(fingerprint, 0),
+                            error="quarantined: condition repeatedly "
+                                  "killed workers (supervisor retry "
+                                  "budget exhausted)")
+                        settled[fingerprint] = result
+                        # Exactly one worker appends the poisoned
+                        # line: the adoption lease arbitrates, like
+                        # any other manifest append.
+                        if claims.adopt(condition):
+                            self._append_manifest(result)
+                            claims.release(condition)
+                        done += 1
+                        tick(result)
+                pending, deferred = fresh_pending, fresh_deferred
+                if not pending and not deferred:
+                    break
             if claims is not None and pending:
                 pending, theirs = claims.select(pending)
                 deferred.extend(theirs)
@@ -642,6 +711,10 @@ class Campaign:
                 fingerprint = condition.fingerprint()
                 attempts[fingerprint] = attempts.get(fingerprint, 0) + 1
                 if error is None:
+                    # Crash fault point: the recording is stored, its
+                    # manifest line has not landed — the adoption
+                    # window chaos tests kill workers inside.
+                    faults.fire("condition", fingerprint=fingerprint)
                     done += 1
                     result = ConditionResult(
                         condition, "simulated",
@@ -737,6 +810,11 @@ class Campaign:
         if processes <= 1:
             _init_worker(str(self.cache.directory))
             for index, condition in enumerate(conditions):
+                # Crash fault point ("pre" crashes): nothing is stored
+                # yet, so a kill here leaves only a dangling lease.
+                faults.fire(
+                    "condition-start",
+                    fingerprint=condition.fingerprint())
                 _, error, duration = _run_condition((index, condition))
                 yield condition, error, duration
             return

@@ -58,6 +58,7 @@ fleets).
 from __future__ import annotations
 
 import json
+import logging
 import os
 import socket
 import threading
@@ -68,7 +69,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.streaming import GridReport
-from repro.testbed import harness
+from repro.testbed import faults, harness
 from repro.testbed.campaign import (
     Campaign,
     CampaignResult,
@@ -81,9 +82,13 @@ from repro.testbed.store import (
     CLAIMS_DIRNAME,
     OK_STATUSES,
     PARTIALS_DIRNAME,
+    QUARANTINE_DIRNAME,
     StaleCampaignError,
     SummaryStore,
+    seal_record,
 )
+
+logger = logging.getLogger(__name__)
 
 
 def default_worker_id() -> str:
@@ -148,24 +153,45 @@ class LeaseManager:
             return len(self._held)
 
     def acquire(self, fingerprint: str) -> bool:
-        """Try to claim one condition; idempotent for held leases."""
+        """Try to claim one condition; idempotent for held leases.
+
+        The lease body is written to a private temp file first and
+        published with :func:`os.link` — atomic and exclusive, like
+        ``O_CREAT | O_EXCL``, but the lease appears fully formed with a
+        fresh mtime. That link *is* the initial heartbeat: a worker
+        killed at any point in acquire leaves either no lease at all or
+        a complete, attributable one, never an empty husk that blocks
+        the condition for a TTL with no holder recorded.
+        """
         if self.holds(fingerprint):
             return True
         self.claims_dir.mkdir(parents=True, exist_ok=True)
         path = self.path(fingerprint)
+        # Storm fault point: chaos tests plant a ghost stale lease here
+        # to force the break_stale/re-acquire path under contention.
+        faults.fire("acquire", fingerprint=fingerprint,
+                    claims_dir=str(self.claims_dir),
+                    ttl_s=self.config.ttl_s)
+        tmp = path.with_name(
+            f".{path.name}.acquire-{self.worker_id}-"
+            # simlint: allow[no-ambient-rng] -- per-writer unique temp name for the atomic publish; never feeds simulation bytes
+            f"{uuid.uuid4().hex[:8]}.tmp")
+        tmp.write_text(json.dumps({
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            # simlint: allow[no-wallclock] -- lease provenance stamp; staleness is judged by file mtime, humans read this field
+            "acquired_at": time.time(),
+        }))
         try:
-            descriptor = os.open(
-                path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.link(tmp, path)
         except FileExistsError:
             return False
-        with os.fdopen(descriptor, "w") as handle:
-            json.dump({
-                "worker": self.worker_id,
-                "pid": os.getpid(),
-                "host": socket.gethostname(),
-                # simlint: allow[no-wallclock] -- lease provenance stamp; staleness is judged by file mtime, humans read this field
-                "acquired_at": time.time(),
-            }, handle)
+        finally:
+            try:
+                tmp.unlink()
+            except FileNotFoundError:
+                pass
         with self._lock:
             self._held[fingerprint] = path
         return True
@@ -261,6 +287,10 @@ class LeaseManager:
 
     def heartbeat(self) -> None:
         """Touch every held lease's mtime (called by the beat thread)."""
+        # Stall fault point: a True return suppresses this beat, so the
+        # held leases age past ttl_s and peers exercise stale reclaim.
+        if faults.fire("heartbeat", worker=self.worker_id):
+            return
         with self._lock:
             paths = list(self._held.values())
         for path in paths:
@@ -366,6 +396,17 @@ class ClaimQueue:
         if fingerprint not in self._committed:
             self._refresh_committed()
         return fingerprint in self._committed
+
+    def poisoned(self, fingerprint: str) -> bool:
+        """Has a supervisor quarantined this condition?
+
+        A ``quarantine/<fingerprint>`` marker means the condition
+        repeatedly killed workers and exhausted its retry budget (see
+        :mod:`repro.testbed.supervisor`). :meth:`Campaign.run` settles
+        such conditions as ``poisoned`` instead of simulating them.
+        """
+        return (self._campaign.campaign_dir / QUARANTINE_DIRNAME /
+                fingerprint).exists()
 
     def adopt(self, condition: Condition) -> bool:
         """Claim an orphaned recording (cache hit, no manifest line).
@@ -502,7 +543,7 @@ class PartialAggregator:
     def flush(self) -> None:
         self._unflushed = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps({
+        payload = json.dumps(seal_record({
             "worker": self.worker_id,
             "sim_behaviour": harness.SIM_BEHAVIOUR_VERSION,
             "campaign_fingerprint": self._campaign.spec.fingerprint(),
@@ -510,7 +551,7 @@ class PartialAggregator:
             "report": self.report.to_state(),
             # simlint: allow[no-wallclock] -- partial-aggregate provenance stamp for humans, not simulation input
             "at": time.time(),
-        }, indent=1)
+        }), indent=1)
         tmp = self.path.with_name(
             # simlint: allow[no-ambient-rng] -- per-writer unique temp name for the atomic replace; never feeds simulation bytes
             f".{self.path.name}.{uuid.uuid4().hex[:8]}.tmp")
@@ -600,6 +641,10 @@ def run_worker(
     disk (the ``repro campaign --join DIR`` path), or pass a live
     :class:`Campaign` sharing cache and campaign dirs with its peers.
     """
+    # Chaos runs hand the fault plan to worker subprocesses through the
+    # environment; a no-op unless REPRO_FAULT_PLAN is set, and never
+    # replaces an injector a test installed explicitly.
+    faults.install_from_env()
     if worker_id is None:
         worker_id = campaign.worker or default_worker_id()
     worker_id = sanitize_worker_id(worker_id)
@@ -651,6 +696,14 @@ def merge_partial_reports(
     ``report`` fixes the expected pivot configuration (axes, metric,
     confidence); shards written under a different configuration raise
     ``ValueError`` rather than silently merging apples into oranges.
+
+    Degraded mode: a shard a crashed worker left torn (invalid JSON or
+    checksum mismatch) is skipped with a warning — its conditions are
+    topped up from the store like any uncovered condition. Conditions
+    the spec expects but *nothing* recorded (crashed before storing,
+    or quarantined as poisoned) are marked on the report via
+    :meth:`GridReport.mark_coverage`, so renders carry an explicit
+    DEGRADED note instead of silently presenting a partial grid.
     """
     campaign_dir = Path(campaign_dir)
     store = SummaryStore.open(campaign_dir, cache_dir=cache_dir,
@@ -659,8 +712,17 @@ def merge_partial_reports(
         report = GridReport()
     covered = set()
     for path in store.partial_paths():
-        state = store.load_partial_state(
-            path, check_behaviour=check_behaviour)
+        try:
+            state = store.load_partial_state(
+                path, check_behaviour=check_behaviour)
+        except (ValueError, OSError) as error:
+            if isinstance(error, StaleCampaignError):
+                raise  # wrong behaviour version is never survivable
+            # Torn shard from a crashed worker: its conditions are
+            # recovered exactly from the store below.
+            logger.warning("skipping unreadable partial %s: %s",
+                           path.name, error)
+            continue
         shard = GridReport.from_state(state["report"])
         if shard.config() != report.config():
             raise ValueError(
@@ -688,4 +750,25 @@ def merge_partial_reports(
         summary = store.load(key)
         if summary is not None:
             report.add(key, summary)
+        covered.add(key.fingerprint)
+    # Coverage check against the spec: anything still missing has no
+    # recording at all — mark it so the render says so.
+    spec_path = campaign_dir / "spec.json"
+    if spec_path.exists():
+        try:
+            spec = spec_from_json(json.loads(spec_path.read_text()))
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            spec = None
+        if spec is not None:
+            conditions = spec.conditions()
+            expected = {condition.fingerprint(): condition.label
+                        for condition in conditions}
+            missing = sorted(
+                label for fingerprint, label in expected.items()
+                if fingerprint not in covered)
+            report.mark_coverage(len(expected), missing)
+            # Shard merge order follows worker timing; the render must
+            # not (a recovered chaos run has to be byte-identical to a
+            # fault-free one). Sweep order is the campaign's canon.
+            report.reorder([condition.key for condition in conditions])
     return report

@@ -1,0 +1,395 @@
+"""Deterministic fault injection for campaign chaos testing.
+
+The distributed layer (leases, manifest appends, partial aggregates) is
+designed to survive crashed, stalled and torn-write workers — but "the
+TTL reclaim will catch it" is a hope until every crash mode can be
+*injected on demand*, deterministically, and the survivors' output
+checked byte-for-byte. This module is that switchboard:
+
+* :class:`FaultPlan` — a declarative list of :class:`Fault` entries,
+  written by hand (``crash:w0@1; stall:w1@0``), loaded from JSON, or
+  generated from a seed via the library's RNG tree (``seed:7``). Plans
+  are pure data: the same plan against the same grid kills the same
+  worker at the same point, every time.
+* :class:`FaultInjector` — the armed plan. Orchestration code calls
+  :func:`fire` at a handful of named points; when no injector is
+  installed the call is a near-free no-op, so the hooks cost nothing in
+  production.
+
+Fault kinds and the points they fire at:
+
+``crash``
+    ``os._exit`` with :data:`CRASH_EXIT_CODE` at the worker's N-th
+    *simulated* condition — after the recording is stored, before its
+    manifest line lands (the nastiest window: cache and manifest
+    disagree, and the condition must be adopted, not re-simulated).
+    With arg ``pre`` the kill moves before the simulation instead
+    (nothing stored, lease left dangling).
+``torn-write``
+    the worker's N-th manifest append writes only a truncated prefix of
+    the line, then dies — modelling a kill mid-``write(2)``. Readers
+    must skip the torn line, never crash on it.
+``stall``
+    from the N-th heartbeat onward the worker's lease heartbeats are
+    suppressed while the process keeps running — modelling a hung host
+    whose leases go stale under it.
+``storm``
+    before the worker's N-th lease acquire, a ghost lease with an
+    ancient mtime is planted on the contested path — forcing the
+    acquire through the stale-break/re-acquire contention path.
+
+Faults address workers by *slot* (``w0``, ``w1``, respawned
+incarnations ``w0.r1``, ...) or ``*`` for everyone; a fault aimed at
+``w0`` does not re-fire in its respawned successor, so "kill worker 0
+once" converges instead of crash-looping.
+
+Injectors install process-globally (:func:`install` /
+:func:`uninstall`), or from the environment
+(:data:`PLAN_ENV`/:data:`WORKER_ENV`, picked up by
+:func:`~repro.testbed.distributed.run_worker`) so ``repro campaign
+--inject-faults PLAN`` reaches spawned worker subprocesses. Tests may
+also attach synchronisation ``hooks`` — plain callables fired at a
+point *before* any fault logic — to pin down historically racy
+interleavings deterministically.
+
+Nothing here touches simulation state: fault points live purely in the
+orchestration layer, and plan generation draws from its own spawn key
+of the RNG tree, so an armed (but non-firing) plan never changes a
+single recorded byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.util.rng import spawn_rng
+
+#: Supported fault kinds (see the module docstring for semantics).
+FAULT_KINDS = ("crash", "stall", "torn-write", "storm")
+
+#: Exit status of a worker killed by an injected crash/torn-write —
+#: distinguishable from clean exits (0/2) and Python errors (1) so the
+#: supervisor can tell "chaos kill" from "worker bug" in its summary.
+CRASH_EXIT_CODE = 70
+
+#: Environment variables propagating a plan into worker subprocesses.
+PLAN_ENV = "REPRO_FAULT_PLAN"
+WORKER_ENV = "REPRO_FAULT_WORKER"
+
+#: Fire point each kind listens on (crash may move, see Fault.point).
+_POINT_OF = {
+    "crash": "condition",
+    "stall": "heartbeat",
+    "torn-write": "manifest-append",
+    "storm": "acquire",
+}
+
+_ENTRY = re.compile(
+    r"^(?P<kind>[a-z][a-z-]*):(?P<worker>[^@:;\s]+)@(?P<at>\d+)"
+    r"(?::(?P<arg>[^;]*))?$")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure: *kind* hits *worker* at occurrence *at*.
+
+    ``at`` counts occurrences of the fault's fire point within one
+    worker process (0-based): the N-th simulated condition, heartbeat,
+    manifest append or lease acquire. ``worker`` is a supervisor slot
+    (``w0``), a respawned incarnation (``w0.r1``) or ``*``.
+    """
+
+    kind: str
+    worker: str = "*"
+    at: int = 0
+    arg: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}")
+        if self.at < 0:
+            raise ValueError(f"fault index must be >= 0, got {self.at}")
+
+    @property
+    def point(self) -> str:
+        """The named fire point this fault listens on."""
+        if self.kind == "crash" and self.arg == "pre":
+            return "condition-start"
+        return _POINT_OF[self.kind]
+
+    def describe(self) -> str:
+        text = f"{self.kind}:{self.worker}@{self.at}"
+        return f"{text}:{self.arg}" if self.arg else text
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of faults; pure data, trivially serialisable."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "(no faults)"
+        return "; ".join(fault.describe() for fault in self.faults)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from the CLI argument forms.
+
+        * ``kind:worker@index[:arg]`` entries separated by ``;``
+          (``crash:w0@1; stall:*@0``),
+        * ``seed:N`` — a deterministic generated plan (see
+          :meth:`generate`),
+        * a path to a ``.json`` file holding :meth:`to_json` output.
+        """
+        text = text.strip()
+        if not text:
+            raise ValueError("empty fault plan")
+        if text.endswith(".json"):
+            return cls.from_json(json.loads(Path(text).read_text()))
+        if re.fullmatch(r"seed:\d+", text):
+            return cls.generate(int(text.split(":", 1)[1]))
+        faults: List[Fault] = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            match = _ENTRY.match(chunk)
+            if match is None:
+                raise ValueError(
+                    f"bad fault entry {chunk!r}; expected "
+                    f"kind:worker@index[:arg] with kind one of "
+                    f"{FAULT_KINDS}, e.g. crash:w0@1")
+            faults.append(Fault(
+                kind=match.group("kind"),
+                worker=match.group("worker"),
+                at=int(match.group("at")),
+                arg=match.group("arg") or "",
+            ))
+        return cls(tuple(faults))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        workers: int = 2,
+        conditions: int = 8,
+        count: int = 3,
+        kinds: Sequence[str] = FAULT_KINDS,
+    ) -> "FaultPlan":
+        """A deterministic plan drawn from the library's RNG tree.
+
+        The generator spawns its own ``("fault-plan",)`` child stream,
+        so generating (or not generating) a plan never perturbs any
+        simulation stream — same discipline as every other stochastic
+        component (see :mod:`repro.util.rng`).
+        """
+        if workers < 1 or conditions < 1 or count < 0:
+            raise ValueError("workers/conditions must be >= 1, count >= 0")
+        rng = spawn_rng(seed, "fault-plan")
+        faults = tuple(
+            Fault(
+                kind=str(kinds[int(rng.integers(len(kinds)))]),
+                worker=f"w{int(rng.integers(workers))}",
+                at=int(rng.integers(conditions)),
+            )
+            for _ in range(count)
+        )
+        return cls(faults)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        return {"faults": [
+            {"kind": f.kind, "worker": f.worker, "at": f.at, "arg": f.arg}
+            for f in self.faults]}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "FaultPlan":
+        return cls(tuple(
+            Fault(kind=str(entry["kind"]),
+                  worker=str(entry.get("worker", "*")),
+                  at=int(entry.get("at", 0)),
+                  arg=str(entry.get("arg", "")))
+            for entry in data.get("faults", ())))
+
+
+#: Test synchronisation hooks: point name -> callable(**context).
+Hooks = Mapping[str, Callable[..., None]]
+
+
+class FaultInjector:
+    """An armed :class:`FaultPlan` for one worker process.
+
+    Keeps a per-point occurrence counter; :meth:`fire` matches the
+    plan's faults against the current point/worker/count and executes
+    them. Installed process-globally via :func:`install` so the
+    orchestration hooks need no plumbing through every call chain.
+    """
+
+    def __init__(self, plan: FaultPlan, worker: str = "*",
+                 hooks: Optional[Hooks] = None):
+        self.plan = plan
+        self.worker = worker
+        self.hooks = dict(hooks) if hooks else {}
+        self._counts: Dict[str, int] = {}
+        self._by_point: Dict[str, List[Fault]] = {}
+        for fault in plan.faults:
+            if fault.worker in ("*", worker):
+                self._by_point.setdefault(fault.point, []).append(fault)
+
+    def count(self, point: str) -> int:
+        """How many times ``point`` has fired in this process."""
+        return self._counts.get(point, 0)
+
+    def fire(self, point: str, ctx: Dict[str, object]) -> bool:
+        """One occurrence of ``point``; returns True to suppress it.
+
+        Only ``heartbeat`` interprets the return value (a matching
+        ``stall`` suppresses the beat); every other point ignores it.
+        """
+        hook = self.hooks.get(point)
+        if hook is not None:
+            hook(**ctx)
+        index = self._counts.get(point, 0)
+        self._counts[point] = index + 1
+        suppress = False
+        for fault in self._by_point.get(point, ()):
+            if fault.kind == "stall":
+                if index >= fault.at:
+                    suppress = True
+                continue
+            if index != fault.at:
+                continue
+            self._announce(fault)
+            if fault.kind == "crash":
+                self._crash()
+            elif fault.kind == "torn-write":
+                self._torn_write(ctx)
+            elif fault.kind == "storm":
+                self._storm(ctx)
+        return suppress
+
+    def _announce(self, fault: Fault) -> None:
+        print(f"[faults] {fault.describe()} firing in worker "
+              f"{self.worker!r} (pid {os.getpid()})",
+              file=sys.stderr, flush=True)
+
+    def _crash(self) -> None:
+        """Die the way a SIGKILLed worker does: no cleanup, no
+        finally-blocks, leases left in place, partial state on disk."""
+        sys.stderr.flush()
+        sys.stdout.flush()
+        os._exit(CRASH_EXIT_CODE)
+
+    def _torn_write(self, ctx: Dict[str, object]) -> None:
+        """Append a truncated prefix of the line, then die mid-write."""
+        path = ctx.get("path")
+        line = str(ctx.get("line", ""))
+        if path is not None and line:
+            torn = line[:max(1, len(line) // 2)].rstrip("\n")
+            with open(path, "a") as handle:
+                handle.write(torn)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._crash()
+
+    def _storm(self, ctx: Dict[str, object]) -> None:
+        """Plant a ghost stale lease on the path about to be acquired,
+        forcing the worker through break-stale contention."""
+        claims_dir = ctx.get("claims_dir")
+        fingerprint = ctx.get("fingerprint")
+        ttl_s = float(ctx.get("ttl_s", 60.0))
+        if claims_dir is None or fingerprint is None:
+            return
+        claims_dir = Path(claims_dir)
+        claims_dir.mkdir(parents=True, exist_ok=True)
+        path = claims_dir / f"{fingerprint}.lease"
+        try:
+            descriptor = os.open(
+                path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return  # genuinely contested already; nothing to add
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump({"worker": "ghost-storm", "pid": 0,
+                       "host": "chaos"}, handle)
+        # simlint: allow[no-wallclock] -- ages the ghost lease past the TTL; staleness is real elapsed time by design
+        old = time.time() - ttl_s - 60.0
+        os.utime(path, (old, old))
+
+
+# -- process-global installation ---------------------------------------------
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def install(plan: FaultPlan, worker: str = "*",
+            hooks: Optional[Hooks] = None) -> FaultInjector:
+    """Arm a plan for this process (replacing any previous injector)."""
+    global _ACTIVE
+    _ACTIVE = FaultInjector(plan, worker=worker, hooks=hooks)
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultInjector]:
+    return _ACTIVE
+
+
+def install_from_env(
+        environ: Optional[Mapping[str, str]] = None,
+) -> Optional[FaultInjector]:
+    """Arm a plan from :data:`PLAN_ENV`/:data:`WORKER_ENV`, if set.
+
+    Idempotent and respectful: an injector installed explicitly (e.g.
+    by a test or the supervisor's child entry) is never replaced.
+    Returns the active injector either way.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    environ = os.environ if environ is None else environ
+    text = environ.get(PLAN_ENV)
+    if not text:
+        return None
+    return install(FaultPlan.parse(text),
+                   worker=environ.get(WORKER_ENV, "*"))
+
+
+def fire(point: str, **ctx: object) -> bool:
+    """The orchestration hook: one occurrence of a named fire point.
+
+    Near-free when no injector is installed (one global read), so the
+    hooks stay in production code paths unconditionally.
+    """
+    injector = _ACTIVE
+    if injector is None:
+        return False
+    return injector.fire(point, ctx)

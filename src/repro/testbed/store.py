@@ -25,13 +25,27 @@ an N-condition grid needs O(axes) memory, not O(N).
 from __future__ import annotations
 
 import json
+import logging
+import os
 import re
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.testbed import harness
+from repro.testbed import faults, harness
 from repro.testbed.harness import RecordingCache, RecordingSummary
+
+logger = logging.getLogger(__name__)
 
 
 class StaleCampaignError(ValueError):
@@ -55,6 +69,13 @@ CLAIMS_DIRNAME = "claims"
 #: aggregates (``<worker>.json``, serialized ``GridReport`` state).
 PARTIALS_DIRNAME = "partials"
 
+#: Campaign-directory subdirectory holding per-condition quarantine
+#: markers (``<fingerprint>``): conditions the supervisor poisoned
+#: after they repeatedly killed workers (see
+#: ``repro.testbed.supervisor``). Live workers settle marked
+#: conditions as ``poisoned`` instead of retrying them forever.
+QUARANTINE_DIRNAME = "quarantine"
+
 #: Manifest statuses that mean "a recording exists for this condition".
 #: Owned here (the manifest-reading layer); the campaign orchestrator
 #: imports it, so the two can never drift apart. ``shared`` only ever
@@ -65,6 +86,107 @@ OK_STATUSES = ("simulated", "cached", "resumed", "shared")
 
 #: Labels end in ``_s<seed>`` (see ``harness.condition_label``).
 _SEED_SUFFIX = re.compile(r"_s(\d+)$")
+
+
+# -- crash-safe record I/O ---------------------------------------------------
+#
+# Everything a campaign writes incrementally (manifest lines, partial
+# aggregates) goes through these helpers: writers stamp a CRC over the
+# record's canonical JSON, readers verify it and *skip-and-log* torn or
+# corrupt data instead of raising — a killed writer degrades the record,
+# never the readers. Records written before the CRC existed carry no
+# ``crc`` field and are accepted as-is (legacy).
+
+
+def record_crc(record: Dict[str, object]) -> str:
+    """CRC-32 over the record's canonical JSON, sans the ``crc`` field."""
+    body = json.dumps(
+        {key: value for key, value in record.items() if key != "crc"},
+        sort_keys=True)
+    return format(zlib.crc32(body.encode("utf-8")), "08x")
+
+
+def seal_record(record: Dict[str, object]) -> Dict[str, object]:
+    """Return the record with its ``crc`` field stamped."""
+    sealed = dict(record)
+    sealed["crc"] = record_crc(sealed)
+    return sealed
+
+
+def record_intact(record: Dict[str, object]) -> bool:
+    """True when the record carries no CRC (legacy) or it matches."""
+    crc = record.get("crc")
+    return crc is None or crc == record_crc(record)
+
+
+def append_record(path: Union[str, Path],
+                  record: Dict[str, object]) -> None:
+    """Append one checksummed JSON line to an append-only log.
+
+    The line is sealed (:func:`seal_record`), written in a single
+    ``write`` + flush so concurrent appenders on a shared filesystem
+    interleave whole lines, and routed through the ``manifest-append``
+    fault point so chaos tests can tear it mid-write.
+    """
+    line = json.dumps(seal_record(record)) + "\n"
+    faults.fire("manifest-append", path=str(path), line=line)
+    # Heal a torn tail first: a writer killed mid-append leaves a
+    # truncated line with no newline, and appending straight onto it
+    # would glue THIS record into the garbage — corrupting a good
+    # record instead of just losing the dead writer's. Starting on a
+    # fresh line confines the damage to the torn line itself, which
+    # readers skip.
+    prefix = ""
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                prefix = "\n"
+    except (OSError, ValueError):
+        pass  # missing or empty file: nothing to heal
+    with open(path, "a") as handle:
+        handle.write(prefix + line)
+        handle.flush()
+
+
+def read_jsonl(
+    path: Union[str, Path],
+    on_skip: Optional[Callable[[int, str], None]] = None,
+) -> Iterator[Dict[str, object]]:
+    """Yield verified records from an append-only JSON-lines log.
+
+    Blank lines, torn lines (invalid JSON — a killed writer's final
+    partial ``write``) and checksum-mismatched lines (bit rot, torn
+    tail glued onto a later append) are skipped with a logged warning;
+    ``on_skip(line_number, reason)`` additionally observes each skip so
+    health reporting can count them. Never raises on bad content.
+    """
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                reason = "torn line (invalid JSON)"
+                logger.warning("%s:%d: skipping %s", path, number, reason)
+                if on_skip is not None:
+                    on_skip(number, reason)
+                continue
+            if not isinstance(record, dict):
+                reason = "not a JSON object"
+                logger.warning("%s:%d: skipping %s", path, number, reason)
+                if on_skip is not None:
+                    on_skip(number, reason)
+                continue
+            if not record_intact(record):
+                reason = "checksum mismatch"
+                logger.warning("%s:%d: skipping %s", path, number, reason)
+                if on_skip is not None:
+                    on_skip(number, reason)
+                continue
+            yield record
 
 
 @dataclass(frozen=True)
@@ -175,21 +297,18 @@ class SummaryStore:
         return self.campaign_dir / "manifest.jsonl"
 
     def _manifest_records(self) -> List[Dict[str, object]]:
-        """Latest manifest record per fingerprint, in first-seen order."""
+        """Latest manifest record per fingerprint, in first-seen order.
+
+        Torn and checksum-failed lines are skipped with a warning (see
+        :func:`read_jsonl`) — a worker killed mid-append degrades one
+        line, never the whole campaign directory.
+        """
         manifest = self.manifest_path
         records: Dict[str, Dict[str, object]] = {}
         if manifest is None or not manifest.exists():
             return []
-        with open(manifest) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn final line from a killed run
-                records[str(record.get("fingerprint"))] = record
+        for record in read_jsonl(manifest):
+            records[str(record.get("fingerprint"))] = record
         return list(records.values())
 
     def _key_from_record(
@@ -280,9 +399,21 @@ class SummaryStore:
 
         Raises :class:`StaleCampaignError` when the shard was recorded
         under a different ``SIM_BEHAVIOUR_VERSION`` than the running
-        simulator (unless ``check_behaviour=False``).
+        simulator (unless ``check_behaviour=False``), and
+        ``ValueError`` when the shard is torn (invalid JSON from a
+        crashed flush) or fails its checksum — callers that merge
+        shards catch that, log, and fall back to the summaries.
         """
-        state = json.loads(Path(path).read_text())
+        try:
+            state = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"partial aggregate {path} is torn (invalid JSON: "
+                f"{error}); its worker crashed mid-flush") from None
+        if not isinstance(state, dict) or not record_intact(state):
+            raise ValueError(
+                f"partial aggregate {path} failed its checksum; "
+                f"skipping the corrupt shard")
         recorded = state.get("sim_behaviour")
         if check_behaviour and recorded is not None and \
                 int(recorded) != harness.SIM_BEHAVIOUR_VERSION:

@@ -16,7 +16,13 @@ import pytest
 import repro.testbed.harness as harness_mod
 from repro.analysis.streaming import GridReport
 from repro.report import render_grid
-from repro.testbed.campaign import Campaign, CampaignSpec, spec_from_json
+from repro.testbed import faults
+from repro.testbed.campaign import (
+    Campaign,
+    CampaignSpec,
+    ConditionResult,
+    spec_from_json,
+)
 from repro.testbed.distributed import (
     ClaimQueue,
     LeaseConfig,
@@ -617,3 +623,103 @@ class TestDistributedCli:
                   "--stacks", "TCP", "--runs", "1", "--workers", "1",
                   "--claim-chunk", "0",
                   "--cache-dir", str(tmp_path / "cache")])
+
+
+class TestAtomicAcquire:
+    """Regression: a worker killed between the old O_EXCL create and
+    its first body write left an empty husk lease — unattributable, so
+    nobody could blame it and it blocked the condition for a full TTL.
+    Acquire now publishes a complete body atomically via link()."""
+
+    def test_lease_appears_fully_formed_with_fresh_heartbeat(
+            self, tmp_path, monkeypatch):
+        real_link = os.link
+        published = []
+
+        def spying_link(src, dst, *args, **kwargs):
+            if str(dst).endswith(".lease"):
+                # At publish time the body must already be complete
+                # and the target must not exist yet.
+                with open(src) as handle:
+                    published.append(
+                        (json.load(handle), os.path.exists(dst)))
+            return real_link(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(os, "link", spying_link)
+        leases = LeaseManager(tmp_path, "w0", FAST)
+        before = time.time()
+        assert leases.acquire("fp")
+        (body, dst_existed), = published
+        assert not dst_existed
+        assert body["worker"] == "w0"
+        assert body["pid"] == os.getpid()
+        assert body["host"]
+        # The link is the initial heartbeat: never stale-at-birth.
+        assert leases.path("fp").stat().st_mtime >= before - 1.0
+        assert not leases.is_stale("fp")
+        assert leases.holder("fp")["worker"] == "w0"
+
+    def test_no_temp_files_leak_on_win_or_loss(self, tmp_path):
+        winner = LeaseManager(tmp_path, "w0", FAST)
+        loser = LeaseManager(tmp_path, "w1", FAST)
+        assert winner.acquire("fp")
+        assert not loser.acquire("fp")
+        leftovers = [path.name for path
+                     in (tmp_path / "claims").iterdir()
+                     if path.name != "fp.lease"]
+        assert leftovers == []
+        # The losing acquire must not have disturbed the holder.
+        assert winner.holds("fp")
+        assert loser.holder("fp")["worker"] == "w0"
+
+
+class TestAdoptionRace:
+    """Regression: two joiners scanning the same orphaned recording
+    (cache stored, no manifest line — the crash window) could both
+    append a line: one adopted, appended "cached" and released, then
+    the other won the freed adopt lease and appended again. The fix
+    re-checks ``committed()`` while *holding* the adopt lease."""
+
+    def test_peer_commit_between_check_and_adopt_is_not_duplicated(
+            self, tmp_path):
+        spec = _spec("adoption-race")
+        seeder = Campaign(spec, cache_dir=tmp_path)
+        assert seeder.run(processes=1).ok
+        # Wind back to the crash window: recordings in the cache, no
+        # manifest lines, so every condition is adoptable.
+        seeder.manifest_path.unlink()
+
+        peer = Campaign(spec, cache_dir=tmp_path)
+        conditions = {c.fingerprint(): c for c in spec.conditions()}
+        committed = []
+
+        def peer_commits(fingerprint, **_):
+            # Deterministic interleaving of the race: the peer adopts,
+            # appends its line and releases in the window between our
+            # committed() snapshot check and our adopt win.
+            if fingerprint not in committed:
+                committed.append(fingerprint)
+                peer._append_manifest(ConditionResult(
+                    conditions[fingerprint], "cached"))
+
+        faults.install(faults.FaultPlan(),
+                       hooks={"pre-adopt": peer_commits})
+        try:
+            ours = Campaign(spec, cache_dir=tmp_path)
+            result = run_worker(ours, worker_id="racer", lease=FAST,
+                                processes=1)
+        finally:
+            faults.uninstall()
+
+        assert result.ok
+        assert len(committed) == 4  # the hook fired for every orphan
+        statuses = {r.condition.fingerprint(): r.status
+                    for r in result.results}
+        # Every condition settled against the peer's line — we never
+        # appended a duplicate on top of it.
+        assert set(statuses.values()) == {"resumed"}
+        lines = [json.loads(line)
+                 for line in open(ours.manifest_path)]
+        fingerprints = [line["fingerprint"] for line in lines]
+        assert len(fingerprints) == len(set(fingerprints)) == 4
+        assert {line["status"] for line in lines} == {"cached"}
