@@ -217,6 +217,80 @@ class StreamingHistogram:
         return histogram
 
 
+class CountTable:
+    """Mergeable table of fixed-width integer count vectors.
+
+    Rows are keyed by strings; each row is a vector of ``width``
+    non-negative integer counts. Merging adds rows elementwise, so any
+    sharding of a count stream merges back to the sequential totals
+    exactly — the integer counterpart of :class:`StreamingMoments` used
+    by the study pipeline for filter funnels, A/B vote counts and score
+    histograms.
+    """
+
+    __slots__ = ("width", "rows")
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.width = int(width)
+        self.rows: Dict[str, List[int]] = {}
+
+    def add(self, key: str, index: int, count: int = 1) -> None:
+        row = self.rows.get(key)
+        if row is None:
+            row = self.rows[key] = [0] * self.width
+        row[index] += int(count)
+
+    def add_vector(self, key: str, counts: Sequence[int]) -> None:
+        if len(counts) != self.width:
+            raise ValueError(
+                f"expected a vector of width {self.width}, "
+                f"got {len(counts)}")
+        row = self.rows.get(key)
+        if row is None:
+            row = self.rows[key] = [0] * self.width
+        for index, count in enumerate(counts):
+            row[index] += int(count)
+
+    def row(self, key: str) -> Optional[List[int]]:
+        counts = self.rows.get(key)
+        return list(counts) if counts is not None else None
+
+    def items(self) -> Iterator[Tuple[str, List[int]]]:
+        return iter(self.rows.items())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def merge(self, other: "CountTable") -> "CountTable":
+        """Fold another table into this one (returns self)."""
+        if other.width != self.width:
+            raise ValueError(
+                f"cannot merge count tables of widths "
+                f"{self.width} and {other.width}")
+        for key, counts in other.rows.items():
+            row = self.rows.get(key)
+            if row is None:
+                self.rows[key] = list(counts)
+            else:
+                for index, count in enumerate(counts):
+                    row[index] += count
+        return self
+
+    def to_json(self) -> Dict[str, object]:
+        return {"width": self.width,
+                "rows": {key: list(counts)
+                         for key, counts in self.rows.items()}}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "CountTable":
+        table = cls(int(data["width"]))
+        for key, counts in dict(data["rows"]).items():
+            table.add_vector(str(key), [int(c) for c in counts])
+        return table
+
+
 def anova_from_moments(
         groups: Sequence[StreamingMoments]) -> Optional[AnovaResult]:
     """One-way ANOVA from per-group moments; matches ``anova_oneway``.

@@ -6,7 +6,8 @@ tables            print Table 1 and Table 2
 load SITE         load one corpus site over every network and stack
 sweep             record the named-site grid (populates the disk cache)
 campaign          run a declarative, resumable campaign over a process pool
-study             run a reduced campaign and print Table 3 + Figures 4/5
+study             Table 3 + Figures 3-6; shardable over a campaign dir
+                  (``--shard I:K``), warm query server (``--serve``)
 sites             list the 36 corpus sites with their characteristics
 export SITE PATH  write a corpus site as HAR-flavoured JSON
 lint              determinism & hot-path static analysis (simlint)
@@ -44,6 +45,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from statistics import fmean
 from typing import List, Optional, Tuple
 
@@ -55,16 +57,12 @@ from repro.browser.metrics import VisualMetrics
 from repro.netem.profiles import NETWORKS, network_by_name, with_loss
 from repro.report import (
     md_grid,
-    render_figure4,
-    render_figure5,
     render_grid,
     render_table,
     render_table1,
     render_table2,
-    render_table3,
 )
 from repro.study.design import StudyPlan
-from repro.study.simulate import run_campaign
 from repro.testbed import faults
 from repro.testbed.campaign import (
     Campaign,
@@ -569,23 +567,151 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_study(args: argparse.Namespace) -> int:
-    from repro.analysis.ab import ab_vote_shares
-    from repro.analysis.rating import rating_means
+def _parse_shard(text: str) -> Tuple[int, int]:
+    try:
+        index_text, _, step_text = text.partition(":")
+        index, step = int(index_text), int(step_text)
+    except ValueError:
+        raise SystemExit(
+            f"repro study: error: --shard must look like I:K, "
+            f"got {text!r}")
+    if step < 1 or not 0 <= index < step:
+        raise SystemExit(
+            f"repro study: error: --shard needs 0 <= I < K, "
+            f"got {text!r}")
+    return index, step
 
-    sites = args.sites or DEFAULT_SITES
-    testbed = Testbed(runs=args.runs, seed=args.seed)
-    testbed.sweep(sites=sites)
-    plan = StudyPlan(sites=sites)
-    campaign = run_campaign(testbed, plan, seed=args.seed,
-                            participants_scale=args.scale)
-    print(render_table3(campaign.funnels))
-    print()
-    print(render_figure4(ab_vote_shares(
-        campaign.ab_filtered["microworker"])))
-    print()
-    print(render_figure5(rating_means(
-        campaign.rating_filtered["microworker"])))
+
+def serve_study_queries(index, in_stream, out_stream) -> int:
+    """JSON-lines query loop for ``repro study --serve``.
+
+    One request object per input line; one response object per output
+    line, annotated with the measured ``latency_ms``. Blank lines are
+    ignored; ``quit`` ends the loop. Returns the number of requests
+    answered.
+    """
+    import time
+
+    answered = 0
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        if line in ("quit", "exit"):
+            break
+        # simlint: allow[no-wallclock] -- measured serve latency reported to the client, not simulation input
+        started = time.perf_counter()
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as error:
+            response = {"ok": False, "error": f"invalid JSON: {error}"}
+        else:
+            response = index.query(request)
+        response["latency_ms"] = round(
+            # simlint: allow[no-wallclock] -- measured serve latency reported to the client, not simulation input
+            (time.perf_counter() - started) * 1000.0, 3)
+        print(json.dumps(response), file=out_stream, flush=True)
+        answered += 1
+    return answered
+
+
+def _study_partial(index, plan, args, shard=(0, 1)):
+    from repro.study.pipeline import build_partial
+
+    return build_partial(index, plan, seed=args.seed,
+                         participants_scale=args.scale, shard=shard)
+
+
+def _merged_study_partial(index, plan, args, campaign_dir):
+    """Merge flushed study partials; build inline when none exist."""
+    from repro.study.pipeline import StudyPartial, merge_partials
+    from repro.testbed.store import STUDY_PARTIALS_DIRNAME, SummaryStore
+
+    store = SummaryStore.open(campaign_dir, cache_dir=args.cache_dir)
+    paths = store.study_partial_paths()
+    if not paths:
+        return _study_partial(index, plan, args)
+    try:
+        return merge_partials([StudyPartial.load(path)
+                               for path in paths])
+    except ValueError as error:
+        raise SystemExit(
+            f"repro study: error: cannot merge "
+            f"{STUDY_PARTIALS_DIRNAME}/: {error}")
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.study.pipeline import (
+        ConditionIndex,
+        StudyIndex,
+        build_report,
+    )
+    from repro.testbed.store import (
+        STUDY_PARTIALS_DIRNAME,
+        StaleCampaignError,
+    )
+
+    shard = _parse_shard(args.shard) if args.shard else None
+    if shard is not None and not args.campaign_dir:
+        raise SystemExit(
+            "repro study: error: --shard writes a partial into the "
+            "campaign directory; pass --campaign-dir DIR")
+
+    if args.campaign_dir:
+        try:
+            index = ConditionIndex.from_campaign_dir(
+                args.campaign_dir, cache_dir=args.cache_dir)
+        except (StaleCampaignError, FileNotFoundError) as error:
+            raise SystemExit(f"repro study: error: {error}")
+        plan = index.plan()
+        if args.sites:
+            missing = sorted(set(args.sites) - set(plan.sites))
+            if missing:
+                raise SystemExit(
+                    f"repro study: error: campaign has no recordings "
+                    f"for sites: {', '.join(missing)}")
+            plan = StudyPlan(sites=list(args.sites),
+                             networks=plan.networks,
+                             stacks=plan.stacks, pairs=plan.pairs)
+    else:
+        sites = args.sites or DEFAULT_SITES
+        testbed = Testbed(runs=args.runs, seed=args.seed)
+        testbed.sweep(sites=sites)
+        plan = StudyPlan(sites=sites)
+        index = ConditionIndex.from_testbed(testbed, plan)
+
+    if shard is not None:
+        partial = _study_partial(index, plan, args, shard=shard)
+        worker = args.worker_id or f"shard-{shard[0]}-of-{shard[1]}"
+        path = (Path(args.campaign_dir) / STUDY_PARTIALS_DIRNAME /
+                f"{worker}.json")
+        partial.write(path)
+        survivors = sum(row[-1] for _, row in partial.funnels.items())
+        print(f"wrote study partial {path} "
+              f"(shard {shard[0]}:{shard[1]}, "
+              f"{survivors} surviving sessions)")
+        return 0
+
+    if args.serve:
+        if args.campaign_dir:
+            partial = _merged_study_partial(index, plan, args,
+                                            args.campaign_dir)
+        else:
+            partial = _study_partial(index, plan, args)
+        study_index = StudyIndex(index, partial)
+        print(f"ready: {study_index.conditions} conditions warm; "
+              f"one JSON query per line "
+              f"(ops: ping/condition/mos/ab; 'quit' ends)",
+              flush=True)
+        serve_study_queries(study_index, sys.stdin, sys.stdout)
+        return 0
+
+    if args.campaign_dir:
+        partial = _merged_study_partial(index, plan, args,
+                                        args.campaign_dir)
+    else:
+        partial = _study_partial(index, plan, args)
+    print(build_report(partial, index).render())
     return 0
 
 
@@ -775,11 +901,36 @@ def build_parser() -> argparse.ArgumentParser:
              "finding")
     add_lint_arguments(p_lint)
 
-    p_study = sub.add_parser("study", help="run a reduced campaign")
-    p_study.add_argument("--runs", type=int, default=5)
+    p_study = sub.add_parser(
+        "study",
+        help="run the perception studies: Table 3 funnel + Figures 3-6, "
+             "shardable over a campaign directory, with a warm --serve "
+             "query mode")
+    p_study.add_argument("--runs", type=int, default=5,
+                         help="testbed page loads per condition (ignored "
+                              "with --campaign-dir; default: 5)")
     p_study.add_argument("--seed", type=int, default=3)
-    p_study.add_argument("--scale", type=float, default=0.2)
+    p_study.add_argument("--scale", type=float, default=0.2,
+                         help="participant count as a fraction of the "
+                              "paper's (default: 0.2)")
     p_study.add_argument("--sites", nargs="*", default=None)
+    p_study.add_argument("--campaign-dir", default=None,
+                         help="aggregate over a recorded campaign "
+                              "directory instead of sweeping a fresh "
+                              "testbed")
+    p_study.add_argument("--cache-dir", default=None,
+                         help="recording cache backing --campaign-dir "
+                              "(default: the campaign's own cache)")
+    p_study.add_argument("--shard", default=None, metavar="I:K",
+                         help="process participant blocks b with "
+                              "b %% K == I only and write a mergeable "
+                              "partial into CAMPAIGN_DIR/study_partials/")
+    p_study.add_argument("--worker-id", default=None,
+                         help="file stem for the --shard partial "
+                              "(default: shard-I-of-K)")
+    p_study.add_argument("--serve", action="store_true",
+                         help="warm the per-condition index, then answer "
+                              "JSON-lines queries from stdin")
 
     p_export = sub.add_parser("export", help="export a site as JSON")
     p_export.add_argument("site", choices=list(CORPUS_SITE_NAMES))

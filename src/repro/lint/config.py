@@ -62,6 +62,16 @@ DEFAULT_SLOTS_REQUIRED: Tuple[str, ...] = (
     "LossDraws",
     "RangeSet",
     "FlowIdAllocator",
+    # Study block engine (PR 8): per-block draw/result records sized
+    # participants × trials.
+    "ConditionStats",
+    "TraitBlock",
+    "EventDraws",
+    "AbDraws",
+    "AbBlock",
+    "RatingDraws",
+    "RatingBlock",
+    "RatingContextTable",
 )
 
 #: Paths (relative to the package root, e.g. ``src/repro``) hashed into

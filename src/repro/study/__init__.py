@@ -11,6 +11,23 @@ rules R1-R7 (:mod:`repro.study.filtering`).
 """
 
 from repro.study.ab import AbSession, AbStudyResult, AbTrial, run_ab_study
+from repro.study.engine import (
+    STUDY_BLOCK,
+    AbEngine,
+    ConditionStats,
+    RatingEngine,
+    TestbedLookup,
+    condition_stats,
+)
+from repro.study.pipeline import (
+    ConditionIndex,
+    StudyIndex,
+    StudyPartial,
+    StudyReport,
+    build_partial,
+    build_report,
+    merge_partials,
+)
 from repro.study.design import (
     AB_VIDEO_COUNTS,
     CONTEXTS,
@@ -51,4 +68,17 @@ __all__ = [
     "GROUPS",
     "GroupBehavior",
     "Participant",
+    "STUDY_BLOCK",
+    "AbEngine",
+    "RatingEngine",
+    "ConditionStats",
+    "condition_stats",
+    "TestbedLookup",
+    "ConditionIndex",
+    "StudyPartial",
+    "StudyIndex",
+    "StudyReport",
+    "build_partial",
+    "build_report",
+    "merge_partials",
 ]

@@ -8,17 +8,26 @@ protocol identity never correlates with screen position.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
-import numpy as np
-
-from repro.study.design import AB_VIDEO_COUNTS, AbCondition, StudyPlan
-from repro.study.participants import GROUPS, GroupBehavior, Participant
-from repro.study.perception import DEFAULT_PARAMS, PerceptionParams, ab_vote, evidence
-from repro.study.session import SessionEvents, ViolationPlan, realize_events
+from repro.study.design import AbCondition, StudyPlan
+from repro.study.engine import (
+    STUDY_BLOCK,
+    AbBlock,
+    AbEngine,
+    TestbedLookup,
+)
+from repro.study.perception import DEFAULT_PARAMS, PerceptionParams
+from repro.study.session import (
+    SessionEvents,
+    ViolationPlan,
+    events_from_draws,
+)
 from repro.testbed.harness import Testbed
-from repro.util.rng import SeedSequenceFactory, spawn_rng
+
+#: Screen-coordinate answer names, indexed by the engine's answer codes.
+ANSWER_NAMES = ("left", "right", "same")
 
 
 @dataclass
@@ -87,85 +96,60 @@ def run_ab_study(
     participants: Optional[int] = None,
     seed: int = 0,
     params: PerceptionParams = DEFAULT_PARAMS,
+    block_size: int = STUDY_BLOCK,
+    compute: Optional[Callable] = None,
 ) -> AbStudyResult:
-    """Simulate the A/B study for one subject group."""
-    behavior = GROUPS[group]
-    plan = plan if plan is not None else StudyPlan()
-    n = participants if participants is not None else behavior.participants_ab
-    pool = plan.ab_pool(group)
-    if not pool:
-        raise ValueError("A/B condition pool is empty")
-    videos = min(AB_VIDEO_COUNTS[group], len(pool))
+    """Simulate the A/B study for one subject group.
 
-    factory = SeedSequenceFactory(spawn_rng(seed, "ab", group).integers(2**31))
+    Runs on the vectorized block engine; pass
+    ``compute=repro.study.reference.compute_ab_block_reference`` to take
+    the scalar path (identical results, pinned by the equivalence test).
+    """
+    engine = AbEngine(group, plan, params, lookup=TestbedLookup(testbed),
+                      block_size=block_size)
+    n = participants if participants is not None \
+        else engine.behavior.participants_ab
     sessions: List[AbSession] = []
-    for pid in range(n):
-        rng = factory.rng()
-        participant = Participant(pid, behavior, rng)
-        plan_v = ViolationPlan.draw(behavior, "ab", rng, participant.diligence)
-        indices = rng.choice(len(pool), size=videos, replace=False)
-        trials: List[AbTrial] = []
-        for index in indices:
-            condition = pool[int(index)]
-            trials.append(_run_trial(testbed, condition, participant,
-                                     plan_v, rng, params))
-        events = realize_events(plan_v, [t.duration_s for t in trials], rng)
+    for block in engine.blocks(n, seed, compute=compute):
+        sessions.extend(ab_sessions_from_block(block, engine))
+    return AbStudyResult(group=group, sessions=sessions, plan=engine.plan)
+
+
+def ab_sessions_from_block(block: AbBlock,
+                           engine: AbEngine) -> List[AbSession]:
+    """Materialize one computed block as :class:`AbSession` objects."""
+    if block.events is None:
+        raise ValueError("block was computed without event draws")
+    pool = engine.pool
+    sessions: List[AbSession] = []
+    for i in range(block.size):
+        trials = [
+            AbTrial(
+                condition=pool[int(block.indices[i, j])],
+                left_is_a=bool(block.left_is_a[i, j]),
+                answer=ANSWER_NAMES[int(block.answers[i, j])],
+                confidence=float(block.confidence[i, j]),
+                replays=int(block.replays[i, j]),
+                duration_s=float(block.durations[i, j]),
+            )
+            for j in range(block.indices.shape[1])
+        ]
+        events = events_from_draws(
+            ViolationPlan.from_flags(block.flags[:, i]),
+            block.durations[i],
+            block.events.focus_u[i],
+            block.events.total_u[i],
+            block.events.question_u[i],
+            block.events.color_codes[i],
+        )
+        participant = block.traits.participant(block.start, i,
+                                               engine.behavior)
         sessions.append(AbSession(
-            participant_id=pid,
-            group=group,
+            participant_id=participant.participant_id,
+            group=engine.group,
             trials=trials,
             events=events,
             gender=participant.gender,
             age_group=participant.age_group,
         ))
-    return AbStudyResult(group=group, sessions=sessions, plan=plan)
-
-
-def _run_trial(
-    testbed: Testbed,
-    condition: AbCondition,
-    participant: Participant,
-    plan_v: ViolationPlan,
-    rng: np.random.Generator,
-    params: PerceptionParams,
-) -> AbTrial:
-    rec_a = testbed.recording(condition.website, condition.network,
-                              condition.stack_a)
-    rec_b = testbed.recording(condition.website, condition.network,
-                              condition.stack_b)
-    left_is_a = bool(rng.random() < 0.5)
-    video_len = max(rec_a.video_duration, rec_b.video_duration)
-
-    if plan_v.is_rusher:
-        # Click-through participant: answers without watching.
-        answer = str(rng.choice(["left", "right", "same"]))
-        return AbTrial(
-            condition=condition,
-            left_is_a=left_is_a,
-            answer=answer,
-            confidence=float(rng.uniform(0.0, 1.0)),
-            replays=0,
-            duration_s=float(rng.uniform(1.0, 4.0)),
-        )
-
-    vote, confidence = ab_vote(rec_a, rec_b, participant.jnd_threshold,
-                               rng, params)
-    magnitude = abs(evidence(rec_a.si, rec_b.si, params))
-    replays = participant.replay_count(magnitude, condition.network)
-    duration = (video_len * (1 + replays)
-                + float(rng.lognormal(np.log(participant.group.decision_time_ab),
-                                      0.35)))
-    if vote == "same":
-        answer = "same"
-    elif vote == "a":
-        answer = "left" if left_is_a else "right"
-    else:
-        answer = "right" if left_is_a else "left"
-    return AbTrial(
-        condition=condition,
-        left_is_a=left_is_a,
-        answer=answer,
-        confidence=confidence,
-        replays=replays,
-        duration_s=duration,
-    )
+    return sessions

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.study.session import (
     FOCUS_LOSS_LIMIT,
     QUESTION_DURATION_LIMIT,
@@ -108,3 +110,26 @@ def apply_filters(sessions: Sequence, group: str = "",
         survivors = [s for s in survivors if not violates(s.events)]
         funnel.after_rule.append(len(survivors))
     return survivors, funnel
+
+
+def funnel_from_flags(flags: np.ndarray, group: str = "",
+                      study: str = "") -> Tuple[np.ndarray, FilterFunnel]:
+    """Vectorized R1-R7 funnel over a ``(7, n)`` violation-flag block.
+
+    The session event logs are realised such that rule ``Ri`` fires
+    exactly when violation flag ``i`` of the plan is set (see
+    :func:`repro.study.session.events_from_draws`), so the funnel is a
+    pure function of the flags. Returns the survivor mask and the
+    funnel; used by the streaming pipeline, which never materializes
+    session objects.
+    """
+    if flags.shape[0] != len(FILTER_RULES):
+        raise ValueError(
+            f"expected {len(FILTER_RULES)} flag rows, got {flags.shape[0]}")
+    n = int(flags.shape[1])
+    funnel = FilterFunnel(group=group, study=study, initial=n)
+    alive = np.ones(n, dtype=bool)
+    for row in flags:
+        alive &= ~row
+        funnel.after_rule.append(int(alive.sum()))
+    return alive, funnel

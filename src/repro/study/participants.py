@@ -178,3 +178,94 @@ class Participant:
         fast_bonus = 1.3 if network in ("DSL", "LTE") else 0.7
         lam = self.group.replay_rate * difficulty * fast_bonus
         return int(self.rng.poisson(lam))
+
+    @classmethod
+    def from_traits(
+        cls,
+        participant_id: int,
+        group: GroupBehavior,
+        jnd_threshold: float,
+        rating_bias: float,
+        diligence: float,
+        gender: str,
+        age_group: str,
+    ) -> "Participant":
+        """Construct from pre-drawn traits (the vectorized engine path).
+
+        The returned participant carries no RNG: all of its stochastic
+        behaviour was already realised as block draws.
+        """
+        participant = object.__new__(cls)
+        participant.participant_id = participant_id
+        participant.group = group
+        participant.rng = None
+        participant.jnd_threshold = float(jnd_threshold)
+        participant.rating_bias = float(rating_bias)
+        participant.diligence = float(diligence)
+        participant.gender = gender
+        participant.age_group = age_group
+        return participant
+
+
+@dataclass(slots=True)
+class TraitBlock:
+    """Stable personal traits of one participant block, as arrays.
+
+    Column ``i`` holds participant ``start + i`` of the block. Drawn in
+    one fixed sequence per block (see :mod:`repro.study.engine` for the
+    draw contract), so the scalar reference path and the vectorized path
+    consume identical values.
+    """
+
+    jnd_threshold: np.ndarray
+    rating_bias: np.ndarray
+    diligence: np.ndarray
+    male: np.ndarray
+    age_index: np.ndarray
+    age_names: Tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        return int(self.jnd_threshold.size)
+
+    def participant(self, start: int, row: int,
+                    group: GroupBehavior) -> Participant:
+        """Materialize one row as a :class:`Participant`."""
+        return Participant.from_traits(
+            participant_id=start + row,
+            group=group,
+            jnd_threshold=self.jnd_threshold[row],
+            rating_bias=self.rating_bias[row],
+            diligence=self.diligence[row],
+            gender="male" if self.male[row] else "female",
+            age_group=self.age_names[int(self.age_index[row])],
+        )
+
+
+def draw_trait_block(rng: np.random.Generator, group: GroupBehavior,
+                     size: int) -> TraitBlock:
+    """Draw the population priors for ``size`` participants at once.
+
+    Same priors as :meth:`Participant.__post_init__`, but one batched
+    draw per trait instead of five scalar draws per participant. The age
+    group is realised as an inverse-CDF lookup on a single uniform.
+    """
+    jnd = np.maximum(0.05, rng.normal(0.35, 0.12, size))
+    bias = rng.normal(0.0, 4.0, size)
+    diligence = rng.beta(5.0, 1.5, size)
+    male = rng.random(size) < group.male_share
+    names, weights = zip(*group.age_groups)
+    cumulative = np.cumsum(np.asarray(weights, dtype=float)
+                           / float(sum(weights)))
+    age_index = np.minimum(
+        np.searchsorted(cumulative, rng.random(size), side="right"),
+        len(names) - 1,
+    )
+    return TraitBlock(
+        jnd_threshold=jnd,
+        rating_bias=bias,
+        diligence=diligence,
+        male=male,
+        age_index=age_index,
+        age_names=tuple(str(name) for name in names),
+    )

@@ -21,6 +21,15 @@ signal itself:
 
 All constants live in :class:`PerceptionParams`; defaults were calibrated
 once against Figures 4 and 5 and are not fitted per run.
+
+Two families of entry points coexist. The scalar functions
+(:func:`ab_vote`, :func:`rating_votes`, ...) model one vote at a time and
+remain the readable specification of the models. The ``*_np`` kernels are
+their elementwise counterparts used by the vectorized study engine
+(:mod:`repro.study.engine`); they accept arrays of any shape and are the
+*only* place transcendental functions are evaluated on the study hot
+path, so the scalar reference path (:mod:`repro.study.reference`) and the
+batched path produce bit-identical branch decisions.
 """
 
 from __future__ import annotations
@@ -208,6 +217,58 @@ def condition_appeal(website: str, network: str,
 
     rng = spawn_rng(seed, "condition-appeal", website, network)
     return float(rng.normal(0.0, 0.5 * params.site_appeal_sd))
+
+
+def detection_probability_np(magnitude, threshold,
+                             params: PerceptionParams = DEFAULT_PARAMS):
+    """Array form of :func:`detection_probability` (broadcasts)."""
+    x = (np.asarray(magnitude, dtype=float) - threshold) / params.jnd_slope
+    logistic = 1.0 / (1.0 + np.exp(-np.clip(x, -35.0, 35.0)))
+    return np.where(x > 35.0, 1.0, np.where(x < -35.0, 0.0, logistic))
+
+
+def confusion_probability_np(magnitude,
+                             params: PerceptionParams = DEFAULT_PARAMS):
+    """P(the faster side is mistaken for the slower one), elementwise."""
+    return 0.5 * np.exp(-params.confusion_scale
+                        * np.asarray(magnitude, dtype=float))
+
+
+def true_opinion_np(si, context: str,
+                    params: PerceptionParams = DEFAULT_PARAMS,
+                    anchor_si=None):
+    """Array form of :func:`true_opinion` (same formula, numpy ops)."""
+    si = np.asarray(si, dtype=float)
+    if np.any(si < 0):
+        raise ValueError("SI must be non-negative")
+    floor = params.perceptual_floor
+    si_eff = np.sqrt(si * si + floor * floor)
+    if anchor_si is not None:
+        anchor = np.asarray(anchor_si, dtype=float)
+        anchor_eff = np.sqrt(anchor * anchor + floor * floor)
+        si_eff = np.where(
+            anchor >= 0,
+            anchor_eff * (si_eff / anchor_eff) ** params.single_stimulus_gamma,
+            si_eff,
+        )
+    ref = params.reference_si(context)
+    ratio = (si_eff / ref) ** params.rating_beta
+    span = SCALE_MAX - SCALE_MIN
+    return SCALE_MIN + span / (1.0 + ratio)
+
+
+def stall_score_np(fvc, lvc):
+    """Array form of :func:`stall_score` from the FVC/LVC metrics."""
+    fvc = np.asarray(fvc, dtype=float)
+    lvc = np.asarray(lvc, dtype=float)
+    spread = np.where(lvc > 0, (lvc - fvc) / np.where(lvc > 0, lvc, 1.0), 0.0)
+    return np.minimum(np.maximum((spread - 0.4) / 0.6, 0.0), 1.0)
+
+
+def quantize_score(values):
+    """Round to the integer 10..70 scale (vote granularity 1)."""
+    return np.minimum(np.maximum(np.rint(values), float(SCALE_MIN)),
+                      float(SCALE_MAX))
 
 
 def stall_score(recording: RecordingSummary) -> float:

@@ -9,21 +9,22 @@ three imagined environments (at work / free time / on a plane).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
-import numpy as np
-
-from repro.study.design import (
-    CONTEXTS,
-    RATING_VIDEO_COUNTS,
-    RatingCondition,
-    StudyPlan,
+from repro.study.design import RatingCondition, StudyPlan
+from repro.study.engine import (
+    STUDY_BLOCK,
+    RatingBlock,
+    RatingEngine,
+    TestbedLookup,
 )
-from repro.study.participants import GROUPS, Participant
-from repro.study.perception import DEFAULT_PARAMS, PerceptionParams, rating_votes
-from repro.study.session import SessionEvents, ViolationPlan, realize_events
+from repro.study.perception import DEFAULT_PARAMS, PerceptionParams
+from repro.study.session import (
+    SessionEvents,
+    ViolationPlan,
+    events_from_draws,
+)
 from repro.testbed.harness import Testbed
-from repro.util.rng import SeedSequenceFactory, spawn_rng
 
 
 @dataclass
@@ -75,114 +76,63 @@ def run_rating_study(
     participants: Optional[int] = None,
     seed: int = 0,
     params: PerceptionParams = DEFAULT_PARAMS,
+    block_size: int = STUDY_BLOCK,
+    compute: Optional[Callable] = None,
 ) -> RatingStudyResult:
-    """Simulate the rating study for one subject group."""
-    behavior = GROUPS[group]
-    plan = plan if plan is not None else StudyPlan()
-    n = participants if participants is not None \
-        else behavior.participants_rating
-    counts = RATING_VIDEO_COUNTS[group]
-    pools = {context: plan.rating_pool(group, context)
-             for context in CONTEXTS}
-    for context, pool in pools.items():
-        if not pool:
-            raise ValueError(f"rating pool for {context!r} is empty")
+    """Simulate the rating study for one subject group.
 
-    anchors = _AnchorCache(testbed, list(plan.stacks))
-    factory = SeedSequenceFactory(
-        spawn_rng(seed, "rating", group).integers(2**31))
+    Runs on the vectorized block engine; pass
+    ``compute=repro.study.reference.compute_rating_block_reference`` for
+    the scalar path (identical results, pinned by the equivalence test).
+    """
+    engine = RatingEngine(group, plan, params,
+                          lookup=TestbedLookup(testbed),
+                          block_size=block_size)
+    n = participants if participants is not None \
+        else engine.behavior.participants_rating
     sessions: List[RatingSession] = []
-    for pid in range(n):
-        rng = factory.rng()
-        participant = Participant(pid, behavior, rng)
-        plan_v = ViolationPlan.draw(behavior, "rating", rng,
-                                    participant.diligence)
+    for block in engine.blocks(n, seed, compute=compute):
+        sessions.extend(rating_sessions_from_block(block, engine))
+    return RatingStudyResult(group=group, sessions=sessions,
+                             plan=engine.plan)
+
+
+def rating_sessions_from_block(block: RatingBlock,
+                               engine: RatingEngine) -> List[RatingSession]:
+    """Materialize one computed block as :class:`RatingSession` objects."""
+    if block.events is None:
+        raise ValueError("block was computed without event draws")
+    sessions: List[RatingSession] = []
+    for i in range(block.size):
         trials: List[RatingTrial] = []
-        for context, count in counts.items():
-            pool = pools[context]
-            take = min(count, len(pool))
-            indices = rng.choice(len(pool), size=take, replace=False)
-            for index in indices:
-                condition = pool[int(index)]
-                trials.append(_run_trial(testbed, condition, context,
-                                         participant, plan_v, rng, params,
-                                         anchors))
-        events = realize_events(plan_v, [t.duration_s for t in trials], rng)
+        column = 0
+        for table, indices in zip(engine.tables, block.indices):
+            for k in range(indices.shape[1]):
+                trials.append(RatingTrial(
+                    condition=table.pool[int(indices[i, k])],
+                    context=table.context,
+                    speed_score=float(block.speed[i, column]),
+                    quality_score=float(block.quality[i, column]),
+                    replays=int(block.replays[i, column]),
+                    duration_s=float(block.durations[i, column]),
+                ))
+                column += 1
+        events = events_from_draws(
+            ViolationPlan.from_flags(block.flags[:, i]),
+            block.durations[i],
+            block.events.focus_u[i],
+            block.events.total_u[i],
+            block.events.question_u[i],
+            block.events.color_codes[i],
+        )
+        participant = block.traits.participant(block.start, i,
+                                               engine.behavior)
         sessions.append(RatingSession(
-            participant_id=pid,
-            group=group,
+            participant_id=participant.participant_id,
+            group=engine.group,
             trials=trials,
             events=events,
             gender=participant.gender,
             age_group=participant.age_group,
         ))
-    return RatingStudyResult(group=group, sessions=sessions, plan=plan)
-
-
-class _AnchorCache:
-    """Expected pace per (website, network): across-stack median SI.
-
-    Models the viewer's internal reference for "how fast such a page
-    loads on such a network" in single-stimulus presentation.
-    """
-
-    def __init__(self, testbed: Testbed, stacks: List[str]):
-        self._testbed = testbed
-        self._stacks = stacks
-        self._cache: dict = {}
-
-    def anchor(self, website: str, network: str) -> float:
-        key = (website, network)
-        if key not in self._cache:
-            values = sorted(
-                self._testbed.recording(website, network, stack).si
-                for stack in self._stacks
-            )
-            self._cache[key] = values[len(values) // 2]
-        return self._cache[key]
-
-
-def _run_trial(
-    testbed: Testbed,
-    condition: RatingCondition,
-    context: str,
-    participant: Participant,
-    plan_v: ViolationPlan,
-    rng: np.random.Generator,
-    params: PerceptionParams,
-    anchors: _AnchorCache,
-) -> RatingTrial:
-    recording = testbed.recording(condition.website, condition.network,
-                                  condition.stack)
-    if plan_v.is_rusher:
-        return RatingTrial(
-            condition=condition,
-            context=context,
-            speed_score=float(rng.integers(10, 71)),
-            quality_score=float(rng.integers(10, 71)),
-            replays=0,
-            duration_s=float(rng.uniform(1.0, 4.0)),
-        )
-
-    noise_scale = params.rating_noise_sd * participant.group.noise_multiplier
-    speed, quality = rating_votes(
-        recording, context,
-        bias=participant.rating_bias,
-        noise_scale=noise_scale,
-        rng=rng,
-        params=params,
-        heavy_tailed=participant.group.heavy_tailed,
-        anchor_si=anchors.anchor(condition.website, condition.network),
-    )
-    replays = int(rng.poisson(0.25 * participant.group.replay_rate))
-    duration = (recording.video_duration * (1 + replays)
-                + float(rng.lognormal(
-                    np.log(participant.group.decision_time_rating), 0.35)))
-    return RatingTrial(
-        condition=condition,
-        context=context,
-        speed_score=speed,
-        quality_score=quality,
-        replays=replays,
-        duration_s=duration,
-    )
+    return sessions

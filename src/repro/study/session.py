@@ -84,6 +84,66 @@ class ViolationPlan:
             control_question_wrong=behavioural(rates.control_question_wrong),
         )
 
+    @staticmethod
+    def from_flags(flags: np.ndarray) -> "ViolationPlan":
+        """Build a plan from one R1..R7 column of a violation block."""
+        return ViolationPlan(*(bool(flag) for flag in flags))
+
+
+#: R1..R7 field order of a violation block row; True marks technical
+#: violations (stalls, overtime) that do not scale with carelessness.
+RULE_TECHNICAL = (False, True, False, False, True, False, False)
+
+
+def draw_violation_block(rng: np.random.Generator, group: GroupBehavior,
+                         study: str, diligence: np.ndarray) -> np.ndarray:
+    """Batched :meth:`ViolationPlan.draw`: a ``(7, n)`` boolean matrix.
+
+    Row ``i`` is rule ``R(i+1)``; column ``j`` is participant ``j`` of
+    the block (whose diligence is ``diligence[j]``). One ``(7, n)``
+    uniform draw replaces seven scalar draws per participant.
+    """
+    rates = group.violations(study)
+    values = (rates.not_played, rates.stalled, rates.focus_loss,
+              rates.vote_before_fvc, rates.overtime,
+              rates.control_video_wrong, rates.control_question_wrong)
+    carelessness = np.minimum(2.0, (1.0 - diligence) / 0.25)
+    uniforms = rng.random((len(values), diligence.size))
+    flags = np.zeros_like(uniforms, dtype=bool)
+    for i, (rate, technical) in enumerate(zip(values, RULE_TECHNICAL)):
+        if technical:
+            flags[i] = uniforms[i] < rate
+        elif rate > 0:
+            scaled = np.minimum(rate * (0.4 + 0.6 * carelessness), 0.97)
+            flags[i] = uniforms[i] < scaled
+    return flags
+
+
+def rusher_mask(flags: np.ndarray) -> np.ndarray:
+    """Per-participant :attr:`ViolationPlan.is_rusher` from a block."""
+    return flags[3] | flags[5]
+
+
+@dataclass(slots=True)
+class EventDraws:
+    """Raw randomness behind a block's session event logs."""
+
+    focus_u: np.ndarray      # (n,) uniform
+    total_u: np.ndarray      # (n,) uniform
+    question_u: np.ndarray   # (n,) uniform
+    color_codes: np.ndarray  # (n, trials) ints into FRAME_COLORS
+
+
+def draw_event_block(rng: np.random.Generator, size: int,
+                     trials: int) -> EventDraws:
+    """Draw the event-log randomness for one block, fixed shape."""
+    return EventDraws(
+        focus_u=rng.random(size),
+        total_u=rng.random(size),
+        question_u=rng.random(size),
+        color_codes=rng.integers(0, len(FRAME_COLORS), (size, trials)),
+    )
+
 
 @dataclass
 class SessionEvents:
@@ -134,6 +194,49 @@ def realize_events(
         )
     events.frame_colors = [str(rng.choice(FRAME_COLORS))
                            for _ in trial_durations]
+    return events
+
+
+def events_from_draws(
+    plan: ViolationPlan,
+    durations: np.ndarray,
+    focus_u: float,
+    total_u: float,
+    question_u: float,
+    color_codes: np.ndarray,
+) -> SessionEvents:
+    """Event log from pre-drawn block randomness.
+
+    The block-draw counterpart of :func:`realize_events`: uniforms are
+    drawn unconditionally (fixed shape) and mapped into ranges here, so
+    the scalar reference path and the vectorized engine realise the same
+    log from the same stream.
+    """
+    events = SessionEvents()
+    events.all_videos_played = not plan.not_played
+    events.any_video_stalled = plan.stalled
+    if plan.focus_loss:
+        events.max_focus_loss_s = \
+            FOCUS_LOSS_LIMIT + 1.0 + float(focus_u) * 119.0
+    else:
+        events.max_focus_loss_s = float(focus_u) * (FOCUS_LOSS_LIMIT * 0.8)
+    events.any_vote_before_fvc = plan.vote_before_fvc
+    events.control_video_correct = not plan.control_video_wrong
+    events.control_questions_correct = not plan.control_question_wrong
+
+    base_total = float(np.sum(durations))
+    if plan.overtime:
+        events.total_duration_s = \
+            STUDY_DURATION_LIMIT + 30.0 + float(total_u) * 570.0
+        events.max_question_duration_s = \
+            QUESTION_DURATION_LIMIT + 5.0 + float(question_u) * 55.0
+    else:
+        events.total_duration_s = min(base_total,
+                                      STUDY_DURATION_LIMIT * 0.9)
+        longest = float(np.max(durations)) if durations.size else 10.0
+        events.max_question_duration_s = min(
+            longest, QUESTION_DURATION_LIMIT * 0.9)
+    events.frame_colors = [FRAME_COLORS[int(code)] for code in color_codes]
     return events
 
 

@@ -66,8 +66,10 @@ def run_campaign(
 
     for group in groups:
         behavior = GROUPS[group]
-        n_ab = _scaled(behavior.participants_ab, participants_scale)
-        n_rating = _scaled(behavior.participants_rating, participants_scale)
+        n_ab = scaled_participants(behavior.participants_ab,
+                                   participants_scale, group)
+        n_rating = scaled_participants(behavior.participants_rating,
+                                       participants_scale, group)
 
         ab_result = run_ab_study(testbed, group, plan,
                                  participants=n_ab, seed=seed, params=params)
@@ -95,8 +97,23 @@ def run_campaign(
     )
 
 
-def _scaled(count: int, scale: float) -> int:
-    return max(10, int(round(count * scale)))
+def scaled_participants(count: int, scale: float, group: str) -> int:
+    """Scaled participation for one group.
+
+    Only the supervised lab group is floored at 10 participants (its
+    confidence intervals must stay meaningful); µWorker and Internet
+    smoke campaigns scale all the way down, so a tiny ``scale`` no
+    longer silently inflates their funnels.
+    """
+    scaled = max(1, int(round(count * scale)))
+    if group == "lab":
+        return max(10, scaled)
+    return scaled
+
+
+#: Backwards-compatible alias for the pre-fix helper (lab floor only).
+def _scaled(count: int, scale: float, group: str = "lab") -> int:
+    return scaled_participants(count, scale, group)
 
 
 #: The paper's Table 3 reference values, for side-by-side reports.

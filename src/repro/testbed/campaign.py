@@ -674,110 +674,137 @@ class Campaign:
         attempts: Dict[str, int] = {}
         pending = todo
         deferred: List[Condition] = []
-        while pending or deferred:
-            if poisoned_check is not None:
-                fresh_pending, fresh_deferred = [], []
-                for queue, fresh in ((pending, fresh_pending),
-                                     (deferred, fresh_deferred)):
-                    for condition in queue:
-                        fingerprint = condition.fingerprint()
-                        if not poisoned_check(fingerprint):
-                            fresh.append(condition)
-                            continue
-                        result = ConditionResult(
-                            condition, "poisoned",
-                            attempts=attempts.get(fingerprint, 0),
-                            error="quarantined: condition repeatedly "
-                                  "killed workers (supervisor retry "
-                                  "budget exhausted)")
-                        settled[fingerprint] = result
-                        # Exactly one worker appends the poisoned
-                        # line: the adoption lease arbitrates, like
-                        # any other manifest append.
-                        if claims.adopt(condition):
-                            self._append_manifest(result)
-                            claims.release(condition)
+
+        # One worker pool for the whole run: claim-cycling workers used
+        # to fork a fresh pool per claim chunk, paying interpreter/import
+        # startup once per cycle; the pool is created lazily on the
+        # first multi-process batch and reused until the run returns.
+        if processes is None:
+            # Workers beyond the core count only add scheduling overhead
+            # for CPU-bound simulation; an explicit request is honoured.
+            processes = max(1, (os.cpu_count() or 2) - 1)
+        worker_pool = None
+
+        def shared_pool():
+            nonlocal worker_pool
+            if worker_pool is None:
+                worker_pool = pool_context().Pool(
+                    processes=processes,
+                    initializer=_init_worker,
+                    initargs=(str(self.cache.directory),),
+                )
+            return worker_pool
+
+        try:
+            while pending or deferred:
+                if poisoned_check is not None:
+                    fresh_pending, fresh_deferred = [], []
+                    for queue, fresh in ((pending, fresh_pending),
+                                         (deferred, fresh_deferred)):
+                        for condition in queue:
+                            fingerprint = condition.fingerprint()
+                            if not poisoned_check(fingerprint):
+                                fresh.append(condition)
+                                continue
+                            result = ConditionResult(
+                                condition, "poisoned",
+                                attempts=attempts.get(fingerprint, 0),
+                                error="quarantined: condition repeatedly "
+                                      "killed workers (supervisor retry "
+                                      "budget exhausted)")
+                            settled[fingerprint] = result
+                            # Exactly one worker appends the poisoned
+                            # line: the adoption lease arbitrates, like
+                            # any other manifest append.
+                            if claims.adopt(condition):
+                                self._append_manifest(result)
+                                claims.release(condition)
+                            done += 1
+                            tick(result)
+                    pending, deferred = fresh_pending, fresh_deferred
+                    if not pending and not deferred:
+                        break
+                if claims is not None and pending:
+                    pending, theirs = claims.select(pending)
+                    deferred.extend(theirs)
+                failures: List[Tuple[Condition, str, float]] = []
+                for condition, error, duration in self._execute(
+                        pending, processes, batch_size,
+                        pool=shared_pool):
+                    fingerprint = condition.fingerprint()
+                    attempts[fingerprint] = attempts.get(fingerprint, 0) + 1
+                    if error is None:
+                        # Crash fault point: the recording is stored, its
+                        # manifest line has not landed — the adoption
+                        # window chaos tests kill workers inside.
+                        faults.fire("condition", fingerprint=fingerprint)
                         done += 1
+                        result = ConditionResult(
+                            condition, "simulated",
+                            attempts=attempts[fingerprint],
+                            duration_s=duration)
+                        settled[fingerprint] = result
+                        self._append_manifest(result)
+                        # One read serves both consumers of the summary.
+                        summary = self.cache.load(condition.label,
+                                                  fingerprint) \
+                            if (claims is not None or sink is not None) \
+                            else None
+                        if claims is not None:
+                            claims.release(condition)
+                            if summary is not None:
+                                claims.recorded(condition, summary)
                         tick(result)
-                pending, deferred = fresh_pending, fresh_deferred
-                if not pending and not deferred:
-                    break
-            if claims is not None and pending:
-                pending, theirs = claims.select(pending)
-                deferred.extend(theirs)
-            failures: List[Tuple[Condition, str, float]] = []
-            for condition, error, duration in self._execute(
-                    pending, processes, batch_size):
-                fingerprint = condition.fingerprint()
-                attempts[fingerprint] = attempts.get(fingerprint, 0) + 1
-                if error is None:
-                    # Crash fault point: the recording is stored, its
-                    # manifest line has not landed — the adoption
-                    # window chaos tests kill workers inside.
-                    faults.fire("condition", fingerprint=fingerprint)
-                    done += 1
-                    result = ConditionResult(
-                        condition, "simulated",
-                        attempts=attempts[fingerprint],
-                        duration_s=duration)
-                    settled[fingerprint] = result
-                    self._append_manifest(result)
-                    # One read serves both consumers of the summary.
-                    summary = self.cache.load(condition.label,
-                                              fingerprint) \
-                        if (claims is not None or sink is not None) \
-                        else None
-                    if claims is not None:
-                        claims.release(condition)
-                        if summary is not None:
-                            claims.recorded(condition, summary)
-                    tick(result)
-                    if sink is not None and summary is not None:
-                        sink(condition, summary)
-                    continue
-                if failure_policy == "abort":
+                        if sink is not None and summary is not None:
+                            sink(condition, summary)
+                        continue
+                    if failure_policy == "abort":
+                        result = ConditionResult(
+                            condition, "failed", attempts=attempts[fingerprint],
+                            duration_s=duration, error=error)
+                        self._append_manifest(result)
+                        if claims is not None:
+                            claims.release(condition)
+                        raise CampaignError(
+                            f"condition {condition.label} failed:\n{error}")
+                    failures.append((condition, error, duration))
+
+                retryable = failure_policy == "retry"
+                pending = []
+                for condition, error, duration in failures:
+                    fingerprint = condition.fingerprint()
+                    if retryable and attempts[fingerprint] <= max_retries:
+                        pending.append(condition)
+                        continue
                     result = ConditionResult(
                         condition, "failed", attempts=attempts[fingerprint],
                         duration_s=duration, error=error)
+                    settled[fingerprint] = result
                     self._append_manifest(result)
                     if claims is not None:
                         claims.release(condition)
-                    raise CampaignError(
-                        f"condition {condition.label} failed:\n{error}")
-                failures.append((condition, error, duration))
-
-            retryable = failure_policy == "retry"
-            pending = []
-            for condition, error, duration in failures:
-                fingerprint = condition.fingerprint()
-                if retryable and attempts[fingerprint] <= max_retries:
-                    pending.append(condition)
-                    continue
-                result = ConditionResult(
-                    condition, "failed", attempts=attempts[fingerprint],
-                    duration_s=duration, error=error)
-                settled[fingerprint] = result
-                self._append_manifest(result)
-                if claims is not None:
-                    claims.release(condition)
-                done += 1
-                tick(result)
-
-            if claims is not None and deferred and not pending:
-                # Out of our own work: poll conditions other workers
-                # hold. Ones they recorded settle as "shared" (their
-                # manifest line, our sink feed); stale leases come back
-                # to us for re-simulation.
-                settled_elsewhere, reclaimed, deferred = \
-                    claims.wait(deferred)
-                for condition in settled_elsewhere:
-                    fingerprint = condition.fingerprint()
                     done += 1
-                    result = ConditionResult(condition, "shared")
-                    settled[fingerprint] = result
                     tick(result)
-                    feed_sink(condition)
-                pending.extend(reclaimed)
+
+                if claims is not None and deferred and not pending:
+                    # Out of our own work: poll conditions other workers
+                    # hold. Ones they recorded settle as "shared" (their
+                    # manifest line, our sink feed); stale leases come back
+                    # to us for re-simulation.
+                    settled_elsewhere, reclaimed, deferred = \
+                        claims.wait(deferred)
+                    for condition in settled_elsewhere:
+                        fingerprint = condition.fingerprint()
+                        done += 1
+                        result = ConditionResult(condition, "shared")
+                        settled[fingerprint] = result
+                        tick(result)
+                        feed_sink(condition)
+                    pending.extend(reclaimed)
+        finally:
+            if worker_pool is not None:
+                worker_pool.terminate()
+                worker_pool.join()
 
         ordered, seen = [], set()
         for condition in conditions:
@@ -797,8 +824,14 @@ class Campaign:
         conditions: Sequence[Condition],
         processes: Optional[int],
         batch_size: Optional[int] = None,
+        pool=None,
     ) -> Iterator[Tuple[Condition, Optional[str], float]]:
-        """Yield ``(condition, error, duration)`` as conditions settle."""
+        """Yield ``(condition, error, duration)`` as conditions settle.
+
+        ``pool`` is an optional zero-argument callable returning a
+        shared worker pool (see :meth:`run`); without it a fresh pool is
+        created and torn down for this call.
+        """
         if not conditions:
             return  # claim-wait poll cycles pass empty batches
         if processes is None:
@@ -826,14 +859,20 @@ class Campaign:
             batch_size = max(1, -(-len(payloads) // (processes * 4)))
         batches = [payloads[i:i + batch_size]
                    for i in range(0, len(payloads), batch_size)]
+        if pool is not None:
+            for results in pool().imap_unordered(_run_condition_batch,
+                                                 batches):
+                for index, error, duration in results:
+                    yield conditions[index], error, duration
+            return
         processes = min(processes, len(batches))
         with pool_context().Pool(
             processes=processes,
             initializer=_init_worker,
             initargs=(str(self.cache.directory),),
-        ) as pool:
-            for results in pool.imap_unordered(_run_condition_batch,
-                                               batches):
+        ) as ephemeral:
+            for results in ephemeral.imap_unordered(_run_condition_batch,
+                                                    batches):
                 for index, error, duration in results:
                     yield conditions[index], error, duration
 

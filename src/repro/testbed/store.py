@@ -69,6 +69,12 @@ CLAIMS_DIRNAME = "claims"
 #: aggregates (``<worker>.json``, serialized ``GridReport`` state).
 PARTIALS_DIRNAME = "partials"
 
+#: Campaign-directory subdirectory holding per-worker *study* partials
+#: (``<worker>.json``, serialized ``repro.study.pipeline.StudyPartial``
+#: state): perception-study aggregations computed over the campaign's
+#: recorded summaries, sharded by participant block.
+STUDY_PARTIALS_DIRNAME = "study_partials"
+
 #: Campaign-directory subdirectory holding per-condition quarantine
 #: markers (``<fingerprint>``): conditions the supervisor poisoned
 #: after they repeatedly killed workers (see
@@ -422,6 +428,21 @@ class SummaryStore:
                 f"SIM_BEHAVIOUR_VERSION={recorded}, but the current "
                 f"simulator is version {harness.SIM_BEHAVIOUR_VERSION}")
         return state
+
+    def study_partial_paths(self) -> List[Path]:
+        """Per-worker study-pipeline partials, sorted by worker id.
+
+        Written by ``repro study --campaign-dir DIR --shard I:K``; an
+        empty list means no study shard has been flushed for this
+        campaign yet.
+        """
+        if self.campaign_dir is None:
+            return []
+        partials = self.campaign_dir / STUDY_PARTIALS_DIRNAME
+        if not partials.is_dir():
+            return []
+        return sorted(path for path in partials.glob("*.json")
+                      if not path.name.startswith("."))
 
     def recorded_count(self) -> int:
         """How many conditions the manifest says were recorded ok.

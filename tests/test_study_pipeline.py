@@ -1,0 +1,386 @@
+"""Streaming study pipeline: partials, merge algebra, report, serve."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import _parse_shard, serve_study_queries
+from repro.study.design import StudyPlan
+from repro.study.filtering import FILTER_RULES
+from repro.study.pipeline import (
+    ConditionIndex,
+    StudyIndex,
+    StudyPartial,
+    _histogram_median,
+    _key,
+    build_partial,
+    build_report,
+    merge_partials,
+)
+from repro.study.simulate import (
+    GROUP_ORDER,
+    run_campaign,
+    scaled_participants,
+)
+
+from tests.conftest import SMALL_SITES
+
+SCALE = 0.05
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def index(small_testbed):
+    plan = StudyPlan(sites=SMALL_SITES)
+    return ConditionIndex.from_testbed(small_testbed, plan)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return StudyPlan(sites=SMALL_SITES)
+
+
+@pytest.fixture(scope="module")
+def partial(index, plan):
+    return build_partial(index, plan, seed=SEED,
+                         participants_scale=SCALE)
+
+
+class TestConditionIndex:
+    def test_covers_grid(self, index, plan):
+        assert len(index) == len(plan.sites) * len(plan.networks) * \
+            len(plan.stacks)
+        assert index.websites == sorted(SMALL_SITES)
+
+    def test_lookup_missing_is_loud(self, index):
+        with pytest.raises(KeyError, match="no recording"):
+            index.lookup("nosuch.example", "DSL", "TCP")
+
+    def test_derived_plan_preserves_order(self, index):
+        derived = index.plan()
+        base = StudyPlan()
+        assert derived.networks == base.networks
+        assert derived.stacks == base.stacks
+        assert derived.pairs == base.pairs
+        assert set(derived.sites) == set(SMALL_SITES)
+
+    def test_lowest_seed_wins(self):
+        class FakeSummary:
+            def __init__(self, si):
+                self.website, self.network, self.stack = \
+                    "w.example", "DSL", "TCP"
+                self.selected_metrics = {
+                    "SI": si, "FVC": si, "LVC": si, "VC85": si,
+                    "PLT": si}
+                self.video_duration = si
+
+        index = ConditionIndex()
+        index.add(7, FakeSummary(1.0))
+        index.add(2, FakeSummary(2.0))  # lower seed replaces
+        index.add(9, FakeSummary(3.0))  # higher seed is ignored
+        assert index.lookup("w.example", "DSL", "TCP").si == 2.0
+
+
+class TestPartialAgainstClassicCampaign:
+    """The streaming pipeline must agree exactly with run_campaign."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self, small_testbed, plan):
+        return run_campaign(small_testbed, plan, seed=SEED,
+                            participants_scale=SCALE)
+
+    def test_funnels_identical(self, partial, campaign):
+        for group in GROUP_ORDER:
+            for study in ("ab", "rating"):
+                assert partial.funnel(group, study).as_row() == \
+                    campaign.funnel(group, study).as_row()
+
+    def test_ab_votes_identical(self, partial, campaign):
+        from collections import Counter
+
+        reference = Counter()
+        for group in GROUP_ORDER:
+            for session in campaign.ab_filtered[group]:
+                for trial in session.trials:
+                    c = trial.condition
+                    key = _key(group, c.website, c.network, c.stack_a,
+                               c.stack_b)
+                    reference[(key, trial.vote)] += 1
+        for key, counts in partial.ab_votes.items():
+            assert counts[0] == reference[(key, "a")]
+            assert counts[1] == reference[(key, "same")]
+            assert counts[2] == reference[(key, "b")]
+        total = sum(sum(c[:3]) for _, c in partial.ab_votes.items())
+        assert total == sum(reference.values())
+
+    def test_rating_moments_identical(self, partial, campaign):
+        import statistics
+
+        reference = {}
+        for group in GROUP_ORDER:
+            for session in campaign.rating_filtered[group]:
+                for trial in session.trials:
+                    c = trial.condition
+                    key = _key(group, trial.context, c.website,
+                               c.network, c.stack)
+                    cell = reference.setdefault(
+                        key, {"speed": [], "quality": []})
+                    cell["speed"].append(trial.speed_score)
+                    cell["quality"].append(trial.quality_score)
+        assert set(reference) == set(partial.rating)
+        for key, cell in partial.rating.items():
+            for which in ("speed", "quality"):
+                values = reference[key][which]
+                moments = cell[which]
+                assert moments.count == len(values)
+                assert moments.mean == pytest.approx(
+                    statistics.fmean(values), abs=1e-9)
+
+    def test_internet_medians_exact(self, partial, campaign):
+        import statistics
+
+        scores = {}
+        for session in campaign.rating_filtered["internet"]:
+            for trial in session.trials:
+                scores.setdefault(trial.condition.key, []).append(
+                    trial.speed_score)
+        for key, counts in partial.histograms.items():
+            _, website, network, stack = key.split("|")
+            values = scores[(website, network, stack)]
+            assert _histogram_median(counts) == \
+                statistics.median(values)
+
+
+class TestMergeAlgebra:
+    @pytest.fixture(scope="class")
+    def shards(self, index, plan):
+        return [build_partial(index, plan, seed=SEED,
+                              participants_scale=SCALE, shard=(i, 3),
+                              block_size=8) for i in range(3)]
+
+    @pytest.fixture(scope="class")
+    def whole(self, index, plan):
+        return build_partial(index, plan, seed=SEED,
+                             participants_scale=SCALE, block_size=8)
+
+    def _rebuild(self, shards):
+        return [StudyPartial.from_state(s.to_state()) for s in shards]
+
+    def test_merge_equals_sequential(self, shards, whole):
+        merged = merge_partials(self._rebuild(shards))
+        assert merged.funnels.to_json() == whole.funnels.to_json()
+        assert merged.ab_votes.to_json() == whole.ab_votes.to_json()
+        assert merged.histograms.to_json() == \
+            whole.histograms.to_json()
+        assert set(merged.rating) == set(whole.rating)
+        for key, cell in whole.rating.items():
+            for which in ("speed", "quality"):
+                a, b = cell[which], merged.rating[key][which]
+                assert a.count == b.count
+                assert a.mean == pytest.approx(b.mean, abs=1e-9)
+                assert a.m2 == pytest.approx(b.m2, abs=1e-6)
+
+    def test_merge_order_independent(self, shards, whole):
+        forward = merge_partials(self._rebuild(shards))
+        backward = merge_partials(self._rebuild(shards)[::-1])
+        assert forward.funnels.to_json() == backward.funnels.to_json()
+        assert forward.ab_votes.to_json() == \
+            backward.ab_votes.to_json()
+        for key, cell in forward.rating.items():
+            for which in ("speed", "quality"):
+                assert cell[which].count == \
+                    backward.rating[key][which].count
+
+    def test_shard_union_recorded(self, shards):
+        merged = merge_partials(self._rebuild(shards))
+        assert merged.shards == [[0, 3], [1, 3], [2, 3]]
+
+    def test_config_mismatch_rejected(self, index, plan, shards):
+        other = build_partial(index, plan, seed=SEED + 1,
+                              participants_scale=SCALE, shard=(0, 3),
+                              block_size=8)
+        with pytest.raises(ValueError, match="different configs"):
+            merge_partials([self._rebuild(shards)[0], other])
+
+    def test_state_round_trip(self, shards):
+        state = shards[0].to_state()
+        clone = StudyPartial.from_state(state)
+        assert clone.to_state() == state
+
+    def test_sealed_write_and_load(self, shards, tmp_path):
+        path = tmp_path / "study_partials" / "w0.json"
+        shards[0].write(path)
+        loaded = StudyPartial.load(path)
+        assert loaded.to_state() == shards[0].to_state()
+        # A torn write (truncated JSON) is loud, not silent.
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(ValueError, match="torn"):
+            StudyPartial.load(path)
+
+    def test_checksum_tamper_detected(self, shards, tmp_path):
+        path = tmp_path / "w1.json"
+        shards[0].write(path)
+        record = json.loads(path.read_text())
+        record["config"]["seed"] = 999
+        path.write_text(json.dumps(record))
+        with pytest.raises(ValueError, match="checksum"):
+            StudyPartial.load(path)
+
+
+class TestReport:
+    def test_report_sections(self, partial, index):
+        report = build_report(partial, index)
+        assert len(report.funnels) == len(GROUP_ORDER) * 2
+        assert report.ab_shares
+        assert report.rating_cells
+        assert report.agreement
+        assert report.heatmap is not None
+        text = report.render()
+        assert "Table 3" in text
+        assert "Figure 4" in text
+        assert "Figure 6" in text
+
+    def test_funnel_width(self, partial):
+        row = partial.funnel("microworker", "ab").as_row()
+        assert len(row) == len(FILTER_RULES) + 1
+        # Funnels are monotone non-increasing.
+        assert all(a >= b for a, b in zip(row, row[1:]))
+
+
+class TestHistogramMedian:
+    @pytest.mark.parametrize("values", [
+        [10], [10, 70], [30, 30, 40], [10, 20, 30, 40],
+        [70] * 5 + [10] * 5, list(range(10, 71)),
+    ])
+    def test_matches_statistics_median(self, values):
+        import statistics
+
+        counts = [0] * 61
+        for value in values:
+            counts[value - 10] += 1
+        assert _histogram_median(counts) == statistics.median(values)
+
+    def test_empty(self):
+        assert _histogram_median([0] * 61) is None
+
+
+class TestServe:
+    @pytest.fixture(scope="class")
+    def study_index(self, index, partial):
+        return StudyIndex(index, partial)
+
+    def test_mos_matches_partial(self, study_index, partial):
+        key, cell = next(
+            (key, cell) for key, cell in partial.rating.items()
+            if key.startswith("microworker|free_time"))
+        _, context, website, network, stack = key.split("|")
+        response = study_index.query({
+            "op": "mos", "website": website, "network": network,
+            "stack": stack, "context": context,
+        })
+        assert response["ok"]
+        assert response["mos"] == pytest.approx(cell["speed"].mean)
+        assert response["n"] == cell["speed"].count
+        assert "predicted_mos" in response
+
+    def test_ab_shares_sum_to_one(self, study_index, partial):
+        key, _ = next(iter(partial.ab_votes.items()))
+        group, website, network, stack_a, stack_b = key.split("|")
+        response = study_index.query({
+            "op": "ab", "group": group, "network": network,
+            "stack_a": stack_a, "stack_b": stack_b,
+        })
+        assert response["ok"]
+        assert sum(response["shares"].values()) == pytest.approx(1.0)
+        assert response["n"] == sum(response["votes"].values())
+
+    def test_ab_reversed_pair_swaps_sides(self, study_index, partial):
+        """Cells are stored in plan orientation; the reversed query
+        must answer with the a/b tallies swapped, not a KeyError."""
+        key, _ = next(iter(partial.ab_votes.items()))
+        group, website, network, stack_a, stack_b = key.split("|")
+        forward = study_index.query({
+            "op": "ab", "group": group, "network": network,
+            "stack_a": stack_a, "stack_b": stack_b,
+        })
+        reverse = study_index.query({
+            "op": "ab", "group": group, "network": network,
+            "stack_a": stack_b, "stack_b": stack_a,
+        })
+        assert reverse["ok"]
+        assert reverse["votes"]["a"] == forward["votes"]["b"]
+        assert reverse["votes"]["b"] == forward["votes"]["a"]
+        assert reverse["votes"]["same"] == forward["votes"]["same"]
+        assert reverse["n"] == forward["n"]
+
+    def test_unknown_condition_is_error(self, study_index):
+        response = study_index.query({
+            "op": "mos", "website": "nosuch.example",
+            "network": "DSL", "stack": "TCP",
+        })
+        assert response["ok"] is False
+        assert "unknown condition" in response["error"]
+
+    def test_unknown_op_is_error(self, study_index):
+        response = study_index.query({"op": "frobnicate"})
+        assert response["ok"] is False
+
+    def test_serve_loop_round_trip(self, study_index):
+        requests = "\n".join([
+            json.dumps({"op": "ping"}),
+            "",
+            "not json",
+            json.dumps({"op": "condition",
+                        "website": sorted(SMALL_SITES)[0],
+                        "network": "DSL", "stack": "TCP"}),
+            "quit",
+            json.dumps({"op": "ping"}),  # after quit: never answered
+        ])
+        out = io.StringIO()
+        answered = serve_study_queries(
+            study_index, io.StringIO(requests), out)
+        responses = [json.loads(line)
+                     for line in out.getvalue().splitlines()]
+        assert answered == 3
+        assert responses[0]["ok"] is True
+        assert responses[1]["ok"] is False
+        assert responses[2]["ok"] is True
+        assert responses[2]["metrics"]["SI"] > 0
+
+    def test_warm_query_latency(self, study_index):
+        """The paper-scale serve budget is <10 ms per warm query; the
+        tier-1 bound is generous for loaded CI machines."""
+        out = io.StringIO()
+        requests = "\n".join(json.dumps({"op": "ping"})
+                             for _ in range(50))
+        serve_study_queries(study_index, io.StringIO(requests), out)
+        latencies = [json.loads(line)["latency_ms"]
+                     for line in out.getvalue().splitlines()]
+        assert sorted(latencies)[len(latencies) // 2] < 50.0
+
+
+class TestScaledParticipants:
+    def test_lab_floor_applies_to_lab_only(self):
+        # Regression: the min-10 floor exists so the tiny lab group
+        # stays statistically usable at small scales; it must not
+        # inflate the crowd groups.
+        assert scaled_participants(35, 0.05, "lab") == 10
+        assert scaled_participants(487, 0.005, "microworker") == 2
+        assert scaled_participants(218, 0.005, "internet") == 1
+        assert scaled_participants(487, 1.0, "microworker") == 487
+
+    def test_scale_up(self):
+        assert scaled_participants(487, 10.0, "microworker") == 4870
+
+
+class TestShardParsing:
+    def test_valid(self):
+        assert _parse_shard("0:1") == (0, 1)
+        assert _parse_shard("2:5") == (2, 5)
+
+    @pytest.mark.parametrize("text", ["", "3", "a:b", "1:0", "2:2",
+                                      "-1:3"])
+    def test_invalid(self, text):
+        with pytest.raises(SystemExit):
+            _parse_shard(text)
