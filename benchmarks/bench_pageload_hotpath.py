@@ -17,6 +17,9 @@ Measures every layer the PR 2 hot-path overhaul touches, bottom-up:
   the ``__slots__`` satellite);
 * ``campaign`` — cold conditions/second through the campaign
   orchestrator on the same grid as ``bench_campaign_throughput``;
+* ``multi_segment_overhead`` — page loads/second over a one-segment
+  path vs the same access profile chained with a LAN segment, direct
+  (store-and-forward boundary) and split (per-segment proxies);
 * ``report_path`` — peak memory of aggregating a synthetic
   1k-condition campaign manifest into a pivot report: the old
   whole-grid list-of-summaries load vs the streaming
@@ -204,6 +207,42 @@ def bench_pageload(site_name: str = "nytimes.com", loads: int = 6) -> dict:
     return results
 
 
+def bench_multi_segment(site_name: str = "gov.uk", loads: int = 6) -> dict:
+    """Topology cost: 1-segment baseline vs 2-segment direct vs split.
+
+    The two-segment variants chain the baseline access profile with a
+    LAN segment, so the extra work is purely topological: a second link
+    pair plus a forwarding hop (direct), or per-segment transport
+    endpoints and relays (split).
+    """
+    from repro.netem.profiles import LAN, network_by_name, segmented_profile
+
+    site = build_site(site_name, seed=0)
+    base = network_by_name("MSS")
+    seg = segmented_profile((base, LAN), name="MSS+LAN")
+    stack = stack_by_name("TCP")
+    results: dict = {}
+    for key, profile, path_mode in (
+        ("baseline_1seg", base, "direct"),
+        ("direct_2seg", seg, "direct"),
+        ("split_2seg", seg, "split"),
+    ):
+        start = time.perf_counter()
+        for seed in range(loads):
+            load_page(site, profile, stack, seed=seed, path_mode=path_mode)
+        elapsed = time.perf_counter() - start
+        results[key] = {
+            "loads": loads, "seconds": round(elapsed, 3),
+            "loads_per_s": round(loads / elapsed, 2),
+        }
+    baseline = results["baseline_1seg"]["loads_per_s"]
+    results["direct_overhead_x"] = round(
+        baseline / results["direct_2seg"]["loads_per_s"], 2)
+    results["split_overhead_x"] = round(
+        baseline / results["split_2seg"]["loads_per_s"], 2)
+    return results
+
+
 def _instance_bytes(obj) -> int:
     """Heap bytes of one instance (object header plus __dict__ if any)."""
     size = sys.getsizeof(obj)
@@ -376,6 +415,7 @@ COMPONENTS = {
         lambda tmp: _quic_transfer(fat_profile(loss=0.02), 8 * MB),
     "tcp_scaling": lambda tmp: bench_tcp_scaling(),
     "pageload": lambda tmp: bench_pageload(),
+    "multi_segment_overhead": lambda tmp: bench_multi_segment(),
     "alloc": lambda tmp: bench_alloc(),
     "campaign": bench_campaign,
     "report_path": bench_report_path,

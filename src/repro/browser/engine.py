@@ -29,7 +29,7 @@ from repro.http.messages import (
 from repro.http.server import OriginServer
 from repro.netem.engine import EventLoop
 from repro.netem.flowid import FlowIdAllocator
-from repro.netem.path import NetworkPath
+from repro.netem.path import NetworkPath, build_network_path
 from repro.netem.profiles import NetworkProfile
 from repro.transport.config import StackConfig
 from repro.util.rng import spawn_rng
@@ -220,18 +220,22 @@ class PageLoad:
         totals = TransportTotals(connections=len(self._connections))
         for conn in self._connections.values():
             transport = conn.transport  # type: ignore[attr-defined]
-            if hasattr(transport, "server_sender"):      # TCP
-                stats = transport.server_sender.stats
-                totals.packets_or_segments_sent += stats.segments_sent
-                totals.retransmissions += stats.retransmitted_segments
-                totals.loss_events += stats.loss_events
-                totals.timeouts += stats.rto_count
-            else:                                        # QUIC
-                stats = transport.server.stats
-                totals.packets_or_segments_sent += stats.packets_sent
-                totals.retransmissions += stats.retransmitted_packets
-                totals.loss_events += stats.loss_events
-                totals.timeouts += stats.pto_count
+            # A split-proxy facade owns one real connection per path
+            # segment; count each leg's transmissions. Plain transports
+            # are their own single leg.
+            for leg in getattr(transport, "segments", (transport,)):
+                if hasattr(leg, "server_sender"):        # TCP
+                    stats = leg.server_sender.stats
+                    totals.packets_or_segments_sent += stats.segments_sent
+                    totals.retransmissions += stats.retransmitted_segments
+                    totals.loss_events += stats.loss_events
+                    totals.timeouts += stats.rto_count
+                else:                                    # QUIC
+                    stats = leg.server.stats
+                    totals.packets_or_segments_sent += stats.packets_sent
+                    totals.retransmissions += stats.retransmitted_packets
+                    totals.loss_events += stats.loss_events
+                    totals.timeouts += stats.pto_count
         return totals
 
     def _setup_times(self) -> Dict[str, float]:
@@ -425,9 +429,15 @@ def load_page(
     stack: StackConfig,
     seed: int = 0,
     timeout: float = DEFAULT_TIMEOUT,
+    path_mode: str = "direct",
 ) -> PageLoadResult:
-    """Convenience wrapper: fresh loop + path, run one load to completion."""
+    """Convenience wrapper: fresh loop + path, run one load to completion.
+
+    ``path_mode="split"`` runs the load through per-segment
+    split-connection proxies (requires a multi-segment
+    :class:`~repro.netem.profiles.SegmentedProfile`).
+    """
     loop = EventLoop()
-    path = NetworkPath(loop, profile, seed=seed)
+    path = build_network_path(loop, profile, seed=seed, path_mode=path_mode)
     load = PageLoad(loop, path, stack, website, timeout=timeout, seed=seed)
     return load.run()

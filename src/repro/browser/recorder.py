@@ -65,12 +65,17 @@ def record_website(
     seed: int = 0,
     selection_metric: str = "PLT",
     timeout: float = 180.0,
+    path_mode: str = "direct",
 ) -> Recording:
     """Load ``website`` repeatedly and select the typical recording.
 
     ``selection_metric`` picks the run whose metric is closest to the mean
     of that metric across repetitions; the paper uses PLT, the recorder
     also supports SI for the ablation discussed in DESIGN.md.
+    ``path_mode`` selects direct end-to-end transport or per-segment
+    split-connection proxies over a segmented profile; the per-run seed
+    tree is shared between modes so a direct-vs-split comparison differs
+    only in topology.
     """
     if runs < 1:
         raise ValueError("need at least one run")
@@ -82,7 +87,7 @@ def record_website(
         run_seed = int(spawn_rng(seed, "record", website.name, profile.name,
                                  stack.name, index).integers(2**31))
         results.append(load_page(website, profile, stack, seed=run_seed,
-                                 timeout=timeout))
+                                 timeout=timeout, path_mode=path_mode))
 
     mean_value = fmean(r.metrics[selection_metric] for r in results)
     selected = min(

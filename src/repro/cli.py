@@ -99,6 +99,7 @@ DEFAULT_SITES = [
 #: default is treated as "not explicitly requested").
 CAMPAIGN_GRID_DEFAULTS = {
     "seeds": [0],
+    "paths": ["direct"],
     "runs": 5,
     "timeout": 180.0,
     "metric": "PLT",
@@ -484,6 +485,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 ("--stacks", bool(args.stacks)),
                 ("--loss-sweep", bool(args.loss_sweep)),
                 ("--seeds", args.seeds != defaults["seeds"]),
+                ("--paths", args.paths != defaults["paths"]),
                 ("--runs", args.runs != defaults["runs"]),
                 ("--timeout", args.timeout != defaults["timeout"]),
                 ("--metric", args.metric != defaults["metric"]),
@@ -515,6 +517,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         networks=networks,
         stacks=args.stacks,
         seeds=args.seeds,
+        paths=args.paths,
         runs=args.runs,
         timeout=args.timeout,
         selection_metric=args.metric,
@@ -522,10 +525,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     campaign = Campaign(spec, cache_dir=args.cache_dir)
     total = len(spec.conditions())
+    paths_note = f" x {len(spec.paths)} paths" \
+        if len(spec.paths) > 1 else ""
     print(f"campaign {spec.name!r}: {total} conditions "
           f"({len(spec.sites)} sites x {len(spec.networks)} networks x "
-          f"{len(spec.stacks)} stacks x {len(spec.seeds)} seeds), "
-          f"{args.runs} runs each", file=info)
+          f"{len(spec.stacks)} stacks x {len(spec.seeds)} seeds"
+          f"{paths_note}), {args.runs} runs each", file=info)
     print(f"manifest: {campaign.manifest_path}", file=info)
     if args.supervise is not None:
         return _cmd_campaign_supervised(args, campaign, info)
@@ -753,6 +758,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--seeds", nargs="*", type=int,
                             default=CAMPAIGN_GRID_DEFAULTS["seeds"],
                             help="simulation seeds (extra sweep axis)")
+    p_campaign.add_argument("--paths", nargs="*",
+                            choices=["direct", "split"],
+                            default=CAMPAIGN_GRID_DEFAULTS["paths"],
+                            help="path topology modes (extra sweep "
+                                 "axis): direct end-to-end transport "
+                                 "and/or split-connection proxies at "
+                                 "every segment boundary; split needs "
+                                 "multi-segment networks, e.g. "
+                                 "--networks SAT+LAN (default: direct)")
     p_campaign.add_argument("--loss-sweep", nargs="*", default=None,
                             metavar="NET:P1,P2",
                             help="derived lossy profiles, e.g. DSL:0.01,0.05")
@@ -792,8 +806,8 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(mean ± CI, Welch marks) after the run")
     p_campaign.add_argument("--pivot", default="network,stack",
                             metavar="AXES",
-                            help="pivot axes, rows...,columns "
-                                 "(subset of website,network,stack,seed; "
+                            help="pivot axes, rows...,columns (subset "
+                                 "of website,network,stack,seed,path; "
                                  "default: network,stack)")
     p_campaign.add_argument("--format", default="text",
                             choices=["text", "md", "json"],

@@ -31,6 +31,7 @@ from repro.http.messages import (
 from repro.http.server import OriginServer
 from repro.netem.flowid import FlowIdAllocator
 from repro.netem.path import NetworkPath
+from repro.netem.proxy import SplitTcpConnection
 from repro.transport.config import StackConfig
 from repro.transport.tcp import TcpConnection
 
@@ -58,7 +59,11 @@ class H2Connection(HttpConnection):
                  server: OriginServer,
                  flow_ids: Optional[FlowIdAllocator] = None):
         super().__init__(path, stack, server, flow_ids=flow_ids)
-        self._tcp = TcpConnection(
+        # A split path terminates TCP per segment behind a PEP facade;
+        # the HTTP layer drives both the same way.
+        tcp_cls = (SplitTcpConnection if getattr(path, "split", False)
+                   else TcpConnection)
+        self._tcp = tcp_cls(
             path, stack,
             on_client_data=self._client_data,
             on_server_data=self._server_data,
@@ -82,8 +87,8 @@ class H2Connection(HttpConnection):
         self._tcp.close()
 
     @property
-    def transport(self) -> TcpConnection:
-        """Underlying TCP connection (exposed for stats collection)."""
+    def transport(self):
+        """Underlying TCP connection or split-proxy facade (for stats)."""
         return self._tcp
 
     # -- server side ------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.http.messages import (
 from repro.http.server import OriginServer
 from repro.netem.flowid import FlowIdAllocator
 from repro.netem.path import NetworkPath
+from repro.netem.proxy import SplitQuicConnection
 from repro.transport.config import StackConfig
 from repro.transport.quic import QuicConnection
 
@@ -35,7 +36,11 @@ class H3Connection(HttpConnection):
                  server: OriginServer,
                  flow_ids: Optional[FlowIdAllocator] = None):
         super().__init__(path, stack, server, flow_ids=flow_ids)
-        self._quic = QuicConnection(
+        # A split path terminates QUIC per segment behind a PEP facade;
+        # the HTTP layer drives both the same way.
+        quic_cls = (SplitQuicConnection if getattr(path, "split", False)
+                    else QuicConnection)
+        self._quic = quic_cls(
             path, stack,
             on_client_stream_data=self._client_stream_data,
             on_server_stream_data=self._server_stream_data,
@@ -60,8 +65,8 @@ class H3Connection(HttpConnection):
         self._quic.close()
 
     @property
-    def transport(self) -> QuicConnection:
-        """Underlying QUIC connection (exposed for stats collection)."""
+    def transport(self):
+        """Underlying QUIC connection or split-proxy facade (for stats)."""
         return self._quic
 
     # -- server side -----------------------------------------------------------

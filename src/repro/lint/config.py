@@ -72,6 +72,12 @@ DEFAULT_SLOTS_REQUIRED: Tuple[str, ...] = (
     "RatingDraws",
     "RatingBlock",
     "RatingContextTable",
+    # Multi-segment paths + split-connection proxies (PR 9): one
+    # forwarder per segment boundary, one relay per proxied
+    # connection/stream — all on the per-packet delivery path.
+    "ForwardingNode",
+    "ByteRelay",
+    "StreamRelay",
 )
 
 #: Paths (relative to the package root, e.g. ``src/repro``) hashed into

@@ -1,28 +1,38 @@
 """Full-duplex network path between a client and a set of servers.
 
 The paper's testbed puts the browser behind one emulated access link; all
-replayed servers sit on the far side. We model the same topology: a single
+replayed servers sit on the far side. We model that topology as the
+1-segment special case of an N-segment path: each segment is a duplex
 bottleneck pair (uplink for client→server traffic, downlink for
-server→client traffic) shared by every connection of a page load, which is
-what makes multi-connection pages contend realistically.
+server→client traffic) shared by every connection of a page load, which
+is what makes multi-connection pages contend realistically. Adjacent
+segments are joined by store-and-forward :class:`ForwardingNode` hops, so
+a :class:`SegmentedNetworkPath` can model satellite, cellular, or
+in-flight topologies where a router — or a split-connection proxy, see
+:mod:`repro.netem.proxy` — sits mid-path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.netem.engine import EventLoop
 from repro.netem.flowid import FlowIdAllocator
-from repro.netem.link import EmulatedLink, LinkConfig
+from repro.netem.link import EmulatedLink
 from repro.netem.packet import Packet
-from repro.netem.profiles import NetworkProfile, TraceNetworkProfile
+from repro.netem.profiles import (
+    NetworkProfile,
+    SegmentedProfile,
+    TraceNetworkProfile,
+)
 from repro.netem.trace import TraceLink
 from repro.util.rng import spawn_rng
 from repro.util.units import Mbps
 
 Endpoint = Callable[[Packet], None]
+
+#: Path modes a page load can run over (campaign ``path`` axis values).
+PATH_MODES: Tuple[str, ...] = ("direct", "split")
 
 
 class NetworkPath:
@@ -39,8 +49,19 @@ class NetworkPath:
     A :class:`TraceNetworkProfile` gets a trace-driven downlink
     (Mahimahi ``mm-link`` semantics) instead of a constant-rate one; the
     uplink and all queue/loss parameters still come from the profile's
-    link configs.
+    link configs. Trace profiles work on any segment of a
+    :class:`SegmentedNetworkPath`, not just the access link.
+
+    ``rng_key`` and ``link_tag`` exist for segment embedding: a parent
+    :class:`SegmentedNetworkPath` gives each segment its own RNG subtree
+    (``("seg", i)``) and a segment-qualified link name
+    (``{profile}-s{i}-up``). The defaults — empty key, no tag — make a
+    standalone path byte-identical to the pre-segmentation behaviour.
     """
+
+    #: Direct paths carry raw packets end to end; a split path (see
+    #: :class:`SegmentedNetworkPath`) terminates transports per segment.
+    split = False
 
     def __init__(
         self,
@@ -48,14 +69,18 @@ class NetworkPath:
         profile: NetworkProfile,
         seed: int = 0,
         flow_ids: Optional[FlowIdAllocator] = None,
+        *,
+        rng_key: Tuple[object, ...] = (),
+        link_tag: str = "",
     ):
         self._loop = loop
         self.profile = profile
         self.flow_ids = flow_ids if flow_ids is not None else FlowIdAllocator()
         up_cfg, down_cfg = profile.link_configs()
+        name = f"{profile.name}{link_tag}"
         self.uplink = EmulatedLink(
             loop, up_cfg, self._deliver_to_server,
-            rng=spawn_rng(seed, "uplink"), name=f"{profile.name}-up",
+            rng=spawn_rng(seed, *rng_key, "uplink"), name=f"{name}-up",
         )
         if isinstance(profile, TraceNetworkProfile):
             self.downlink = TraceLink(
@@ -63,16 +88,22 @@ class NetworkPath:
                 propagation_delay_s=down_cfg.propagation_delay_s,
                 queue_bytes=down_cfg.queue_capacity_bytes,
                 loss_rate=down_cfg.loss_rate,
-                rng=spawn_rng(seed, "downlink"),
-                name=f"{profile.name}-down",
+                rng=spawn_rng(seed, *rng_key, "downlink"),
+                name=f"{name}-down",
             )
         else:
             self.downlink = EmulatedLink(
                 loop, down_cfg, self._deliver_to_client,
-                rng=spawn_rng(seed, "downlink"), name=f"{profile.name}-down",
+                rng=spawn_rng(seed, *rng_key, "downlink"),
+                name=f"{name}-down",
             )
         self._client_receivers: Dict[int, Endpoint] = {}
         self._server_receivers: Dict[int, Endpoint] = {}
+        # Segment chaining hooks: when set (by SegmentedNetworkPath), a
+        # delivered packet is handed to the next/previous hop instead of
+        # a locally registered endpoint.
+        self._uplink_exit: Optional[Endpoint] = None
+        self._downlink_exit: Optional[Endpoint] = None
 
     @property
     def loop(self) -> EventLoop:
@@ -106,11 +137,19 @@ class NetworkPath:
         return self.downlink.send(packet)
 
     def _deliver_to_server(self, packet: Packet) -> None:
+        exit_hook = self._uplink_exit
+        if exit_hook is not None:
+            exit_hook(packet)
+            return
         receiver = self._server_receivers.get(packet.flow_id)
         if receiver is not None:
             receiver(packet)
 
     def _deliver_to_client(self, packet: Packet) -> None:
+        exit_hook = self._downlink_exit
+        if exit_hook is not None:
+            exit_hook(packet)
+            return
         receiver = self._client_receivers.get(packet.flow_id)
         if receiver is not None:
             receiver(packet)
@@ -119,13 +158,185 @@ class NetworkPath:
 
     @property
     def min_rtt(self) -> float:
-        """Configured minimum round-trip time in seconds."""
+        """Configured minimum round-trip time in seconds.
+
+        For a :class:`SegmentedProfile` this is the *sum* of per-segment
+        propagation (the aggregate profile already encodes it).
+        """
         return self.profile.min_rtt_s
 
     def bdp_bytes(self) -> int:
         """Bandwidth-delay product of the downlink (used for buffer tuning).
 
         Uses the profile's nominal downlink rate, which for trace-driven
-        profiles is the trace's long-run mean.
+        profiles is the trace's long-run mean and for segmented profiles
+        is the *minimum* of the per-segment bottleneck rates.
         """
         return int(Mbps(self.profile.downlink_mbps) * self.profile.min_rtt_s)
+
+
+class ForwardingNode:
+    """Store-and-forward hop joining two adjacent path segments.
+
+    A delivered packet from one segment's link is immediately re-offered
+    to the next segment's ingress queue (Mahimahi-style back-to-back
+    shells). The node keeps per-hop forwarding/drop counters so debug
+    output can attribute loss to a specific inter-segment queue.
+    """
+
+    __slots__ = ("name", "_next_hop", "forwarded", "dropped")
+
+    def __init__(self, next_hop: Callable[[Packet], bool], name: str = ""):
+        self.name = name
+        self._next_hop = next_hop
+        self.forwarded = 0
+        self.dropped = 0
+
+    def __call__(self, packet: Packet) -> None:
+        if self._next_hop(packet):
+            self.forwarded += 1
+        else:
+            self.dropped += 1
+
+
+class SegmentedNetworkPath:
+    """N bottleneck segments joined by store-and-forward hops.
+
+    Each segment is a full :class:`NetworkPath` with its own
+    delay/loss/bandwidth/queue parameters and its own RNG subtree
+    (``spawn_rng(seed, "seg", i, ...)``); a single-segment path uses the
+    root subtree so it is byte-identical to a plain :class:`NetworkPath`
+    over the same profile. All segments share the parent's
+    :class:`FlowIdAllocator`, so connection identity stays a pure
+    function of position within the page load even when a split proxy
+    opens one connection per segment.
+
+    ``split=False`` (direct): packets traverse every segment end to end
+    via :class:`ForwardingNode` hops — the client registers on segment
+    0, servers on segment N-1, and the parent presents the plain
+    :class:`NetworkPath` interface so transports are none the wiser.
+
+    ``split=True``: segments are left unwired and
+    :mod:`repro.netem.proxy` terminates a transport connection on each
+    one, relaying stream bytes in between (a PEP). Registering endpoints
+    on the parent is an error in this mode; the proxy registers on the
+    per-segment paths directly.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        profile: SegmentedProfile,
+        seed: int = 0,
+        flow_ids: Optional[FlowIdAllocator] = None,
+        *,
+        split: bool = False,
+    ):
+        self._loop = loop
+        self.profile = profile
+        self.split = split
+        self.flow_ids = flow_ids if flow_ids is not None else FlowIdAllocator()
+        n = len(profile.segments)
+        self.segments: List[NetworkPath] = [
+            NetworkPath(
+                loop, seg, seed=seed, flow_ids=self.flow_ids,
+                rng_key=("seg", i) if n > 1 else (),
+                link_tag=f"-s{i}",
+            )
+            for i, seg in enumerate(profile.segments)
+        ]
+        self.forwarders: List[ForwardingNode] = []
+        if not split:
+            for i in range(n - 1):
+                up_fwd = ForwardingNode(
+                    self.segments[i + 1].send_to_server,
+                    name=f"{profile.name}-s{i}s{i + 1}-up",
+                )
+                down_fwd = ForwardingNode(
+                    self.segments[i].send_to_client,
+                    name=f"{profile.name}-s{i + 1}s{i}-down",
+                )
+                self.segments[i]._uplink_exit = up_fwd
+                self.segments[i + 1]._downlink_exit = down_fwd
+                self.forwarders.extend((up_fwd, down_fwd))
+
+    @property
+    def loop(self) -> EventLoop:
+        return self._loop
+
+    # -- NetworkPath interface (direct mode) -------------------------------
+
+    def register_client(self, flow_id: int, receiver: Endpoint) -> None:
+        """Register the client-side receiver on the access segment."""
+        self._require_direct()
+        self.segments[0].register_client(flow_id, receiver)
+
+    def register_server(self, flow_id: int, receiver: Endpoint) -> None:
+        """Register the server-side receiver on the far segment."""
+        self._require_direct()
+        self.segments[-1].register_server(flow_id, receiver)
+
+    def unregister(self, flow_id: int) -> None:
+        """Remove a flow's receivers from every segment (idempotent)."""
+        for segment in self.segments:
+            segment.unregister(flow_id)
+
+    def send_to_server(self, packet: Packet) -> bool:
+        """Client-side send into the access segment's uplink."""
+        self._require_direct()
+        return self.segments[0].send_to_server(packet)
+
+    def send_to_client(self, packet: Packet) -> bool:
+        """Server-side send into the far segment's downlink."""
+        self._require_direct()
+        return self.segments[-1].send_to_client(packet)
+
+    def _require_direct(self) -> None:
+        if self.split:
+            raise RuntimeError(
+                "split path: endpoints terminate per segment — use "
+                "repro.netem.proxy or the per-segment paths directly")
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def min_rtt(self) -> float:
+        """End-to-end minimum RTT: the sum of per-segment propagation."""
+        return self.profile.min_rtt_s
+
+    def bdp_bytes(self) -> int:
+        """End-to-end BDP: bottleneck (minimum) rate × total min RTT."""
+        return int(Mbps(self.profile.downlink_mbps) * self.profile.min_rtt_s)
+
+
+def build_network_path(
+    loop: EventLoop,
+    profile: NetworkProfile,
+    seed: int = 0,
+    flow_ids: Optional[FlowIdAllocator] = None,
+    *,
+    path_mode: str = "direct",
+):
+    """Build the right path object for ``profile`` and ``path_mode``.
+
+    Plain (and trace) profiles get the classic :class:`NetworkPath`;
+    a :class:`SegmentedProfile` gets a :class:`SegmentedNetworkPath`,
+    split or direct. ``path_mode="split"`` requires a segmented profile
+    with at least two segments — splitting a single link is a no-op the
+    campaign grid should not silently accept.
+    """
+    if path_mode not in PATH_MODES:
+        raise ValueError(
+            f"unknown path mode {path_mode!r}; expected one of {PATH_MODES}")
+    if isinstance(profile, SegmentedProfile):
+        split = path_mode == "split"
+        if split and len(profile.segments) < 2:
+            raise ValueError(
+                "path=split needs a SegmentedProfile with >= 2 segments")
+        return SegmentedNetworkPath(loop, profile, seed=seed,
+                                    flow_ids=flow_ids, split=split)
+    if path_mode == "split":
+        raise ValueError(
+            f"path=split requires a SegmentedProfile, got "
+            f"{type(profile).__name__} {profile.name!r}")
+    return NetworkPath(loop, profile, seed=seed, flow_ids=flow_ids)

@@ -160,7 +160,7 @@ _BY_NAME: Dict[str, NetworkProfile] = {p.name: p for p in NETWORKS}
 
 
 def network_by_name(name: str) -> NetworkProfile:
-    """Look up a Table 2 profile by its name (case-insensitive)."""
+    """Look up a named profile (Table 2 or segment preset), case-insensitive."""
     try:
         return _BY_NAME[name.upper()]
     except KeyError:
@@ -222,6 +222,69 @@ class TraceNetworkProfile(NetworkProfile):
             raise ValueError("trace timestamps must not decrease")
 
 
+@dataclass(frozen=True)
+class SegmentedProfile(NetworkProfile):
+    """A multi-segment path: one :class:`NetworkProfile` per hop.
+
+    The inherited scalar fields hold end-to-end *aggregates* derived by
+    :func:`segmented_profile` — bottleneck (minimum) rates, summed
+    propagation, compounded loss — so code that sizes buffers off
+    ``downlink_mbps``/``min_rtt_ms`` keeps working unchanged. The
+    per-segment truth lives in ``segments``; a
+    :class:`~repro.netem.path.SegmentedNetworkPath` emulates each one
+    with its own links and RNG subtree. Any segment may be a
+    :class:`TraceNetworkProfile` (trace-driven middle hops included).
+
+    Construct via :func:`segmented_profile`, which derives the
+    aggregates for you.
+    """
+
+    segments: Tuple[NetworkProfile, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.segments:
+            raise ValueError("segmented profile needs at least one segment")
+        if any(isinstance(seg, SegmentedProfile) for seg in self.segments):
+            raise ValueError("segments must be flat (no nested "
+                             "SegmentedProfile)")
+
+
+def segmented_profile(
+    segments: Sequence[NetworkProfile],
+    name: Optional[str] = None,
+    description: str = "",
+) -> SegmentedProfile:
+    """Build a :class:`SegmentedProfile` from per-hop profiles.
+
+    Aggregates follow the series-composition rules: rates are the
+    bottleneck minimum per direction, the minimum RTT is the sum of
+    per-segment propagation, end-to-end loss compounds as
+    ``1 - prod(1 - p_i)``, and the nominal queue figure comes from the
+    downlink-bottleneck segment.
+
+    >>> segmented_profile((GEO_SAT, LAN)).min_rtt_ms
+    561.0
+    """
+    segs = tuple(segments)
+    if not segs:
+        raise ValueError("segmented profile needs at least one segment")
+    loss = 1.0
+    for seg in segs:
+        loss *= 1.0 - seg.loss_rate
+    bottleneck = min(segs, key=lambda seg: seg.downlink_mbps)
+    return SegmentedProfile(
+        name=name if name is not None else "+".join(s.name for s in segs),
+        uplink_mbps=min(s.uplink_mbps for s in segs),
+        downlink_mbps=bottleneck.downlink_mbps,
+        min_rtt_ms=sum(s.min_rtt_ms for s in segs),
+        loss_rate=1.0 - loss,
+        queue_ms=bottleneck.queue_ms,
+        description=description or " -> ".join(s.name for s in segs),
+        segments=segs,
+    )
+
+
 def trace_profile(
     name: str,
     trace_ms: Sequence[int],
@@ -255,3 +318,38 @@ def trace_profile(
                                    f" over {stamps[-1]} ms)",
         downlink_trace_ms=stamps,
     )
+
+
+# -- segment presets ---------------------------------------------------------
+
+GEO_SAT = NetworkProfile(
+    name="GEOSAT",
+    uplink_mbps=2.0,
+    downlink_mbps=20.0,
+    min_rtt_ms=560.0,
+    loss_rate=0.006,
+    queue_ms=200.0,
+    description="Geostationary satellite hop (one bent-pipe round trip)",
+)
+
+LAN = NetworkProfile(
+    name="LAN",
+    uplink_mbps=1000.0,
+    downlink_mbps=1000.0,
+    min_rtt_ms=1.0,
+    loss_rate=0.0,
+    queue_ms=20.0,
+    description="Gigabit terrestrial segment behind the proxy",
+)
+
+#: The canonical PEP scenario: a satellite access hop in front of a fast
+#: terrestrial segment — the topology where connection splitting helps.
+SAT_LAN = segmented_profile(
+    (GEO_SAT, LAN), name="SAT+LAN",
+    description="GEO satellite access + gigabit LAN (split-proxy testbed)")
+
+#: Named multi-segment presets resolvable via :func:`network_by_name`.
+SEGMENTED_PRESETS: Tuple[SegmentedProfile, ...] = (SAT_LAN,)
+
+_BY_NAME.update({p.name.upper(): p
+                 for p in (GEO_SAT, LAN) + SEGMENTED_PRESETS})

@@ -1,0 +1,346 @@
+"""Split-connection proxy (PEP) terminating transports per path segment.
+
+A performance-enhancing proxy sits between two segments of a
+:class:`~repro.netem.path.SegmentedNetworkPath` and *terminates* the
+transport on each side: the client talks TCP/QUIC to the proxy over the
+access segment, the proxy talks its own TCP/QUIC connection to the
+origin over the far segment, and application bytes are relayed in
+between. Loss recovery, congestion control and handshakes then operate
+per segment — the mechanism satellite and in-flight deployments use to
+hide a long bent-pipe RTT from the end-to-end transport (the StanfordSNR
+connection-splitting emulation is the blueprint).
+
+:class:`SplitTcpConnection` and :class:`SplitQuicConnection` present the
+same facade as :class:`~repro.transport.tcp.TcpConnection` /
+:class:`~repro.transport.quic.QuicConnection`, so the HTTP layers switch
+on ``path.split`` and are otherwise none the wiser. Every per-segment
+connection draws its flow id from the shared per-load
+:class:`~repro.netem.flowid.FlowIdAllocator` at facade construction
+time, in segment order — connection identity (and the handshake-retry
+jitter it seeds) stays a pure function of position within the page load.
+
+Relay semantics: the proxy re-offers each newly delivered span of the
+ordered stream to the next segment's connection, re-attaching the
+meta markers that arrived with it at the span's end offset — the finest
+granularity the proxy can observe. Proxy buffers are unbounded (a PEP
+buffers at application level; the segment links still impose their own
+queues), and bytes for a segment whose handshake is still in flight are
+held until it establishes. Handshakes chain: the client-facing segment
+connects first — the facade reports *established* as soon as that
+access-segment handshake completes, the PEP's whole point — and each
+established segment kicks off the next one, modelling connect-on-accept.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.netem.flowid import FlowIdAllocator
+from repro.transport.config import StackConfig
+from repro.transport.quic import QuicConnection, StreamDataCallback
+from repro.transport.tcp import TcpConnection
+
+
+def _require_split_path(path: object) -> None:
+    if not getattr(path, "split", False):
+        raise ValueError(
+            "split-connection proxies need a SegmentedNetworkPath built "
+            "with split=True (path=split over a SegmentedProfile)")
+
+
+class ByteRelay:
+    """One direction of one proxy hop: an ordered byte-stream repeater.
+
+    Registered as a segment connection's data callback; forwards each
+    newly delivered span (and its markers) into the adjacent segment's
+    connection, buffering while that connection's handshake is still in
+    flight.
+    """
+
+    __slots__ = ("_write", "_ready", "_pending", "_last_delivered",
+                 "relayed_bytes")
+
+    def __init__(self) -> None:
+        self._write: Optional[Callable[..., None]] = None
+        self._ready = False
+        self._pending: List[Tuple[int, List[object]]] = []
+        self._last_delivered = 0
+        self.relayed_bytes = 0
+
+    def bind(self, write: Callable[..., None]) -> None:
+        """Attach the adjacent connection's write (post-construction)."""
+        self._write = write
+
+    def mark_ready(self) -> None:
+        """Target segment established: flush everything held back."""
+        self._ready = True
+        pending, self._pending = self._pending, []
+        for nbytes, metas in pending:
+            self._write(nbytes, metas=metas)
+
+    def __call__(self, delivered: int, metas: List[object]) -> None:
+        delta = delivered - self._last_delivered
+        self._last_delivered = delivered
+        if delta <= 0:
+            return
+        self.relayed_bytes += delta
+        if self._ready:
+            self._write(delta, metas=metas)
+        else:
+            self._pending.append((delta, list(metas)))
+
+
+class StreamRelay:
+    """One direction of one proxy hop for per-stream (QUIC) delivery.
+
+    Mirrors each upstream stream onto the adjacent segment's connection
+    under the *same* stream id (ids are allocated once, by the facade,
+    on the client-facing segment), propagating FIN and the stream's
+    priority class.
+    """
+
+    __slots__ = ("_write", "_ready", "_pending", "_delivered",
+                 "relayed_bytes")
+
+    def __init__(self) -> None:
+        self._write: Optional[Callable[..., None]] = None
+        self._ready = False
+        self._pending: List[Tuple[int, int, List[object], bool]] = []
+        self._delivered: Dict[int, int] = {}
+        self.relayed_bytes = 0
+
+    def bind(self, write: Callable[..., None]) -> None:
+        """Attach the adjacent connection's stream write."""
+        self._write = write
+
+    def mark_ready(self) -> None:
+        """Target segment established: flush everything held back."""
+        self._ready = True
+        pending, self._pending = self._pending, []
+        for stream_id, nbytes, metas, fin in pending:
+            self._write(stream_id, nbytes, metas=metas, fin=fin)
+
+    def __call__(self, stream_id: int, delivered: int,
+                 metas: List[object], fin: bool) -> None:
+        delta = delivered - self._delivered.get(stream_id, 0)
+        self._delivered[stream_id] = delivered
+        if delta <= 0 and not fin:
+            return
+        self.relayed_bytes += max(delta, 0)
+        if self._ready:
+            self._write(stream_id, max(delta, 0), metas=metas, fin=fin)
+        else:
+            self._pending.append((stream_id, max(delta, 0), list(metas), fin))
+
+
+class SplitTcpConnection:
+    """TCP terminated per segment, bytes relayed through PEP hops.
+
+    Facade-compatible with :class:`~repro.transport.tcp.TcpConnection`:
+    ``connect``/``client_write``/``server_write``/``server_sender``/
+    ``close`` behave identically from the HTTP layer's point of view,
+    with the client edge living on segment 0 and the origin edge on the
+    last segment.
+    """
+
+    def __init__(
+        self,
+        path,
+        stack: StackConfig,
+        on_client_data: Callable[[int, List[object]], None],
+        on_server_data: Callable[[int, List[object]], None],
+        flow_ids: Optional[FlowIdAllocator] = None,
+    ):
+        _require_split_path(path)
+        allocator = flow_ids if flow_ids is not None else path.flow_ids
+        n = len(path.segments)
+        self._on_established: Optional[Callable[[], None]] = None
+        # Relays targeting each segment index, flushed on its handshake.
+        self._relays_into: List[List[ByteRelay]] = [[] for _ in range(n)]
+        c2s_relays = [ByteRelay() for _ in range(n - 1)]   # hop i -> i+1
+        s2c_relays = [ByteRelay() for _ in range(n - 1)]   # hop i+1 -> i
+        self.segments: List[TcpConnection] = []
+        for i, seg_path in enumerate(path.segments):
+            self.segments.append(TcpConnection(
+                seg_path, stack,
+                on_client_data=(on_client_data if i == 0
+                                else s2c_relays[i - 1]),
+                on_server_data=(on_server_data if i == n - 1
+                                else c2s_relays[i]),
+                flow_ids=allocator,
+            ))
+        for i in range(n - 1):
+            c2s_relays[i].bind(self.segments[i + 1].client_write)
+            self._relays_into[i + 1].append(c2s_relays[i])
+            s2c_relays[i].bind(self.segments[i].server_write)
+            self._relays_into[i].append(s2c_relays[i])
+        self.relays = c2s_relays + s2c_relays
+        self.flow_id = self.segments[0].flow_id
+
+    # -- TcpConnection facade ---------------------------------------------
+
+    @property
+    def established(self) -> bool:
+        """Client-edge establishment: requests may be written."""
+        return self.segments[0].established
+
+    @property
+    def established_at(self) -> Optional[float]:
+        return self.segments[0].established_at
+
+    @property
+    def client_sender(self):
+        """Client-edge sender (request bytes enter here)."""
+        return self.segments[0].client_sender
+
+    @property
+    def server_sender(self):
+        """Origin-edge sender (response framing and backpressure)."""
+        return self.segments[-1].server_sender
+
+    def connect(self, on_established: Callable[[], None]) -> None:
+        """Chain the per-segment handshakes, client-facing first."""
+        self._on_established = on_established
+        self._connect_segment(0)
+
+    def _connect_segment(self, index: int) -> None:
+        self.segments[index].connect(
+            lambda: self._segment_established(index))
+
+    def _segment_established(self, index: int) -> None:
+        if index == 0 and self._on_established is not None:
+            self._on_established()
+        for relay in self._relays_into[index]:
+            relay.mark_ready()
+        if index + 1 < len(self.segments):
+            self._connect_segment(index + 1)
+
+    def client_write(self, nbytes: int, meta: Optional[object] = None,
+                     *, metas: Optional[List[object]] = None) -> None:
+        self.segments[0].client_write(nbytes, meta, metas=metas)
+
+    def server_write(self, nbytes: int, meta: Optional[object] = None,
+                     *, metas: Optional[List[object]] = None) -> None:
+        self.segments[-1].server_write(nbytes, meta, metas=metas)
+
+    def close(self) -> None:
+        for conn in self.segments:
+            conn.close()
+
+
+class SplitQuicConnection:
+    """QUIC terminated per segment, streams relayed through PEP hops.
+
+    Facade-compatible with
+    :class:`~repro.transport.quic.QuicConnection`. Stream ids are
+    allocated on the client-facing segment and mirrored verbatim onto
+    every other segment, so one logical request/response stream maps to
+    the same id end to end; each hop re-opens the downstream stream in
+    the stream's priority class before relaying its first bytes.
+    """
+
+    def __init__(
+        self,
+        path,
+        stack: StackConfig,
+        on_client_stream_data: StreamDataCallback,
+        on_server_stream_data: StreamDataCallback,
+        flow_ids: Optional[FlowIdAllocator] = None,
+    ):
+        _require_split_path(path)
+        allocator = flow_ids if flow_ids is not None else path.flow_ids
+        n = len(path.segments)
+        self._on_established: Optional[Callable[[], None]] = None
+        self._stream_priorities: Dict[int, int] = {}
+        self._relays_into: List[List[StreamRelay]] = [[] for _ in range(n)]
+        c2s_relays = [StreamRelay() for _ in range(n - 1)]
+        s2c_relays = [StreamRelay() for _ in range(n - 1)]
+        self.segments: List[QuicConnection] = []
+        for i, seg_path in enumerate(path.segments):
+            self.segments.append(QuicConnection(
+                seg_path, stack,
+                on_client_stream_data=(on_client_stream_data if i == 0
+                                       else s2c_relays[i - 1]),
+                on_server_stream_data=(on_server_stream_data if i == n - 1
+                                       else c2s_relays[i]),
+                flow_ids=allocator,
+            ))
+        for i in range(n - 1):
+            c2s_relays[i].bind(self._client_writer(self.segments[i + 1]))
+            self._relays_into[i + 1].append(c2s_relays[i])
+            s2c_relays[i].bind(self._server_writer(self.segments[i]))
+            self._relays_into[i].append(s2c_relays[i])
+        self.relays = c2s_relays + s2c_relays
+        self.flow_id = self.segments[0].flow_id
+
+    def _client_writer(self, conn: QuicConnection) -> Callable[..., None]:
+        """Forward-direction writer opening mirrored streams on demand."""
+        def write(stream_id: int, nbytes: int, *,
+                  metas: Optional[List[object]] = None,
+                  fin: bool = False) -> None:
+            if stream_id not in conn.client.send_streams:
+                conn.client.open_stream(
+                    stream_id, self._stream_priorities.get(stream_id, 1))
+            conn.client_stream_write(stream_id, nbytes, fin=fin, metas=metas)
+        return write
+
+    def _server_writer(self, conn: QuicConnection) -> Callable[..., None]:
+        """Return-direction writer preserving the stream's priority."""
+        def write(stream_id: int, nbytes: int, *,
+                  metas: Optional[List[object]] = None,
+                  fin: bool = False) -> None:
+            conn.server_stream_write(
+                stream_id, nbytes, fin=fin, metas=metas,
+                priority=self._stream_priorities.get(stream_id, 1))
+        return write
+
+    # -- QuicConnection facade --------------------------------------------
+
+    @property
+    def established(self) -> bool:
+        return self.segments[0].established
+
+    @property
+    def established_at(self) -> Optional[float]:
+        return self.segments[0].established_at
+
+    def connect(self, on_established: Callable[[], None]) -> None:
+        """Chain the per-segment handshakes, client-facing first."""
+        self._on_established = on_established
+        self._connect_segment(0)
+
+    def _connect_segment(self, index: int) -> None:
+        self.segments[index].connect(
+            lambda: self._segment_established(index))
+
+    def _segment_established(self, index: int) -> None:
+        if index == 0 and self._on_established is not None:
+            self._on_established()
+        for relay in self._relays_into[index]:
+            relay.mark_ready()
+        if index + 1 < len(self.segments):
+            self._connect_segment(index + 1)
+
+    def open_stream(self, priority: int = 1) -> int:
+        """Open a stream on the client edge; the id is mirrored onward."""
+        stream_id = self.segments[0].open_stream(priority)
+        self._stream_priorities[stream_id] = priority
+        return stream_id
+
+    def client_stream_write(self, stream_id: int, nbytes: int,
+                            meta: Optional[object] = None,
+                            fin: bool = False, *,
+                            metas: Optional[List[object]] = None) -> None:
+        self.segments[0].client_stream_write(
+            stream_id, nbytes, meta, fin, metas=metas)
+
+    def server_stream_write(self, stream_id: int, nbytes: int,
+                            meta: Optional[object] = None,
+                            fin: bool = False, priority: int = 1, *,
+                            metas: Optional[List[object]] = None) -> None:
+        self.segments[-1].server_stream_write(
+            stream_id, nbytes, meta, fin, priority, metas=metas)
+
+    def close(self) -> None:
+        for conn in self.segments:
+            conn.close()

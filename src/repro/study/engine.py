@@ -111,11 +111,22 @@ class ConditionStats:
 
 
 def condition_stats(summary) -> ConditionStats:
-    """Reduce a recording summary to :class:`ConditionStats`."""
+    """Reduce a recording summary to :class:`ConditionStats`.
+
+    A recording made over a non-direct path topology (split-connection
+    proxies — see :mod:`repro.netem.proxy`) is a distinct viewing
+    condition, so its network label is qualified with the path mode
+    (``SAT+LAN@split``); everything downstream treats it as just
+    another network axis value. Direct recordings keep their plain
+    label, so existing campaigns aggregate identically.
+    """
     metrics = summary.selected_metrics
+    path = getattr(summary, "path", "direct")
+    network = summary.network if path == "direct" \
+        else f"{summary.network}@{path}"
     return ConditionStats(
         website=summary.website,
-        network=summary.network,
+        network=network,
         stack=summary.stack,
         si=float(metrics["SI"]),
         fvc=float(metrics["FVC"]),

@@ -56,9 +56,11 @@ from typing import (
     Union,
 )
 
+from repro.netem.path import PATH_MODES
 from repro.netem.profiles import (
     NETWORKS,
     NetworkProfile,
+    SegmentedProfile,
     TraceNetworkProfile,
 )
 from repro.testbed import faults, harness
@@ -107,12 +109,13 @@ class Condition:
     corpus_seed: int
     timeout: float
     selection_metric: str
+    path: str = "direct"
 
     @property
     def label(self) -> str:
         """Filesystem-safe human-readable identifier."""
         return condition_label(self.website, self.profile.name,
-                               self.stack.name, self.seed)
+                               self.stack.name, self.seed, path=self.path)
 
     def fingerprint(self) -> str:
         """Content hash over every output-determining parameter."""
@@ -120,6 +123,7 @@ class Condition:
             self.website, self.profile, self.stack,
             corpus_seed=self.corpus_seed, seed=self.seed, runs=self.runs,
             timeout=self.timeout, selection_metric=self.selection_metric,
+            path=self.path,
         )
 
     @property
@@ -129,6 +133,7 @@ class Condition:
             website=self.website, network=self.profile.name,
             stack=self.stack.name, seed=self.seed,
             label=self.label, fingerprint=self.fingerprint(),
+            path=self.path,
         )
 
     def produce(self) -> RecordingSummary:
@@ -137,7 +142,14 @@ class Condition:
             self.website, self.profile, self.stack,
             corpus_seed=self.corpus_seed, seed=self.seed, runs=self.runs,
             timeout=self.timeout, selection_metric=self.selection_metric,
+            path=self.path,
         )
+
+
+def _splittable(profile: NetworkProfile) -> bool:
+    """True when ``profile`` can host split-connection proxies."""
+    return isinstance(profile, SegmentedProfile) \
+        and len(profile.segments) >= 2
 
 
 @dataclass
@@ -159,12 +171,20 @@ class CampaignSpec:
     timeout: float = 180.0
     selection_metric: str = "PLT"
     name: str = "campaign"
+    paths: Sequence[str] = ("direct",)
 
     def __post_init__(self) -> None:
         if self.runs < 1:
             raise ValueError("runs must be at least 1")
         if not self.seeds:
             raise ValueError("need at least one seed")
+        if not self.paths:
+            raise ValueError("need at least one path mode")
+        for path in self.paths:
+            if path not in PATH_MODES:
+                raise ValueError(
+                    f"unknown path mode {path!r}; "
+                    f"expected one of {PATH_MODES}")
         self.sites = list(self.sites) if self.sites is not None \
             else list(CORPUS_SITE_NAMES)
         self.networks = [resolve_network(n) for n in self.networks] \
@@ -172,19 +192,35 @@ class CampaignSpec:
         self.stacks = [resolve_stack(s) for s in self.stacks] \
             if self.stacks is not None else list(STACKS)
         self.seeds = list(self.seeds)
+        self.paths = list(self.paths)
+        if "split" in self.paths and \
+                not any(_splittable(p) for p in self.networks):
+            raise ValueError(
+                "path=split needs at least one multi-segment network "
+                "(a SegmentedProfile with >= 2 segments), e.g. SAT+LAN")
 
     def conditions(self) -> List[Condition]:
-        """The axis product, in deterministic sweep order."""
+        """The axis product, in deterministic sweep order.
+
+        ``path=split`` applies only to networks that can host a proxy
+        (multi-segment profiles); single-segment networks in the same
+        grid sweep ``direct`` alone, so e.g. ``networks=[DSL, SAT_LAN],
+        paths=["direct", "split"]`` yields three path/network combos,
+        not four.
+        """
         return [
             Condition(
                 website=site, profile=profile, stack=stack, seed=seed,
                 runs=self.runs, corpus_seed=self.corpus_seed,
                 timeout=self.timeout,
                 selection_metric=self.selection_metric,
+                path=path,
             )
             for site in self.sites
             for profile in self.networks
             for stack in self.stacks
+            for path in self.paths
+            if path != "split" or _splittable(profile)
             for seed in self.seeds
         ]
 
@@ -210,6 +246,7 @@ class CampaignSpec:
             "networks": [p.name for p in self.networks],
             "stacks": [s.name for s in self.stacks],
             "seeds": list(self.seeds),
+            "paths": list(self.paths),
             "runs": self.runs,
             "corpus_seed": self.corpus_seed,
             "timeout": self.timeout,
@@ -233,6 +270,18 @@ class CampaignSpec:
 
 def _profile_from_json(data: Dict[str, object]) -> NetworkProfile:
     fields = {k: v for k, v in data.items() if k != "type"}
+    if data.get("type") == "SegmentedProfile":
+        # Nested segment payloads carry no "type" marker
+        # (dataclasses.asdict flattens them); a trace-driven segment is
+        # identified by its non-empty downlink trace.
+        fields["segments"] = tuple(
+            _profile_from_json(dict(
+                entry,
+                type="TraceNetworkProfile"
+                if entry.get("downlink_trace_ms") else "NetworkProfile"))
+            for entry in fields["segments"])
+        return SegmentedProfile(**fields)  # type: ignore[arg-type]
+    fields.pop("segments", None)
     if data.get("type") == "TraceNetworkProfile":
         fields["downlink_trace_ms"] = tuple(fields["downlink_trace_ms"])
         return TraceNetworkProfile(**fields)  # type: ignore[arg-type]
@@ -270,6 +319,7 @@ def spec_from_json(data: Dict[str, object]) -> CampaignSpec:
         networks=networks,
         stacks=stacks,
         seeds=[int(seed) for seed in data["seeds"]],
+        paths=[str(path) for path in data.get("paths", ["direct"])],
         runs=int(data["runs"]),
         corpus_seed=int(data["corpus_seed"]),
         timeout=float(data["timeout"]),
@@ -472,6 +522,7 @@ class Campaign:
             "network": condition.profile.name,
             "stack": condition.stack.name,
             "seed": condition.seed,
+            "path": condition.path,
             # The behaviour version the recording was simulated under;
             # SummaryStore.open checks it against the current simulator.
             "sim_behaviour": harness.SIM_BEHAVIOUR_VERSION,

@@ -78,11 +78,16 @@ def condition_fingerprint(
     runs: int,
     timeout: float,
     selection_metric: str,
+    path: str = "direct",
 ) -> str:
     """Content hash identifying one condition's simulation output.
 
     Hashes a canonical JSON encoding of every parameter the output
-    depends on, including all profile and stack fields.
+    depends on, including all profile fields (segments of a
+    :class:`~repro.netem.profiles.SegmentedProfile` recurse) and all
+    stack fields. The ``path`` axis only joins the hash for non-direct
+    modes, so every pre-existing fingerprint — and with it every cache
+    entry and fixture — is untouched.
     """
     params = {
         "sim_behaviour": SIM_BEHAVIOUR_VERSION,
@@ -96,14 +101,19 @@ def condition_fingerprint(
         "timeout": timeout,
         "selection_metric": selection_metric,
     }
+    if path != "direct":
+        params["path"] = path
     blob = json.dumps(params, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
 
 
 def condition_label(website: str, network: str, stack: str,
-                    seed: Optional[int] = None) -> str:
+                    seed: Optional[int] = None,
+                    path: str = "direct") -> str:
     """Human-readable, filesystem-safe prefix for cache/manifest entries."""
     parts = [website, network, stack]
+    if path != "direct":
+        parts.append(path)
     if seed is not None:
         parts.append(f"s{seed}")
     raw = "_".join(parts)
@@ -138,6 +148,7 @@ class RecordingSummary:
     mean_retransmissions: float
     mean_segments_sent: float
     completed_fraction: float
+    path: str = "direct"
 
     @property
     def condition_key(self) -> Tuple[str, str, str]:
@@ -168,7 +179,7 @@ class RecordingSummary:
         return [m[name] for m in self.run_metrics]
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        payload = {
             "website": self.website,
             "network": self.network,
             "stack": self.stack,
@@ -181,6 +192,11 @@ class RecordingSummary:
             "mean_segments_sent": self.mean_segments_sent,
             "completed_fraction": self.completed_fraction,
         }
+        # Serialized only for non-direct paths: direct summaries stay
+        # byte-identical to every pre-path-axis cache file and fixture.
+        if self.path != "direct":
+            payload["path"] = self.path
+        return payload
 
     @classmethod
     def from_json(cls, data: Dict[str, object]) -> "RecordingSummary":
@@ -199,6 +215,7 @@ class RecordingSummary:
             mean_retransmissions=float(data["mean_retransmissions"]),
             mean_segments_sent=float(data["mean_segments_sent"]),
             completed_fraction=float(data["completed_fraction"]),
+            path=str(data.get("path", "direct")),
         )
 
 
@@ -262,6 +279,7 @@ def produce_summary(
     runs: int,
     timeout: float,
     selection_metric: str,
+    path: str = "direct",
 ) -> RecordingSummary:
     """Simulate one condition and summarise it (no caching).
 
@@ -286,6 +304,7 @@ def produce_summary(
             runs=runs, seed=seed,
             selection_metric=selection_metric,
             timeout=timeout,
+            path_mode=path,
         )
     selected = recording.selected
     return RecordingSummary(
@@ -294,6 +313,7 @@ def produce_summary(
         stack=stack.name,
         runs=runs,
         selection_metric=selection_metric,
+        path=path,
         selected_metrics=selected.metrics.as_dict(),
         selected_curve=selected.curve.points,
         run_metrics=[r.metrics.as_dict() for r in recording.runs],

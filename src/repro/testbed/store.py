@@ -59,7 +59,7 @@ class StaleCampaignError(ValueError):
     """
 
 #: Axis names a :class:`ConditionKey` can be pivoted/grouped on.
-CONDITION_AXES = ("website", "network", "stack", "seed")
+CONDITION_AXES = ("website", "network", "stack", "seed", "path")
 
 #: Campaign-directory subdirectory holding per-condition lease files
 #: (the distributed claim protocol — see ``repro.testbed.distributed``).
@@ -211,9 +211,14 @@ class ConditionKey:
     seed: int
     label: str
     fingerprint: str
+    #: Path topology mode ("direct" end-to-end, "split" per-segment
+    #: proxies); "direct" for every condition recorded before the axis
+    #: existed.
+    path: str = "direct"
 
     def axis(self, name: str) -> object:
-        """Value of one pivot axis (website / network / stack / seed)."""
+        """Value of one pivot axis (website / network / stack / seed /
+        path)."""
         if name not in CONDITION_AXES:
             raise KeyError(
                 f"unknown condition axis {name!r}; "
@@ -330,6 +335,7 @@ class SummaryStore:
                 stack=str(record["stack"]),
                 seed=int(record.get("seed", _seed_from_label(label))),
                 label=label, fingerprint=fingerprint,
+                path=str(record.get("path", "direct")),
             )
         # Legacy manifest line: recover the axes from the summary itself.
         summary = self.cache.load(label, fingerprint)
@@ -339,6 +345,7 @@ class SummaryStore:
             website=summary.website, network=summary.network,
             stack=summary.stack, seed=_seed_from_label(label),
             label=label, fingerprint=fingerprint,
+            path=getattr(summary, "path", "direct"),
         )
 
     def keys(self) -> List[ConditionKey]:

@@ -201,8 +201,14 @@ class QuicEndpoint:
         self._ring = None
 
     def stream_write(self, stream_id: int, nbytes: int,
-                     meta: Optional[object] = None, fin: bool = False) -> None:
-        """Append bytes (and optionally FIN) to a send stream."""
+                     meta: Optional[object] = None, fin: bool = False,
+                     *, metas: Optional[List[object]] = None) -> None:
+        """Append bytes (and optionally FIN) to a send stream.
+
+        ``metas`` attaches a whole batch of markers at the write's end
+        offset — the relay case, where a split proxy re-writes bytes
+        whose markers arrived together.
+        """
         stream = self.send_streams.get(stream_id)
         if stream is None:
             self.open_stream(stream_id)
@@ -214,6 +220,8 @@ class QuicEndpoint:
         stream.write_len += nbytes
         if meta is not None:
             stream.metas.setdefault(stream.write_len, []).append(meta)
+        if metas:
+            stream.metas.setdefault(stream.write_len, []).extend(metas)
         if fin:
             stream.fin_offset = stream.write_len
         self._ring = None
@@ -698,17 +706,19 @@ class QuicConnection:
 
     def client_stream_write(self, stream_id: int, nbytes: int,
                             meta: Optional[object] = None,
-                            fin: bool = False) -> None:
+                            fin: bool = False, *,
+                            metas: Optional[List[object]] = None) -> None:
         self._require_established()
-        self.client.stream_write(stream_id, nbytes, meta, fin)
+        self.client.stream_write(stream_id, nbytes, meta, fin, metas=metas)
 
     def server_stream_write(self, stream_id: int, nbytes: int,
                             meta: Optional[object] = None,
-                            fin: bool = False, priority: int = 1) -> None:
+                            fin: bool = False, priority: int = 1, *,
+                            metas: Optional[List[object]] = None) -> None:
         self._require_established()
         if stream_id not in self.server.send_streams:
             self.server.open_stream(stream_id, priority)
-        self.server.stream_write(stream_id, nbytes, meta, fin)
+        self.server.stream_write(stream_id, nbytes, meta, fin, metas=metas)
 
     def _require_established(self) -> None:
         if not self._established:

@@ -167,11 +167,14 @@ class TcpSender:
         """True when every written byte has been cumulatively acked."""
         return self.snd_una >= self._stream_len
 
-    def write(self, nbytes: int, meta: Optional[object] = None) -> None:
+    def write(self, nbytes: int, meta: Optional[object] = None,
+              *, metas: Optional[List[object]] = None) -> None:
         """Append ``nbytes`` to the outgoing stream.
 
         ``meta`` (if given) is attached at the end offset of this write and
         reported by the peer receiver once the ordered stream reaches it.
+        ``metas`` attaches a whole batch at that offset — the relay case,
+        where a proxy re-writes bytes whose markers arrived together.
         """
         if nbytes <= 0:
             raise ValueError(f"write size must be positive, got {nbytes}")
@@ -179,6 +182,8 @@ class TcpSender:
         self._stream_len += nbytes
         if meta is not None:
             self._metas.setdefault(self._stream_len, []).append(meta)
+        if metas:
+            self._metas.setdefault(self._stream_len, []).extend(metas)
         self._try_send()
 
     def pending_metas(self) -> Dict[int, List[object]]:
@@ -719,15 +724,17 @@ class TcpConnection:
         self._syn_sent_at = self._loop.now
         self._arm_hs_timer()
 
-    def client_write(self, nbytes: int, meta: Optional[object] = None) -> None:
+    def client_write(self, nbytes: int, meta: Optional[object] = None,
+                     *, metas: Optional[List[object]] = None) -> None:
         """Write request bytes from the client (after establishment)."""
         self._require_established()
-        self.client_sender.write(nbytes, meta)
+        self.client_sender.write(nbytes, meta, metas=metas)
 
-    def server_write(self, nbytes: int, meta: Optional[object] = None) -> None:
+    def server_write(self, nbytes: int, meta: Optional[object] = None,
+                     *, metas: Optional[List[object]] = None) -> None:
         """Write response bytes from the server."""
         self._require_established()
-        self.server_sender.write(nbytes, meta)
+        self.server_sender.write(nbytes, meta, metas=metas)
 
     def _require_established(self) -> None:
         if not self._established:

@@ -49,10 +49,12 @@ def _result_blob(result) -> str:
     }, sort_keys=True)
 
 
-def _load_blob(stack: str, seed: int = 0) -> str:
+def _load_blob(stack: str, seed: int = 0, network: str = LOSSY,
+               path_mode: str = "direct") -> str:
     site = build_site("gov.uk", seed=0)
-    result = load_page(site, network_by_name(LOSSY),
-                       stack_by_name(stack), seed=seed)
+    result = load_page(site, network_by_name(network),
+                       stack_by_name(stack), seed=seed,
+                       path_mode=path_mode)
     return _result_blob(result)
 
 
@@ -89,6 +91,19 @@ class TestLoadPageIndependence:
         # in-process must not see the earlier loads' connections.
         for stack in ("TCP", "QUIC"):
             assert _summary_blob(stack) == _summary_blob(stack)
+
+    def test_split_proxy_load_identical_after_prior_connections(self):
+        """The split facade allocates one flow id per segment from the
+        shared per-load allocator; prior loads (direct or split, either
+        stack) must not shift the handshake-retry jitter it seeds."""
+        for stack in ("TCP", "QUIC"):
+            first = _load_blob(stack, network="SAT+LAN",
+                               path_mode="split")
+            _load_blob(stack, seed=5)
+            _load_blob(stack, seed=6, network="SAT+LAN",
+                       path_mode="split")
+            assert _load_blob(stack, network="SAT+LAN",
+                              path_mode="split") == first
 
 
 class TestSweepIndependence:

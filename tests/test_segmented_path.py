@@ -1,0 +1,374 @@
+"""Multi-segment paths, forwarding nodes, and split-connection proxies.
+
+Covers the three layers of the topology refactor:
+
+* profile algebra — :func:`segmented_profile` aggregate math and the
+  named presets;
+* packet plumbing — :class:`SegmentedNetworkPath` in direct mode, the
+  store-and-forward :class:`ForwardingNode` hops and their drop
+  accounting, segment-qualified link names, trace-driven segments;
+* split mode — the :mod:`repro.netem.proxy` facades terminating TCP and
+  QUIC per segment, including the byte-level determinism contract the
+  rest of the testbed relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.browser.engine import load_page
+from repro.netem.engine import EventLoop
+from repro.netem.packet import Packet
+from repro.netem.path import (
+    PATH_MODES,
+    ForwardingNode,
+    NetworkPath,
+    SegmentedNetworkPath,
+    build_network_path,
+)
+from repro.netem.profiles import (
+    GEO_SAT,
+    LAN,
+    SAT_LAN,
+    NetworkProfile,
+    SegmentedProfile,
+    network_by_name,
+    segmented_profile,
+    trace_profile,
+)
+from repro.netem.proxy import SplitQuicConnection, SplitTcpConnection
+from repro.netem.trace import TraceLink
+from repro.transport.config import stack_by_name
+from repro.web.corpus import build_site
+
+FAST = NetworkProfile(name="FASTLEG", uplink_mbps=100.0,
+                      downlink_mbps=100.0, min_rtt_ms=2.0,
+                      loss_rate=0.0, queue_ms=100.0)
+SLOW = NetworkProfile(name="SLOWLEG", uplink_mbps=1.0, downlink_mbps=1.0,
+                      min_rtt_ms=2.0, loss_rate=0.0, queue_ms=10.0)
+
+
+def _result_blob(result) -> str:
+    """Bytes-level probe (mirrors tests/test_determinism.py)."""
+    return json.dumps({
+        "curve": result.curve.points,
+        "metrics": result.metrics.as_dict(),
+        "completed": result.completed,
+        "objects_loaded": result.objects_loaded,
+        "segments": result.transport.packets_or_segments_sent,
+        "retransmissions": result.transport.retransmissions,
+        "timeouts": result.transport.timeouts,
+        "setup_times": result.connection_setup_times,
+    }, sort_keys=True)
+
+
+def _split_blob(stack: str, seed: int = 0,
+                path_mode: str = "split") -> str:
+    site = build_site("gov.uk", seed=0)
+    result = load_page(site, SAT_LAN, stack_by_name(stack), seed=seed,
+                       path_mode=path_mode)
+    return _result_blob(result)
+
+
+class TestSegmentedProfileAlgebra:
+    def test_aggregates_follow_series_composition(self):
+        profile = segmented_profile((GEO_SAT, LAN))
+        assert profile.uplink_mbps == min(GEO_SAT.uplink_mbps,
+                                          LAN.uplink_mbps)
+        # The downlink bottleneck segment also donates its queue figure.
+        assert profile.downlink_mbps == GEO_SAT.downlink_mbps
+        assert profile.queue_ms == GEO_SAT.queue_ms
+        assert profile.min_rtt_ms == pytest.approx(
+            GEO_SAT.min_rtt_ms + LAN.min_rtt_ms)
+        assert profile.loss_rate == pytest.approx(
+            1.0 - (1.0 - GEO_SAT.loss_rate) * (1.0 - LAN.loss_rate))
+        assert profile.name == "GEOSAT+LAN"
+        assert profile.segments == (GEO_SAT, LAN)
+
+    def test_empty_and_nested_segments_rejected(self):
+        with pytest.raises(ValueError):
+            segmented_profile(())
+        with pytest.raises(ValueError):
+            segmented_profile((GEO_SAT, SAT_LAN))
+
+    def test_presets_resolve_by_name(self):
+        assert network_by_name("SAT+LAN") is SAT_LAN
+        assert network_by_name("GEOSAT") is GEO_SAT
+        assert isinstance(network_by_name("sat+lan"), SegmentedProfile)
+
+
+class TestForwardingNode:
+    def test_counts_forwarded_and_dropped(self):
+        accepted = [True, False, True]
+        node = ForwardingNode(lambda packet: accepted.pop(0), name="hop")
+        for i in range(3):
+            node(Packet(size=100, payload=i, flow_id=1))
+        assert node.forwarded == 2
+        assert node.dropped == 1
+        assert node.name == "hop"
+
+    def test_direct_path_delivers_end_to_end(self):
+        loop = EventLoop()
+        path = SegmentedNetworkPath(
+            loop, segmented_profile((FAST, FAST)), seed=0)
+        at_server, at_client = [], []
+        path.register_client(7, at_client.append)
+        path.register_server(7, at_server.append)
+        assert path.send_to_server(Packet(size=1000, payload="req",
+                                          flow_id=7))
+        loop.run()
+        assert [p.payload for p in at_server] == ["req"]
+        # One-way latency: both segments' propagation plus serialisation.
+        assert loop.now >= 2 * (FAST.min_rtt_ms / 2) / 1e3
+        path.send_to_client(Packet(size=1000, payload="resp", flow_id=7))
+        loop.run()
+        assert [p.payload for p in at_client] == ["resp"]
+        assert all(f.forwarded == 1 for f in path.forwarders[:1])
+
+    def test_inter_segment_queue_drops_are_attributed(self):
+        """A burst that overflows the second segment's queue is dropped
+        *at the forwarding node* and shows up in its counters."""
+        loop = EventLoop()
+        path = SegmentedNetworkPath(
+            loop, segmented_profile((FAST, SLOW)), seed=0)
+        delivered = []
+        path.register_server(1, delivered.append)
+        for i in range(64):
+            path.send_to_server(Packet(size=1500, payload=i, flow_id=1))
+        loop.run()
+        up_hop = path.forwarders[0]
+        assert up_hop.dropped > 0
+        assert up_hop.forwarded + up_hop.dropped == 64
+        assert len(delivered) == up_hop.forwarded
+
+    def test_unregister_clears_every_segment(self):
+        loop = EventLoop()
+        path = SegmentedNetworkPath(
+            loop, segmented_profile((FAST, FAST)), seed=0)
+        path.register_client(3, lambda p: None)
+        path.register_server(3, lambda p: None)
+        path.unregister(3)
+        path.register_client(3, lambda p: None)  # no duplicate error
+        path.register_server(3, lambda p: None)
+
+
+class TestLinkNaming:
+    def test_segment_qualified_link_names(self):
+        loop = EventLoop()
+        path = SegmentedNetworkPath(loop, SAT_LAN, seed=0)
+        assert path.segments[0].uplink.name == "GEOSAT-s0-up"
+        assert path.segments[0].downlink.name == "GEOSAT-s0-down"
+        assert path.segments[1].uplink.name == "LAN-s1-up"
+        assert path.segments[1].downlink.name == "LAN-s1-down"
+        assert [f.name for f in path.forwarders] == \
+            ["SAT+LAN-s0s1-up", "SAT+LAN-s1s0-down"]
+
+    def test_plain_path_keeps_legacy_names(self):
+        loop = EventLoop()
+        path = NetworkPath(loop, network_by_name("MSS"), seed=0)
+        assert path.uplink.name == "MSS-up"
+        assert path.downlink.name == "MSS-down"
+
+    def test_trace_profile_works_on_inner_segment(self):
+        """Trace-driven downlinks are not restricted to the access link."""
+        cellular = trace_profile("CELLTRACE", (10, 20, 30, 40, 50))
+        loop = EventLoop()
+        path = SegmentedNetworkPath(
+            loop, segmented_profile((LAN, cellular)), seed=0)
+        assert isinstance(path.segments[1].downlink, TraceLink)
+        assert path.segments[1].downlink.name == "CELLTRACE-s1-down"
+
+
+class TestPathConstruction:
+    def test_build_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown path mode"):
+            build_network_path(EventLoop(), GEO_SAT, path_mode="bent")
+        assert PATH_MODES == ("direct", "split")
+
+    def test_split_requires_multi_segment_profile(self):
+        with pytest.raises(ValueError, match="SegmentedProfile"):
+            build_network_path(EventLoop(), GEO_SAT, path_mode="split")
+        with pytest.raises(ValueError, match=">= 2 segments"):
+            build_network_path(EventLoop(),
+                               segmented_profile((GEO_SAT,)),
+                               path_mode="split")
+
+    def test_split_path_refuses_end_to_end_endpoints(self):
+        path = build_network_path(EventLoop(), SAT_LAN, path_mode="split")
+        assert path.split and not path.forwarders
+        with pytest.raises(RuntimeError, match="split path"):
+            path.register_client(1, lambda p: None)
+        with pytest.raises(RuntimeError, match="split path"):
+            path.send_to_server(Packet(size=100, payload="x", flow_id=1))
+
+    def test_proxy_refuses_direct_path(self):
+        loop = EventLoop()
+        direct = build_network_path(loop, SAT_LAN, path_mode="direct")
+        stack = stack_by_name("TCP")
+        with pytest.raises(ValueError, match="split=True"):
+            SplitTcpConnection(direct, stack,
+                               on_client_data=lambda d, m: None,
+                               on_server_data=lambda d, m: None)
+        with pytest.raises(ValueError, match="split=True"):
+            SplitQuicConnection(
+                direct, stack_by_name("QUIC"),
+                on_client_stream_data=lambda s, d, m, f: None,
+                on_server_stream_data=lambda s, d, m, f: None)
+
+    def test_aggregate_rtt_and_bdp(self):
+        """Satellite fix: segmented paths report summed propagation and
+        bottleneck-rate BDP, not a single pair's."""
+        loop = EventLoop()
+        path = SegmentedNetworkPath(loop, SAT_LAN, seed=0)
+        assert path.min_rtt == pytest.approx(0.561)
+        assert path.bdp_bytes() == int(20e6 / 8 * 0.561)
+
+
+class TestSingleSegmentEquivalence:
+    def test_one_segment_wrapper_is_byte_identical(self):
+        """A 1-segment SegmentedProfile is the plain path, bit for bit:
+        same RNG subtree (root, not ("seg", 0)) and same aggregates."""
+        base = network_by_name("MSS")
+        wrapped = segmented_profile((base,), name=base.name)
+        site = build_site("gov.uk", seed=0)
+        stack = stack_by_name("TCP")
+        plain = load_page(site, base, stack, seed=0)
+        seg = load_page(site, wrapped, stack, seed=0)
+        assert _result_blob(plain) == _result_blob(seg)
+
+
+class TestSplitProxyLoads:
+    @pytest.mark.parametrize("stack", ["TCP", "QUIC"])
+    def test_split_load_completes(self, stack):
+        site = build_site("gov.uk", seed=0)
+        result = load_page(site, SAT_LAN, stack_by_name(stack), seed=1,
+                           path_mode="split")
+        assert result.completed
+        assert result.objects_loaded == site.object_count
+
+    def test_split_differs_from_direct(self):
+        assert _split_blob("TCP", path_mode="split") != \
+            _split_blob("TCP", path_mode="direct")
+
+    @pytest.mark.parametrize("stack", ["TCP", "QUIC"])
+    def test_split_handshake_chain_is_deterministic(self, stack):
+        """Same contract as tests/test_determinism.py: a split load's
+        bytes do not depend on what ran earlier in the process (the
+        per-segment flow ids come from the shared per-load allocator,
+        not a global counter)."""
+        first = _split_blob(stack)
+        _split_blob(stack, seed=5)
+        _split_blob("QUIC" if stack == "TCP" else "TCP", seed=6,
+                    path_mode="direct")
+        assert _split_blob(stack) == first
+
+    def test_split_facade_counts_every_segment(self):
+        """Transport totals sum the per-segment connections: a 2-segment
+        split load sends roughly twice the packets of a direct one."""
+        site = build_site("gov.uk", seed=0)
+        stack = stack_by_name("TCP")
+        direct = load_page(site, SAT_LAN, stack, seed=1)
+        split = load_page(site, SAT_LAN, stack, seed=1,
+                          path_mode="split")
+        assert split.transport.packets_or_segments_sent > \
+            1.5 * direct.transport.packets_or_segments_sent
+
+
+class TestCampaignPathAxis:
+    def test_fingerprints_and_labels_differ_per_path(self):
+        from repro.testbed.campaign import CampaignSpec
+
+        spec = CampaignSpec(sites=["gov.uk"], networks=[SAT_LAN],
+                            stacks=["TCP"], seeds=[0], runs=1,
+                            paths=["direct", "split"], name="axis")
+        conds = spec.conditions()
+        assert [c.path for c in conds] == ["direct", "split"]
+        assert conds[0].fingerprint() != conds[1].fingerprint()
+        assert conds[0].label == "gov.uk_SATpLAN_TCP_s0"
+        assert conds[1].label == "gov.uk_SATpLAN_TCP_split_s0"
+        assert conds[0].key.path == "direct"
+        assert conds[1].key.path == "split"
+
+    def test_spec_rejects_unknown_path_mode(self):
+        from repro.testbed.campaign import CampaignSpec
+
+        with pytest.raises(ValueError, match="unknown path mode"):
+            CampaignSpec(paths=["direct", "bent"])
+        with pytest.raises(ValueError, match="at least one path"):
+            CampaignSpec(paths=[])
+
+    def test_split_applies_only_to_multi_segment_networks(self):
+        """Mixed grids prune split x single-segment combos (a proxy
+        needs a boundary), and a split sweep with no splittable network
+        at all is a loud spec error, not an empty axis."""
+        from repro.netem.profiles import network_by_name
+        from repro.testbed.campaign import CampaignSpec
+
+        spec = CampaignSpec(sites=["gov.uk"], stacks=["TCP"], seeds=[0],
+                            networks=[network_by_name("DSL"), SAT_LAN],
+                            paths=["direct", "split"], runs=1)
+        combos = [(c.profile.name, c.path) for c in spec.conditions()]
+        assert combos == [("DSL", "direct"),
+                          ("SAT+LAN", "direct"), ("SAT+LAN", "split")]
+
+        with pytest.raises(ValueError, match="multi-segment network"):
+            CampaignSpec(sites=["gov.uk"], stacks=["TCP"],
+                         networks=["DSL"], paths=["split"])
+
+    def test_spec_json_round_trips_segmented_networks(self):
+        from repro.testbed.campaign import CampaignSpec, spec_from_json
+
+        cellular = trace_profile("CELLTRACE", (10, 20, 30, 40, 50))
+        spec = CampaignSpec(
+            sites=["gov.uk"], stacks=["TCP"], seeds=[0], runs=1,
+            networks=[SAT_LAN, segmented_profile((GEO_SAT, cellular))],
+            paths=["direct", "split"], name="roundtrip")
+        rebuilt = spec_from_json(json.loads(json.dumps(spec.describe())))
+        assert rebuilt.networks == spec.networks
+        assert isinstance(rebuilt.networks[0], SegmentedProfile)
+        assert isinstance(rebuilt.networks[1].segments[1],
+                          type(cellular))
+        assert rebuilt.paths == ["direct", "split"]
+        assert [c.fingerprint() for c in rebuilt.conditions()] == \
+            [c.fingerprint() for c in spec.conditions()]
+
+    def test_direct_vs_split_campaign_smoke(self, tmp_path):
+        """2-segment campaign over both path modes: distinct conditions
+        settle, the manifest carries the axis, and a post-hoc report
+        pivots on it."""
+        from repro.analysis.streaming import GridReport
+        from repro.testbed.campaign import Campaign, CampaignSpec
+        from repro.testbed.store import SummaryStore
+
+        spec = CampaignSpec(sites=["gov.uk"], networks=[SAT_LAN],
+                            stacks=["TCP"], seeds=[1], runs=1,
+                            paths=["direct", "split"], name="smoke")
+        campaign = Campaign(spec, cache_dir=tmp_path)
+        result = campaign.run(processes=1)
+        assert result.ok and result.counts == {"simulated": 2}
+
+        store = SummaryStore.open(campaign.campaign_dir,
+                                  cache_dir=tmp_path)
+        assert sorted(key.path for key in store.keys()) == \
+            ["direct", "split"]
+        report = GridReport(rows=("network",), cols="path", metric="PLT")
+        report.consume(store)
+        assert report.columns() == ["direct", "split"]
+        for col in report.columns():
+            cell = report.cell(("SAT+LAN",), col)
+            assert cell is not None and cell.ci.mean > 0
+
+    @pytest.mark.slow
+    def test_split_grid_heavy(self, tmp_path):
+        """Full both-stacks grid over both path modes, pooled workers."""
+        from repro.testbed.campaign import Campaign, CampaignSpec
+
+        spec = CampaignSpec(
+            sites=["gov.uk", "wikipedia.org"], networks=[SAT_LAN],
+            stacks=["TCP", "QUIC"], seeds=[0, 1], runs=2,
+            paths=["direct", "split"], name="heavy")
+        result = Campaign(spec, cache_dir=tmp_path).run(processes=2)
+        assert result.ok
+        assert len(result.results) == 16
