@@ -44,7 +44,8 @@ from repro.analysis.stats import (
 #: Pivotable condition axes (mirrors ``repro.testbed.store.CONDITION_AXES``;
 #: listed here so the analysis layer stays import-independent of the
 #: testbed — report keys are duck-typed on these attribute names).
-GRID_AXES = ("website", "network", "stack", "seed", "path")
+GRID_AXES = ("website", "network", "stack", "seed", "path",
+             "middleboxes")
 
 
 class StreamingMoments:

@@ -430,14 +430,19 @@ def load_page(
     seed: int = 0,
     timeout: float = DEFAULT_TIMEOUT,
     path_mode: str = "direct",
+    middleboxes: object = None,
 ) -> PageLoadResult:
     """Convenience wrapper: fresh loop + path, run one load to completion.
 
     ``path_mode="split"`` runs the load through per-segment
     split-connection proxies (requires a multi-segment
     :class:`~repro.netem.profiles.SegmentedProfile`).
+    ``middleboxes`` (a preset name, chain spec, or sequence of box
+    specs — see :mod:`repro.netem.middlebox`) interposes an in-path
+    middlebox chain; ``None`` is the chain-free, byte-identical default.
     """
     loop = EventLoop()
-    path = build_network_path(loop, profile, seed=seed, path_mode=path_mode)
+    path = build_network_path(loop, profile, seed=seed, path_mode=path_mode,
+                              middleboxes=middleboxes)
     load = PageLoad(loop, path, stack, website, timeout=timeout, seed=seed)
     return load.run()

@@ -66,6 +66,7 @@ def record_website(
     selection_metric: str = "PLT",
     timeout: float = 180.0,
     path_mode: str = "direct",
+    middleboxes: object = None,
 ) -> Recording:
     """Load ``website`` repeatedly and select the typical recording.
 
@@ -75,7 +76,9 @@ def record_website(
     ``path_mode`` selects direct end-to-end transport or per-segment
     split-connection proxies over a segmented profile; the per-run seed
     tree is shared between modes so a direct-vs-split comparison differs
-    only in topology.
+    only in topology. ``middleboxes`` likewise rides outside the seed
+    tree: a clean-vs-impaired comparison shares per-run seeds and
+    differs only in the in-path chain.
     """
     if runs < 1:
         raise ValueError("need at least one run")
@@ -87,7 +90,8 @@ def record_website(
         run_seed = int(spawn_rng(seed, "record", website.name, profile.name,
                                  stack.name, index).integers(2**31))
         results.append(load_page(website, profile, stack, seed=run_seed,
-                                 timeout=timeout, path_mode=path_mode))
+                                 timeout=timeout, path_mode=path_mode,
+                                 middleboxes=middleboxes))
 
     mean_value = fmean(r.metrics[selection_metric] for r in results)
     selected = min(

@@ -54,6 +54,7 @@ from repro.lint.cli import add_lint_arguments
 from repro.lint.cli import run as run_lint_cli
 from repro.browser.engine import load_page
 from repro.browser.metrics import VisualMetrics
+from repro.netem.middlebox import MIDDLEBOX_PRESETS
 from repro.netem.profiles import NETWORKS, network_by_name, with_loss
 from repro.report import (
     md_grid,
@@ -100,6 +101,7 @@ DEFAULT_SITES = [
 CAMPAIGN_GRID_DEFAULTS = {
     "seeds": [0],
     "paths": ["direct"],
+    "middleboxes": ["none"],
     "runs": 5,
     "timeout": 180.0,
     "metric": "PLT",
@@ -486,6 +488,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 ("--loss-sweep", bool(args.loss_sweep)),
                 ("--seeds", args.seeds != defaults["seeds"]),
                 ("--paths", args.paths != defaults["paths"]),
+                ("--middleboxes",
+                 args.middleboxes != defaults["middleboxes"]),
                 ("--runs", args.runs != defaults["runs"]),
                 ("--timeout", args.timeout != defaults["timeout"]),
                 ("--metric", args.metric != defaults["metric"]),
@@ -518,6 +522,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         stacks=args.stacks,
         seeds=args.seeds,
         paths=args.paths,
+        middleboxes=args.middleboxes,
         runs=args.runs,
         timeout=args.timeout,
         selection_metric=args.metric,
@@ -527,6 +532,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     total = len(spec.conditions())
     paths_note = f" x {len(spec.paths)} paths" \
         if len(spec.paths) > 1 else ""
+    if len(spec.middleboxes) > 1:
+        paths_note += f" x {len(spec.middleboxes)} middleboxes"
     print(f"campaign {spec.name!r}: {total} conditions "
           f"({len(spec.sites)} sites x {len(spec.networks)} networks x "
           f"{len(spec.stacks)} stacks x {len(spec.seeds)} seeds"
@@ -767,6 +774,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  "every segment boundary; split needs "
                                  "multi-segment networks, e.g. "
                                  "--networks SAT+LAN (default: direct)")
+    p_campaign.add_argument("--middleboxes", nargs="*",
+                            choices=[c.name for c in MIDDLEBOX_PRESETS],
+                            default=CAMPAIGN_GRID_DEFAULTS["middleboxes"],
+                            help="in-path middlebox chain presets "
+                                 "(extra sweep axis): none, policer, "
+                                 "shaper, jitter, reorder, duplicate, "
+                                 "mtu-clamp, ack-decimate, adversarial "
+                                 "(default: none)")
     p_campaign.add_argument("--loss-sweep", nargs="*", default=None,
                             metavar="NET:P1,P2",
                             help="derived lossy profiles, e.g. DSL:0.01,0.05")
@@ -807,8 +822,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--pivot", default="network,stack",
                             metavar="AXES",
                             help="pivot axes, rows...,columns (subset "
-                                 "of website,network,stack,seed,path; "
-                                 "default: network,stack)")
+                                 "of website,network,stack,seed,path,"
+                                 "middleboxes; default: network,stack)")
     p_campaign.add_argument("--format", default="text",
                             choices=["text", "md", "json"],
                             help="report output format")

@@ -78,6 +78,18 @@ DEFAULT_SLOTS_REQUIRED: Tuple[str, ...] = (
     "ForwardingNode",
     "ByteRelay",
     "StreamRelay",
+    # In-path middlebox chains (PR 10): every runtime box sits on the
+    # per-packet delivery path of an impaired condition.
+    "Middlebox",
+    "MiddleboxChain",
+    "TokenBucketPolicer",
+    "TrafficShaper",
+    "JitterInjector",
+    "ReorderInjector",
+    "DuplicateInjector",
+    "MtuClamp",
+    "AckDecimator",
+    "FragmentPayload",
 )
 
 #: Paths (relative to the package root, e.g. ``src/repro``) hashed into

@@ -11,6 +11,22 @@ bandwidth/queue/loss link (:mod:`repro.netem.link`), a full-duplex path
 from repro.netem.engine import EventLoop
 from repro.netem.flowid import FlowIdAllocator
 from repro.netem.link import EmulatedLink, LinkConfig, LinkStats
+from repro.netem.middlebox import (
+    MIDDLEBOX_PRESETS,
+    NO_MIDDLEBOXES,
+    AckDecimatorSpec,
+    DuplicateSpec,
+    JitterSpec,
+    MiddleboxChain,
+    MiddleboxChainSpec,
+    MiddleboxSpec,
+    MtuClampSpec,
+    PolicerSpec,
+    ReorderSpec,
+    ShaperSpec,
+    middleboxes_by_name,
+    resolve_middleboxes,
+)
 from repro.netem.packet import Packet
 from repro.netem.path import NetworkPath
 from repro.netem.profiles import (
@@ -38,4 +54,18 @@ __all__ = [
     "MSS",
     "NETWORKS",
     "network_by_name",
+    "MIDDLEBOX_PRESETS",
+    "NO_MIDDLEBOXES",
+    "AckDecimatorSpec",
+    "DuplicateSpec",
+    "JitterSpec",
+    "MiddleboxChain",
+    "MiddleboxChainSpec",
+    "MiddleboxSpec",
+    "MtuClampSpec",
+    "PolicerSpec",
+    "ReorderSpec",
+    "ShaperSpec",
+    "middleboxes_by_name",
+    "resolve_middleboxes",
 ]

@@ -1,0 +1,638 @@
+"""Composable in-path middleboxes: policers, shapers, and impairments.
+
+The paper's testbed forwards packets untouched once they clear the
+emulated bottleneck; real access paths rarely do. Inspired by lens3's
+stackable ``NetLayer`` MITM lenses (see PAPERS.md), this module adds a
+pluggable, *ordered* chain of middleboxes interposed between a link's
+delivery (:class:`~repro.netem.link.EmulatedLink` /
+:class:`~repro.netem.trace.TraceLink`) and the transport endpoint — and,
+in a :class:`~repro.netem.path.SegmentedNetworkPath`, on every
+:class:`~repro.netem.path.ForwardingNode` boundary, since each segment
+builds its own chain instances.
+
+Every box is a small pure transform over ``(now, Packet)`` returning
+``[(deliver_at, Packet), ...]``: an empty list drops the packet, a
+``deliver_at`` in the future holds it (the chain schedules one event and
+resumes the remaining boxes there), multiple entries fan the packet out
+(duplication, fragmentation). Boxes draw randomness **only** from the
+condition's RNG tree — :func:`~repro.util.rng.spawn_rng` with the key
+``("mbox", i, direction)`` under the path's subtree — so identical
+conditions replay byte-identically, segment by segment.
+
+Determinism contract:
+
+* an **empty** chain is never constructed: the path wires the link's
+  deliver callback straight to the endpoint, so ``middleboxes=[]`` is
+  byte-identical to a path built before this module existed and
+  ``SIM_BEHAVIOUR_VERSION`` needs no bump;
+* a **non-empty** chain's configuration is hashed into the condition
+  fingerprint (see :func:`~repro.testbed.harness.condition_fingerprint`),
+  so every pre-existing fingerprint — and with it every cache entry and
+  committed fixture — is untouched.
+
+Specs (frozen dataclasses, hashable, JSON-roundtrippable) are separated
+from the slotted mutable runtime boxes they :meth:`~MiddleboxSpec.build`,
+mirroring the profile/link split: the spec is campaign-grid data, the
+box is per-condition simulation state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+import numpy as np
+
+from repro.netem.engine import EventLoop
+from repro.netem.packet import Packet
+from repro.util.rng import spawn_rng
+from repro.util.units import Mbps
+
+#: One box emission: deliver ``Packet`` to the next stage at this time.
+Emission = Tuple[float, Packet]
+
+#: Traffic directions a box can apply to. ``up`` is client→server.
+DIRECTIONS = ("up", "down", "both")
+
+#: Pure ACKs are 40 bytes (TCP) / 50 bytes (QUIC); anything at or below
+#: this rides the ACK path for the decimator's purposes.
+PURE_ACK_MAX_BYTES = 50
+
+
+# -- runtime boxes -----------------------------------------------------------
+
+
+class Middlebox:
+    """Base runtime box: a pure ``(now, Packet) -> [Emission]`` transform.
+
+    Subclasses may keep private state (token levels, hold counters) but
+    must never read wall-clock time or ambient RNGs — any randomness
+    comes from the generator their spec's :meth:`~MiddleboxSpec.build`
+    received out of the condition's RNG tree.
+    """
+
+    __slots__ = ()
+
+    def process(self, now: float, packet: Packet) -> List[Emission]:
+        raise NotImplementedError
+
+
+class TokenBucketPolicer(Middlebox):
+    """Drop packets exceeding a token-bucket rate/burst contract."""
+
+    __slots__ = ("_rate", "_burst", "_tokens", "_last", "dropped", "passed")
+
+    def __init__(self, rate_bytes_per_s: float, burst_bytes: int):
+        self._rate = float(rate_bytes_per_s)
+        self._burst = float(burst_bytes)
+        self._tokens = float(burst_bytes)
+        self._last = 0.0
+        self.dropped = 0
+        self.passed = 0
+
+    def process(self, now: float, packet: Packet) -> List[Emission]:
+        elapsed = max(0.0, now - self._last)
+        self._last = max(self._last, now)
+        self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+        if packet.size > self._tokens:
+            self.dropped += 1
+            return []
+        self._tokens -= packet.size
+        self.passed += 1
+        return [(now, packet)]
+
+
+class TrafficShaper(Middlebox):
+    """Delay packets to conform to a rate; drop beyond a queue budget."""
+
+    __slots__ = ("_rate", "_queue_bytes", "_next_free", "dropped", "shaped")
+
+    def __init__(self, rate_bytes_per_s: float, queue_bytes: int):
+        self._rate = float(rate_bytes_per_s)
+        self._queue_bytes = float(queue_bytes)
+        self._next_free = 0.0
+        self.dropped = 0
+        self.shaped = 0
+
+    def process(self, now: float, packet: Packet) -> List[Emission]:
+        start = max(now, self._next_free)
+        backlog_bytes = (start - now) * self._rate
+        if backlog_bytes + packet.size > self._queue_bytes:
+            self.dropped += 1
+            return []
+        done = start + packet.size / self._rate
+        self._next_free = done
+        self.shaped += 1
+        return [(done, packet)]
+
+
+class JitterInjector(Middlebox):
+    """Add uniform random delay in ``[0, jitter_s)`` to every packet."""
+
+    __slots__ = ("_jitter", "_rng")
+
+    def __init__(self, jitter_s: float, rng: np.random.Generator):
+        self._jitter = float(jitter_s)
+        self._rng = rng
+
+    def process(self, now: float, packet: Packet) -> List[Emission]:
+        return [(now + float(self._rng.random()) * self._jitter, packet)]
+
+
+class ReorderInjector(Middlebox):
+    """Hold a random subset of packets so later ones overtake them."""
+
+    __slots__ = ("_probability", "_delay", "_rng", "held")
+
+    def __init__(self, probability: float, delay_s: float,
+                 rng: np.random.Generator):
+        self._probability = float(probability)
+        self._delay = float(delay_s)
+        self._rng = rng
+        self.held = 0
+
+    def process(self, now: float, packet: Packet) -> List[Emission]:
+        if float(self._rng.random()) < self._probability:
+            self.held += 1
+            return [(now + self._delay, packet)]
+        return [(now, packet)]
+
+
+class DuplicateInjector(Middlebox):
+    """Emit an extra copy of a random subset of packets."""
+
+    __slots__ = ("_probability", "_delay", "_rng", "duplicated")
+
+    def __init__(self, probability: float, delay_s: float,
+                 rng: np.random.Generator):
+        self._probability = float(probability)
+        self._delay = float(delay_s)
+        self._rng = rng
+        self.duplicated = 0
+
+    def process(self, now: float, packet: Packet) -> List[Emission]:
+        out: List[Emission] = [(now, packet)]
+        if float(self._rng.random()) < self._probability:
+            self.duplicated += 1
+            out.append((now + self._delay, dataclasses.replace(packet)))
+        return out
+
+
+class FragmentPayload:
+    """Payload wrapper a fragmented packet carries through later boxes.
+
+    Every fragment of a group references the original packet; the chain
+    exit delivers the original once all ``count`` fragments arrive, so a
+    single fragment lost downstream (policer, shaper queue) loses the
+    whole packet — which is exactly what path-MTU blackholes do to
+    transports that never see an ICMP.
+    """
+
+    __slots__ = ("group", "index", "count", "original")
+
+    def __init__(self, group: int, index: int, count: int,
+                 original: Packet):
+        self.group = group
+        self.index = index
+        self.count = count
+        self.original = original
+
+
+class MtuClamp(Middlebox):
+    """Fragment packets larger than a clamp MTU into back-to-back parts.
+
+    Each fragment after the first pays a store-and-forward gap, the way
+    a fragmenting router serialises parts onto the wire — so a clamped
+    packet's reassembly finishes ``(count - 1) * gap`` later than its
+    un-clamped delivery would have.
+    """
+
+    __slots__ = ("_mtu", "_gap", "_next_group", "fragmented")
+
+    def __init__(self, mtu_bytes: int, fragment_gap_s: float):
+        self._mtu = int(mtu_bytes)
+        self._gap = float(fragment_gap_s)
+        self._next_group = 0
+        self.fragmented = 0
+
+    def process(self, now: float, packet: Packet) -> List[Emission]:
+        if packet.size <= self._mtu:
+            return [(now, packet)]
+        self.fragmented += 1
+        group = self._next_group
+        self._next_group += 1
+        count = math.ceil(packet.size / self._mtu)
+        out: List[Emission] = []
+        remaining = packet.size
+        for index in range(count):
+            size = min(self._mtu, remaining)
+            remaining -= size
+            out.append((now + index * self._gap, Packet(
+                size=size,
+                payload=FragmentPayload(group, index, count, packet),
+                flow_id=packet.flow_id,
+                sent_at=packet.sent_at,
+            )))
+        return out
+
+
+class AckDecimator(Middlebox):
+    """Deliver only every Nth pure ACK; data-bearing packets pass."""
+
+    __slots__ = ("_keep_every", "_max_ack_bytes", "_count", "dropped")
+
+    def __init__(self, keep_every: int, max_ack_bytes: int):
+        self._keep_every = int(keep_every)
+        self._max_ack_bytes = int(max_ack_bytes)
+        self._count = 0
+        self.dropped = 0
+
+    def process(self, now: float, packet: Packet) -> List[Emission]:
+        if packet.size > self._max_ack_bytes:
+            return [(now, packet)]
+        kept = self._count % self._keep_every == 0
+        self._count += 1
+        if kept:
+            return [(now, packet)]
+        self.dropped += 1
+        return []
+
+
+# -- specs -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MiddleboxSpec:
+    """Frozen, hashable configuration of one box (campaign-grid data).
+
+    ``kind`` (a class attribute, not a field) names the box in JSON
+    payloads and fingerprints; ``direction`` limits which of the path's
+    two chains instantiates it.
+    """
+
+    kind = ""  # overridden per subclass
+
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"unknown middlebox direction {self.direction!r}; "
+                f"expected one of {DIRECTIONS}")
+
+    def applies_to(self, direction: str) -> bool:
+        return self.direction in ("both", direction)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-serialisable payload (joins condition fingerprints)."""
+        return dict(dataclasses.asdict(self), kind=self.kind)
+
+    def build(self, rng: np.random.Generator) -> Middlebox:
+        """Instantiate the runtime box (``rng`` from the condition tree)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PolicerSpec(MiddleboxSpec):
+    kind = "policer"
+
+    rate_mbps: float = 2.0
+    burst_bytes: int = 18_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rate_mbps <= 0 or self.burst_bytes <= 0:
+            raise ValueError("policer rate and burst must be positive")
+
+    def build(self, rng: np.random.Generator) -> Middlebox:
+        return TokenBucketPolicer(Mbps(self.rate_mbps), self.burst_bytes)
+
+
+@dataclass(frozen=True)
+class ShaperSpec(MiddleboxSpec):
+    kind = "shaper"
+
+    rate_mbps: float = 1.5
+    queue_bytes: int = 60_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rate_mbps <= 0 or self.queue_bytes <= 0:
+            raise ValueError("shaper rate and queue must be positive")
+
+    def build(self, rng: np.random.Generator) -> Middlebox:
+        return TrafficShaper(Mbps(self.rate_mbps), self.queue_bytes)
+
+
+@dataclass(frozen=True)
+class JitterSpec(MiddleboxSpec):
+    kind = "jitter"
+
+    jitter_ms: float = 30.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.jitter_ms < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def build(self, rng: np.random.Generator) -> Middlebox:
+        return JitterInjector(self.jitter_ms / 1000.0, rng)
+
+
+@dataclass(frozen=True)
+class ReorderSpec(MiddleboxSpec):
+    kind = "reorder"
+
+    probability: float = 0.05
+    delay_ms: float = 40.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("reorder probability must be in [0, 1]")
+        if self.delay_ms <= 0:
+            raise ValueError("reorder delay must be positive")
+
+    def build(self, rng: np.random.Generator) -> Middlebox:
+        return ReorderInjector(self.probability, self.delay_ms / 1000.0,
+                               rng)
+
+
+@dataclass(frozen=True)
+class DuplicateSpec(MiddleboxSpec):
+    kind = "duplicate"
+
+    probability: float = 0.05
+    delay_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("duplicate probability must be in [0, 1]")
+        if self.delay_ms < 0:
+            raise ValueError("duplicate delay must be non-negative")
+
+    def build(self, rng: np.random.Generator) -> Middlebox:
+        return DuplicateInjector(self.probability, self.delay_ms / 1000.0,
+                                 rng)
+
+
+@dataclass(frozen=True)
+class MtuClampSpec(MiddleboxSpec):
+    kind = "mtu-clamp"
+
+    mtu_bytes: int = 600
+    fragment_gap_ms: float = 0.2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mtu_bytes < 80:
+            raise ValueError("clamp MTU must be at least 80 bytes")
+        if self.fragment_gap_ms < 0:
+            raise ValueError("fragment gap must be non-negative")
+
+    def build(self, rng: np.random.Generator) -> Middlebox:
+        return MtuClamp(self.mtu_bytes, self.fragment_gap_ms / 1000.0)
+
+
+@dataclass(frozen=True)
+class AckDecimatorSpec(MiddleboxSpec):
+    kind = "ack-decimate"
+
+    direction: str = "up"
+    keep_every: int = 4
+    max_ack_bytes: int = PURE_ACK_MAX_BYTES
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.keep_every < 1:
+            raise ValueError("keep_every must be at least 1")
+        if self.max_ack_bytes < 1:
+            raise ValueError("max_ack_bytes must be positive")
+
+    def build(self, rng: np.random.Generator) -> Middlebox:
+        return AckDecimator(self.keep_every, self.max_ack_bytes)
+
+
+#: kind string → spec class (JSON round-trip registry).
+SPEC_KINDS: Dict[str, Type[MiddleboxSpec]] = {
+    spec.kind: spec
+    for spec in (PolicerSpec, ShaperSpec, JitterSpec, ReorderSpec,
+                 DuplicateSpec, MtuClampSpec, AckDecimatorSpec)
+}
+
+
+def spec_from_json(data: Dict[str, object]) -> MiddleboxSpec:
+    """Rebuild one box spec from its :meth:`~MiddleboxSpec.describe`."""
+    fields = dict(data)
+    kind = str(fields.pop("kind", ""))
+    cls = SPEC_KINDS.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(SPEC_KINDS))
+        raise ValueError(f"unknown middlebox kind {kind!r}; known: {known}")
+    return cls(**fields)  # type: ignore[arg-type]
+
+
+# -- chains ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MiddleboxChainSpec:
+    """A named, ordered tuple of box specs — one ``middleboxes`` axis value.
+
+    Behaves like a network profile for grid purposes: resolvable by
+    name (:func:`middleboxes_by_name`), hashable, and serialised in full
+    into ``spec.json`` / condition fingerprints. An empty chain (the
+    ``"none"`` preset) is falsy and never instantiated on a path.
+    """
+
+    name: str
+    boxes: Tuple[MiddleboxSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.boxes)
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name,
+                "boxes": [box.describe() for box in self.boxes]}
+
+
+#: The default axis value: no chain, byte-identical to the pre-middlebox
+#: simulator (and absent from condition fingerprints).
+NO_MIDDLEBOXES = MiddleboxChainSpec(name="none")
+
+
+def chain_from_json(data: Dict[str, object]) -> MiddleboxChainSpec:
+    """Rebuild a chain spec from its :meth:`~MiddleboxChainSpec.describe`."""
+    return MiddleboxChainSpec(
+        name=str(data["name"]),
+        boxes=tuple(spec_from_json(dict(entry))
+                    for entry in list(data.get("boxes", []))),
+    )
+
+
+class MiddleboxChain:
+    """Runtime chain: feeds a delivered packet through the boxes in order.
+
+    Emissions due now continue inline (one call stack, no extra events);
+    future emissions resume at their box index via one scheduled event,
+    so every box observes monotonically non-decreasing time and the
+    event-loop FIFO keeps equal-time deliveries in emission order.
+
+    The chain exit reassembles :class:`FragmentPayload` groups: the
+    original packet is delivered when the last fragment arrives, and a
+    group missing any fragment never delivers (the transport's loss
+    recovery takes it from there).
+    """
+
+    __slots__ = ("_loop", "_boxes", "_deliver", "_pending_fragments",
+                 "delivered")
+
+    def __init__(self, loop: EventLoop, boxes: Sequence[Middlebox],
+                 deliver: Callable[[Packet], None]):
+        if not boxes:
+            raise ValueError(
+                "empty middlebox chain: wire the endpoint directly "
+                "(an empty chain must not exist on the packet path)")
+        self._loop = loop
+        self._boxes = tuple(boxes)
+        self._deliver = deliver
+        self._pending_fragments: Dict[int, int] = {}
+        self.delivered = 0
+
+    @property
+    def boxes(self) -> Tuple[Middlebox, ...]:
+        return self._boxes
+
+    def __call__(self, packet: Packet) -> None:
+        self._feed(0, packet)
+
+    def _feed(self, index: int, packet: Packet) -> None:
+        if index == len(self._boxes):
+            self._exit(packet)
+            return
+        now = self._loop.now
+        for when, emitted in self._boxes[index].process(now, packet):
+            if when <= now:
+                self._feed(index + 1, emitted)
+            else:
+                self._loop.call_at(
+                    when,
+                    lambda nxt=index + 1, pkt=emitted: self._feed(nxt, pkt))
+
+    def _exit(self, packet: Packet) -> None:
+        payload = packet.payload
+        if type(payload) is FragmentPayload:
+            remaining = self._pending_fragments.pop(payload.group,
+                                                    payload.count)
+            remaining -= 1
+            if remaining:
+                self._pending_fragments[payload.group] = remaining
+                return
+            packet = payload.original
+        self.delivered += 1
+        self._deliver(packet)
+
+
+def build_chain(
+    loop: EventLoop,
+    chain: MiddleboxChainSpec,
+    deliver: Callable[[Packet], None],
+    *,
+    seed: int,
+    rng_key: Tuple[object, ...] = (),
+    direction: str,
+) -> Optional[MiddleboxChain]:
+    """Instantiate ``chain`` for one direction of one path (or segment).
+
+    Returns ``None`` when no box applies to ``direction`` — the caller
+    must then wire ``deliver`` directly, keeping the packet path free of
+    pass-through frames. Box ``i`` draws from the RNG subtree
+    ``(*rng_key, "mbox", i, direction)``, so chains on different
+    segments (and directions) of one condition are independent streams
+    of the same seed.
+    """
+    if direction not in ("up", "down"):
+        raise ValueError(
+            f"chain direction must be 'up' or 'down', got {direction!r}")
+    boxes = [
+        spec.build(spawn_rng(seed, *rng_key, "mbox", i, direction))
+        for i, spec in enumerate(chain.boxes)
+        if spec.applies_to(direction)
+    ]
+    if not boxes:
+        return None
+    return MiddleboxChain(loop, boxes, deliver)
+
+
+# -- presets -----------------------------------------------------------------
+
+#: Named chain presets, resolvable like Table 2 network profiles. Each
+#: single-box preset uses the spec's defaults; ``adversarial`` stacks
+#: the three impairment injectors the clean profiles never exercise.
+MIDDLEBOX_PRESETS: Tuple[MiddleboxChainSpec, ...] = (
+    NO_MIDDLEBOXES,
+    MiddleboxChainSpec("policer", (PolicerSpec(direction="down"),)),
+    MiddleboxChainSpec("shaper", (ShaperSpec(direction="down"),)),
+    MiddleboxChainSpec("jitter", (JitterSpec(),)),
+    MiddleboxChainSpec("reorder", (ReorderSpec(direction="down"),)),
+    MiddleboxChainSpec("duplicate", (DuplicateSpec(direction="down"),)),
+    MiddleboxChainSpec("mtu-clamp", (MtuClampSpec(),)),
+    MiddleboxChainSpec("ack-decimate", (AckDecimatorSpec(),)),
+    MiddleboxChainSpec("adversarial", (
+        ReorderSpec(direction="down"),
+        DuplicateSpec(direction="down"),
+        JitterSpec(jitter_ms=10.0),
+    )),
+)
+
+_PRESETS_BY_NAME: Dict[str, MiddleboxChainSpec] = {
+    chain.name: chain for chain in MIDDLEBOX_PRESETS
+}
+
+
+def middleboxes_by_name(name: str) -> MiddleboxChainSpec:
+    """Look up a named middlebox chain preset, case-insensitive."""
+    try:
+        return _PRESETS_BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS_BY_NAME))
+        raise KeyError(
+            f"unknown middlebox chain {name!r}; known: {known}") from None
+
+
+#: A middleboxes axis value: a preset name, a full chain spec, or a bare
+#: sequence of box specs (named after its box kinds).
+MiddleboxesLike = Union[str, MiddleboxChainSpec, Sequence[MiddleboxSpec]]
+
+
+def resolve_middleboxes(value: Optional[MiddleboxesLike]) \
+        -> MiddleboxChainSpec:
+    """Accept a preset name, chain spec, or sequence of box specs."""
+    if value is None:
+        return NO_MIDDLEBOXES
+    if isinstance(value, MiddleboxChainSpec):
+        return value
+    if isinstance(value, str):
+        return middleboxes_by_name(value)
+    boxes = tuple(value)
+    if not boxes:
+        return NO_MIDDLEBOXES
+    for box in boxes:
+        if not isinstance(box, MiddleboxSpec):
+            raise TypeError(
+                f"middlebox chain entries must be MiddleboxSpec "
+                f"instances, got {type(box).__name__}")
+    return MiddleboxChainSpec(name="+".join(box.kind for box in boxes),
+                              boxes=boxes)

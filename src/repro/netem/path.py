@@ -19,6 +19,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.netem.engine import EventLoop
 from repro.netem.flowid import FlowIdAllocator
 from repro.netem.link import EmulatedLink
+from repro.netem.middlebox import (
+    NO_MIDDLEBOXES,
+    MiddleboxChain,
+    MiddleboxChainSpec,
+    MiddleboxesLike,
+    build_chain,
+    resolve_middleboxes,
+)
 from repro.netem.packet import Packet
 from repro.netem.profiles import (
     NetworkProfile,
@@ -57,6 +65,13 @@ class NetworkPath:
     (``("seg", i)``) and a segment-qualified link name
     (``{profile}-s{i}-up``). The defaults — empty key, no tag — make a
     standalone path byte-identical to the pre-segmentation behaviour.
+
+    ``middleboxes`` interposes an ordered
+    :class:`~repro.netem.middlebox.MiddleboxChain` between each link's
+    delivery and the endpoint (per direction, per segment). The default
+    empty chain wires the endpoint directly — no wrapper frame, no extra
+    event, no RNG spawn — so it is byte-identical to a path built before
+    middleboxes existed.
     """
 
     #: Direct paths carry raw packets end to end; a split path (see
@@ -72,19 +87,36 @@ class NetworkPath:
         *,
         rng_key: Tuple[object, ...] = (),
         link_tag: str = "",
+        middleboxes: MiddleboxChainSpec = NO_MIDDLEBOXES,
     ):
         self._loop = loop
         self.profile = profile
         self.flow_ids = flow_ids if flow_ids is not None else FlowIdAllocator()
+        self.middleboxes = middleboxes
+        self.uplink_chain: Optional[MiddleboxChain] = None
+        self.downlink_chain: Optional[MiddleboxChain] = None
+        deliver_up: Endpoint = self._deliver_to_server
+        deliver_down: Endpoint = self._deliver_to_client
+        if middleboxes.boxes:
+            self.uplink_chain = build_chain(
+                loop, middleboxes, self._deliver_to_server,
+                seed=seed, rng_key=rng_key, direction="up")
+            self.downlink_chain = build_chain(
+                loop, middleboxes, self._deliver_to_client,
+                seed=seed, rng_key=rng_key, direction="down")
+            if self.uplink_chain is not None:
+                deliver_up = self.uplink_chain
+            if self.downlink_chain is not None:
+                deliver_down = self.downlink_chain
         up_cfg, down_cfg = profile.link_configs()
         name = f"{profile.name}{link_tag}"
         self.uplink = EmulatedLink(
-            loop, up_cfg, self._deliver_to_server,
+            loop, up_cfg, deliver_up,
             rng=spawn_rng(seed, *rng_key, "uplink"), name=f"{name}-up",
         )
         if isinstance(profile, TraceNetworkProfile):
             self.downlink = TraceLink(
-                loop, profile.downlink_trace_ms, self._deliver_to_client,
+                loop, profile.downlink_trace_ms, deliver_down,
                 propagation_delay_s=down_cfg.propagation_delay_s,
                 queue_bytes=down_cfg.queue_capacity_bytes,
                 loss_rate=down_cfg.loss_rate,
@@ -93,7 +125,7 @@ class NetworkPath:
             )
         else:
             self.downlink = EmulatedLink(
-                loop, down_cfg, self._deliver_to_client,
+                loop, down_cfg, deliver_down,
                 rng=spawn_rng(seed, *rng_key, "downlink"),
                 name=f"{name}-down",
             )
@@ -231,17 +263,23 @@ class SegmentedNetworkPath:
         flow_ids: Optional[FlowIdAllocator] = None,
         *,
         split: bool = False,
+        middleboxes: MiddleboxChainSpec = NO_MIDDLEBOXES,
     ):
         self._loop = loop
         self.profile = profile
         self.split = split
         self.flow_ids = flow_ids if flow_ids is not None else FlowIdAllocator()
+        self.middleboxes = middleboxes
         n = len(profile.segments)
+        # Each segment instantiates its own chain pair under its RNG
+        # subtree, so boxes also sit on every ForwardingNode boundary
+        # and replay independently per hop.
         self.segments: List[NetworkPath] = [
             NetworkPath(
                 loop, seg, seed=seed, flow_ids=self.flow_ids,
                 rng_key=("seg", i) if n > 1 else (),
                 link_tag=f"-s{i}",
+                middleboxes=middleboxes,
             )
             for i, seg in enumerate(profile.segments)
         ]
@@ -316,6 +354,7 @@ def build_network_path(
     flow_ids: Optional[FlowIdAllocator] = None,
     *,
     path_mode: str = "direct",
+    middleboxes: Optional[MiddleboxesLike] = None,
 ):
     """Build the right path object for ``profile`` and ``path_mode``.
 
@@ -324,19 +363,27 @@ def build_network_path(
     split or direct. ``path_mode="split"`` requires a segmented profile
     with at least two segments — splitting a single link is a no-op the
     campaign grid should not silently accept.
+
+    ``middleboxes`` accepts a preset name, a
+    :class:`~repro.netem.middlebox.MiddleboxChainSpec`, or a sequence of
+    box specs; ``None`` (or the ``"none"`` preset) builds a chain-free
+    path, byte-identical to the pre-middlebox simulator.
     """
     if path_mode not in PATH_MODES:
         raise ValueError(
             f"unknown path mode {path_mode!r}; expected one of {PATH_MODES}")
+    chain = resolve_middleboxes(middleboxes)
     if isinstance(profile, SegmentedProfile):
         split = path_mode == "split"
         if split and len(profile.segments) < 2:
             raise ValueError(
                 "path=split needs a SegmentedProfile with >= 2 segments")
         return SegmentedNetworkPath(loop, profile, seed=seed,
-                                    flow_ids=flow_ids, split=split)
+                                    flow_ids=flow_ids, split=split,
+                                    middleboxes=chain)
     if path_mode == "split":
         raise ValueError(
             f"path=split requires a SegmentedProfile, got "
             f"{type(profile).__name__} {profile.name!r}")
-    return NetworkPath(loop, profile, seed=seed, flow_ids=flow_ids)
+    return NetworkPath(loop, profile, seed=seed, flow_ids=flow_ids,
+                       middleboxes=chain)

@@ -56,6 +56,13 @@ from typing import (
     Union,
 )
 
+from repro.netem.middlebox import (
+    NO_MIDDLEBOXES,
+    MiddleboxChainSpec,
+    MiddleboxesLike,
+    chain_from_json,
+    resolve_middleboxes,
+)
 from repro.netem.path import PATH_MODES
 from repro.netem.profiles import (
     NETWORKS,
@@ -110,12 +117,15 @@ class Condition:
     timeout: float
     selection_metric: str
     path: str = "direct"
+    middleboxes: MiddleboxChainSpec = NO_MIDDLEBOXES
 
     @property
     def label(self) -> str:
         """Filesystem-safe human-readable identifier."""
         return condition_label(self.website, self.profile.name,
-                               self.stack.name, self.seed, path=self.path)
+                               self.stack.name, self.seed, path=self.path,
+                               middleboxes=self.middleboxes.name
+                               if self.middleboxes.boxes else "none")
 
     def fingerprint(self) -> str:
         """Content hash over every output-determining parameter."""
@@ -123,7 +133,7 @@ class Condition:
             self.website, self.profile, self.stack,
             corpus_seed=self.corpus_seed, seed=self.seed, runs=self.runs,
             timeout=self.timeout, selection_metric=self.selection_metric,
-            path=self.path,
+            path=self.path, middleboxes=self.middleboxes,
         )
 
     @property
@@ -134,6 +144,8 @@ class Condition:
             stack=self.stack.name, seed=self.seed,
             label=self.label, fingerprint=self.fingerprint(),
             path=self.path,
+            middleboxes=self.middleboxes.name
+            if self.middleboxes.boxes else "none",
         )
 
     def produce(self) -> RecordingSummary:
@@ -142,7 +154,7 @@ class Condition:
             self.website, self.profile, self.stack,
             corpus_seed=self.corpus_seed, seed=self.seed, runs=self.runs,
             timeout=self.timeout, selection_metric=self.selection_metric,
-            path=self.path,
+            path=self.path, middleboxes=self.middleboxes,
         )
 
 
@@ -172,6 +184,7 @@ class CampaignSpec:
     selection_metric: str = "PLT"
     name: str = "campaign"
     paths: Sequence[str] = ("direct",)
+    middleboxes: Sequence[MiddleboxesLike] = ("none",)
 
     def __post_init__(self) -> None:
         if self.runs < 1:
@@ -185,6 +198,9 @@ class CampaignSpec:
                 raise ValueError(
                     f"unknown path mode {path!r}; "
                     f"expected one of {PATH_MODES}")
+        if not self.middleboxes:
+            raise ValueError(
+                "need at least one middlebox chain (use \"none\")")
         self.sites = list(self.sites) if self.sites is not None \
             else list(CORPUS_SITE_NAMES)
         self.networks = [resolve_network(n) for n in self.networks] \
@@ -193,6 +209,8 @@ class CampaignSpec:
             if self.stacks is not None else list(STACKS)
         self.seeds = list(self.seeds)
         self.paths = list(self.paths)
+        self.middleboxes = [resolve_middleboxes(m)
+                            for m in self.middleboxes]
         if "split" in self.paths and \
                 not any(_splittable(p) for p in self.networks):
             raise ValueError(
@@ -215,12 +233,14 @@ class CampaignSpec:
                 timeout=self.timeout,
                 selection_metric=self.selection_metric,
                 path=path,
+                middleboxes=chain,
             )
             for site in self.sites
             for profile in self.networks
             for stack in self.stacks
             for path in self.paths
             if path != "split" or _splittable(profile)
+            for chain in self.middleboxes
             for seed in self.seeds
         ]
 
@@ -247,6 +267,7 @@ class CampaignSpec:
             "stacks": [s.name for s in self.stacks],
             "seeds": list(self.seeds),
             "paths": list(self.paths),
+            "middleboxes": [chain.name for chain in self.middleboxes],
             "runs": self.runs,
             "corpus_seed": self.corpus_seed,
             "timeout": self.timeout,
@@ -264,6 +285,8 @@ class CampaignSpec:
                 ],
                 "stacks": [dataclasses.asdict(stack)
                            for stack in self.stacks],
+                "middleboxes": [chain.describe()
+                                for chain in self.middleboxes],
             },
         }
 
@@ -298,12 +321,20 @@ def spec_from_json(data: Dict[str, object]) -> CampaignSpec:
     Table 1/2 names, and raise if an axis entry was a derived object
     whose name cannot be resolved.
     """
+    middleboxes: List[MiddleboxesLike] = [
+        str(name) for name in data.get("middleboxes", ["none"])]
     axes = data.get("axes")
     if axes:
         networks: List[NetworkLike] = [
             _profile_from_json(entry) for entry in axes["networks"]]
         stacks: List[StackLike] = [
             StackConfig(**entry) for entry in axes["stacks"]]
+        if "middleboxes" in axes:
+            # Full chain payloads reconstruct custom (non-preset)
+            # chains exactly; older spec.json files fall back to the
+            # preset names above.
+            middleboxes = [chain_from_json(entry)
+                           for entry in axes["middleboxes"]]
     else:
         try:
             networks = [resolve_network(name)
@@ -320,6 +351,7 @@ def spec_from_json(data: Dict[str, object]) -> CampaignSpec:
         stacks=stacks,
         seeds=[int(seed) for seed in data["seeds"]],
         paths=[str(path) for path in data.get("paths", ["direct"])],
+        middleboxes=middleboxes,
         runs=int(data["runs"]),
         corpus_seed=int(data["corpus_seed"]),
         timeout=float(data["timeout"]),
@@ -523,6 +555,8 @@ class Campaign:
             "stack": condition.stack.name,
             "seed": condition.seed,
             "path": condition.path,
+            "middleboxes": condition.middleboxes.name
+            if condition.middleboxes.boxes else "none",
             # The behaviour version the recording was simulated under;
             # SummaryStore.open checks it against the current simulator.
             "sim_behaviour": harness.SIM_BEHAVIOUR_VERSION,

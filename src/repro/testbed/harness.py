@@ -35,6 +35,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.browser.metrics import VisualCurve
 from repro.browser.recorder import record_website
+from repro.netem.middlebox import (
+    MiddleboxChainSpec,
+    MiddleboxesLike,
+    resolve_middleboxes,
+)
 from repro.netem.profiles import NETWORKS, NetworkProfile, network_by_name
 from repro.transport.config import STACKS, StackConfig, stack_by_name
 from repro.web.corpus import CORPUS_SITE_NAMES, build_site
@@ -79,6 +84,7 @@ def condition_fingerprint(
     timeout: float,
     selection_metric: str,
     path: str = "direct",
+    middleboxes: Optional[MiddleboxChainSpec] = None,
 ) -> str:
     """Content hash identifying one condition's simulation output.
 
@@ -86,8 +92,9 @@ def condition_fingerprint(
     depends on, including all profile fields (segments of a
     :class:`~repro.netem.profiles.SegmentedProfile` recurse) and all
     stack fields. The ``path`` axis only joins the hash for non-direct
-    modes, so every pre-existing fingerprint — and with it every cache
-    entry and fixture — is untouched.
+    modes, and a middlebox chain only when it has boxes, so every
+    pre-existing fingerprint — and with it every cache entry and
+    fixture — is untouched.
     """
     params = {
         "sim_behaviour": SIM_BEHAVIOUR_VERSION,
@@ -103,17 +110,22 @@ def condition_fingerprint(
     }
     if path != "direct":
         params["path"] = path
+    if middleboxes is not None and middleboxes.boxes:
+        params["middleboxes"] = middleboxes.describe()
     blob = json.dumps(params, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
 
 
 def condition_label(website: str, network: str, stack: str,
                     seed: Optional[int] = None,
-                    path: str = "direct") -> str:
+                    path: str = "direct",
+                    middleboxes: str = "none") -> str:
     """Human-readable, filesystem-safe prefix for cache/manifest entries."""
     parts = [website, network, stack]
     if path != "direct":
         parts.append(path)
+    if middleboxes != "none":
+        parts.append(middleboxes)
     if seed is not None:
         parts.append(f"s{seed}")
     raw = "_".join(parts)
@@ -149,6 +161,9 @@ class RecordingSummary:
     mean_segments_sent: float
     completed_fraction: float
     path: str = "direct"
+    #: Name of the in-path middlebox chain ("none" when clean — every
+    #: summary recorded before the axis existed reads back as "none").
+    middleboxes: str = "none"
 
     @property
     def condition_key(self) -> Tuple[str, str, str]:
@@ -196,6 +211,10 @@ class RecordingSummary:
         # byte-identical to every pre-path-axis cache file and fixture.
         if self.path != "direct":
             payload["path"] = self.path
+        # Same rule for the middlebox chain: clean summaries stay
+        # byte-identical to every pre-middlebox cache file and fixture.
+        if self.middleboxes != "none":
+            payload["middleboxes"] = self.middleboxes
         return payload
 
     @classmethod
@@ -216,6 +235,7 @@ class RecordingSummary:
             mean_segments_sent=float(data["mean_segments_sent"]),
             completed_fraction=float(data["completed_fraction"]),
             path=str(data.get("path", "direct")),
+            middleboxes=str(data.get("middleboxes", "none")),
         )
 
 
@@ -280,6 +300,7 @@ def produce_summary(
     timeout: float,
     selection_metric: str,
     path: str = "direct",
+    middleboxes: Optional[MiddleboxesLike] = None,
 ) -> RecordingSummary:
     """Simulate one condition and summarise it (no caching).
 
@@ -297,6 +318,7 @@ def produce_summary(
     """
     from repro.lint.sanitizer import maybe_sanitized
 
+    chain = resolve_middleboxes(middleboxes)
     with maybe_sanitized():
         site = build_site(website, seed=corpus_seed)
         recording = record_website(
@@ -305,6 +327,7 @@ def produce_summary(
             selection_metric=selection_metric,
             timeout=timeout,
             path_mode=path,
+            middleboxes=chain if chain.boxes else None,
         )
     selected = recording.selected
     return RecordingSummary(
@@ -314,6 +337,7 @@ def produce_summary(
         runs=runs,
         selection_metric=selection_metric,
         path=path,
+        middleboxes=chain.name if chain.boxes else "none",
         selected_metrics=selected.metrics.as_dict(),
         selected_curve=selected.curve.points,
         run_metrics=[r.metrics.as_dict() for r in recording.runs],

@@ -59,7 +59,8 @@ class StaleCampaignError(ValueError):
     """
 
 #: Axis names a :class:`ConditionKey` can be pivoted/grouped on.
-CONDITION_AXES = ("website", "network", "stack", "seed", "path")
+CONDITION_AXES = ("website", "network", "stack", "seed", "path",
+                  "middleboxes")
 
 #: Campaign-directory subdirectory holding per-condition lease files
 #: (the distributed claim protocol — see ``repro.testbed.distributed``).
@@ -215,10 +216,13 @@ class ConditionKey:
     #: proxies); "direct" for every condition recorded before the axis
     #: existed.
     path: str = "direct"
+    #: In-path middlebox chain name ("none" when clean); "none" for
+    #: every condition recorded before the axis existed.
+    middleboxes: str = "none"
 
     def axis(self, name: str) -> object:
         """Value of one pivot axis (website / network / stack / seed /
-        path)."""
+        path / middleboxes)."""
         if name not in CONDITION_AXES:
             raise KeyError(
                 f"unknown condition axis {name!r}; "
@@ -336,6 +340,7 @@ class SummaryStore:
                 seed=int(record.get("seed", _seed_from_label(label))),
                 label=label, fingerprint=fingerprint,
                 path=str(record.get("path", "direct")),
+                middleboxes=str(record.get("middleboxes", "none")),
             )
         # Legacy manifest line: recover the axes from the summary itself.
         summary = self.cache.load(label, fingerprint)
@@ -346,6 +351,7 @@ class SummaryStore:
             stack=summary.stack, seed=_seed_from_label(label),
             label=label, fingerprint=fingerprint,
             path=getattr(summary, "path", "direct"),
+            middleboxes=getattr(summary, "middleboxes", "none"),
         )
 
     def keys(self) -> List[ConditionKey]:

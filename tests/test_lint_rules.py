@@ -140,6 +140,37 @@ class TestNoAmbientRng:
         """)
         assert result.findings == []
 
+    def test_flags_unseeded_middlebox_rng(self, tmp_path):
+        # A middlebox that mints its own generator instead of taking
+        # the chain's ``spawn_rng(..., "mbox", i, direction)`` stream
+        # would make impaired conditions unreplayable.
+        result = lint_snippet(tmp_path, """
+            import numpy as np
+            class JitterInjector:
+                __slots__ = ("_jitter", "_rng")
+                def __init__(self, jitter_s):
+                    self._jitter = jitter_s
+                    self._rng = np.random.default_rng()
+                def process(self, now, packet):
+                    return [(now + self._rng.random() * self._jitter,
+                             packet)]
+        """, rel="repro/netem/middlebox_snippet.py")
+        assert rules_of(result) == ["no-ambient-rng"]
+
+    def test_chain_threaded_middlebox_rng_ok(self, tmp_path):
+        result = lint_snippet(tmp_path, """
+            from repro.util.rng import spawn_rng
+            class JitterInjector:
+                __slots__ = ("_jitter", "_rng")
+                def __init__(self, jitter_s, rng):
+                    self._jitter = jitter_s
+                    self._rng = rng
+            def build(seed, i, direction, jitter_s):
+                return JitterInjector(
+                    jitter_s, spawn_rng(seed, "mbox", i, direction))
+        """, rel="repro/netem/middlebox_snippet.py")
+        assert result.findings == []
+
 
 class TestNoGlobalMutableState:
     def test_flags_class_counter_from_method(self, tmp_path):

@@ -1,0 +1,503 @@
+"""In-path middlebox chain: boxes, presets, axis plumbing, byte-identity.
+
+The determinism contract splits in two here:
+
+* an **empty** chain must be byte-identical to a path built before the
+  middlebox layer existed (same events, same curve, same fingerprint —
+  the pin below), so ``SIM_BEHAVIOUR_VERSION`` stays untouched;
+* a **non-empty** chain must replay byte-identically for identical
+  conditions, and must change the condition fingerprint so no cache
+  entry or fixture can confuse clean and impaired recordings.
+
+Transport-recovery invariants under each box live in
+``test_middlebox_recovery.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.browser.engine import PageLoad, load_page
+from repro.netem.engine import EventLoop
+from repro.netem.middlebox import (
+    MIDDLEBOX_PRESETS,
+    NO_MIDDLEBOXES,
+    AckDecimatorSpec,
+    DuplicateSpec,
+    JitterSpec,
+    MiddleboxChain,
+    MiddleboxChainSpec,
+    MtuClampSpec,
+    PolicerSpec,
+    ReorderSpec,
+    ShaperSpec,
+    build_chain,
+    chain_from_json,
+    middleboxes_by_name,
+    resolve_middleboxes,
+    spec_from_json,
+)
+from repro.netem.packet import Packet
+from repro.netem.path import NetworkPath, build_network_path
+from repro.netem.profiles import DSL, SAT_LAN
+from repro.testbed.campaign import Campaign, CampaignSpec, spec_from_json \
+    as campaign_spec_from_json
+from repro.testbed.harness import (
+    RecordingSummary,
+    condition_fingerprint,
+    condition_label,
+    produce_summary,
+)
+from repro.testbed.store import CONDITION_AXES, SummaryStore
+from repro.transport.config import QUIC, TCP
+from repro.util.rng import spawn_rng
+from repro.web.corpus import build_site
+
+#: Every preset with at least one box (the sweepable impaired chains).
+IMPAIRED_PRESETS = [chain.name for chain in MIDDLEBOX_PRESETS if chain.boxes]
+
+
+def run_chain(spec, packets, *, direction="down", seed=0):
+    """Feed ``packets`` through a one-box chain; return (time, size) exits."""
+    loop = EventLoop()
+    out = []
+    chain = build_chain(
+        loop, MiddleboxChainSpec("test", (spec,)),
+        lambda pkt: out.append((loop.now, pkt)),
+        seed=seed, direction=direction)
+    assert chain is not None
+    for delay, packet in packets:
+        loop.call_at(delay, lambda p=packet: chain(p))
+    loop.run(until=600.0)
+    return out
+
+
+# -- box semantics -----------------------------------------------------------
+
+
+class TestPolicer:
+    def test_drops_above_rate_passes_within(self):
+        # 2 Mbps = 250 kB/s; a 10-packet burst of 1500 B fits the
+        # 18 kB bucket, a 20-packet burst does not.
+        spec = PolicerSpec(rate_mbps=2.0, burst_bytes=18_000)
+        burst = [(0.0, Packet(size=1500, payload=None)) for _ in range(20)]
+        out = run_chain(spec, burst)
+        assert len(out) == 12  # floor(18000 / 1500)
+        # Spaced arrivals refill the bucket: nothing drops at line rate.
+        paced = [(i * 0.01, Packet(size=1500, payload=None))
+                 for i in range(20)]
+        assert len(run_chain(spec, paced)) == 20
+
+    def test_deterministic_without_rng(self):
+        spec = PolicerSpec()
+        burst = lambda: [(0.0, Packet(size=1500, payload=None))
+                         for _ in range(30)]
+        a = [(t, p.size) for t, p in run_chain(spec, burst())]
+        b = [(t, p.size) for t, p in run_chain(spec, burst())]
+        assert a == b
+
+
+class TestShaper:
+    def test_spaces_packets_to_rate(self):
+        # 1.5 Mbps = 187500 B/s → a 1500 B packet every 8 ms.
+        spec = ShaperSpec(rate_mbps=1.5, queue_bytes=60_000)
+        burst = [(0.0, Packet(size=1500, payload=None)) for _ in range(5)]
+        out = run_chain(spec, burst)
+        times = [t for t, _ in out]
+        assert len(out) == 5
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap == pytest.approx(1500 / 187_500) for gap in gaps)
+
+    def test_drops_beyond_queue_budget(self):
+        spec = ShaperSpec(rate_mbps=1.5, queue_bytes=4500)
+        burst = [(0.0, Packet(size=1500, payload=None)) for _ in range(10)]
+        out = run_chain(spec, burst)
+        assert len(out) == 3  # 4500 B of backlog budget
+
+
+class TestJitter:
+    def test_delays_within_bound_and_replays(self):
+        spec = JitterSpec(jitter_ms=30.0)
+        packets = lambda: [(i * 0.001, Packet(size=100, payload=None))
+                           for i in range(50)]
+        out = run_chain(spec, packets(), seed=5)
+        assert len(out) == 50
+        delays = [t - i * 0.001 for i, (t, _) in
+                  enumerate(sorted(out, key=lambda e: e[0]))]
+        assert all(0.0 <= d < 0.030 + 0.030 for d in delays)
+        assert any(d > 0.001 for d in delays)
+        replay = run_chain(spec, packets(), seed=5)
+        assert [(t, p.size) for t, p in out] == \
+            [(t, p.size) for t, p in replay]
+        other_seed = run_chain(spec, packets(), seed=6)
+        assert [(t, p.size) for t, p in out] != \
+            [(t, p.size) for t, p in other_seed]
+
+
+class TestReorder:
+    def test_held_packets_overtaken(self):
+        spec = ReorderSpec(probability=0.3, delay_ms=40.0)
+        packets = [(i * 0.001, Packet(size=100 + i, payload=None))
+                   for i in range(60)]
+        out = run_chain(spec, packets, seed=3)
+        assert len(out) == 60  # holds, never drops
+        sizes = [p.size for _, p in out]
+        assert sizes != sorted(sizes)  # some packet was overtaken
+
+    def test_zero_probability_is_passthrough(self):
+        spec = ReorderSpec(probability=0.0, delay_ms=40.0)
+        packets = [(i * 0.001, Packet(size=100 + i, payload=None))
+                   for i in range(20)]
+        out = run_chain(spec, packets, seed=3)
+        assert [p.size for _, p in out] == [100 + i for i in range(20)]
+
+
+class TestDuplicate:
+    def test_emits_extra_copies(self):
+        spec = DuplicateSpec(probability=0.5, delay_ms=2.0)
+        packets = [(i * 0.001, Packet(size=100, payload=None))
+                   for i in range(40)]
+        out = run_chain(spec, packets, seed=1)
+        assert len(out) > 40
+        # Copies carry the original's metadata.
+        assert all(p.size == 100 for _, p in out)
+
+    def test_copy_is_distinct_object(self):
+        spec = DuplicateSpec(probability=1.0, delay_ms=2.0)
+        original = Packet(size=100, payload="body")
+        out = run_chain(spec, [(0.0, original)], seed=1)
+        assert len(out) == 2
+        assert out[0][1] is original
+        assert out[1][1] is not original
+        assert out[1][1].payload == "body"
+
+
+class TestMtuClamp:
+    def test_small_packets_untouched(self):
+        spec = MtuClampSpec(mtu_bytes=600)
+        packet = Packet(size=400, payload="keep")
+        out = run_chain(spec, [(0.0, packet)])
+        assert len(out) == 1 and out[0][1] is packet
+
+    def test_fragments_reassemble_to_original(self):
+        spec = MtuClampSpec(mtu_bytes=600, fragment_gap_ms=0.2)
+        packet = Packet(size=1500, payload="body")
+        out = run_chain(spec, [(0.0, packet)])
+        # The chain exit reassembles: one delivery, the original packet,
+        # delayed by (count - 1) fragment gaps.
+        assert len(out) == 1
+        assert out[0][1] is packet
+        assert out[0][0] == pytest.approx(2 * 0.0002)
+
+    def test_lost_fragment_loses_whole_packet(self):
+        # Clamp then police with a bucket holding only one fragment
+        # burst: dropped fragments must never deliver the original.
+        loop = EventLoop()
+        out = []
+        chain_spec = MiddleboxChainSpec("clamp+police", (
+            MtuClampSpec(mtu_bytes=600, fragment_gap_ms=0.0),
+            PolicerSpec(rate_mbps=0.1, burst_bytes=700),
+        ))
+        chain = build_chain(loop, chain_spec, lambda pkt: out.append(pkt),
+                            seed=0, direction="down")
+        chain(Packet(size=1500, payload="big"))
+        loop.run(until=5.0)
+        assert out == []
+
+
+class TestAckDecimator:
+    def test_keeps_every_nth_small_packet(self):
+        spec = AckDecimatorSpec(direction="both", keep_every=4)
+        acks = [(i * 0.001, Packet(size=40, payload=None))
+                for i in range(8)]
+        out = run_chain(spec, acks)
+        assert len(out) == 2  # indices 0 and 4
+
+    def test_data_packets_pass(self):
+        spec = AckDecimatorSpec(direction="both", keep_every=4)
+        data = [(i * 0.001, Packet(size=1500, payload=None))
+                for i in range(8)]
+        assert len(run_chain(spec, data)) == 8
+
+    def test_quic_sized_acks_decimated(self):
+        spec = AckDecimatorSpec(direction="both", keep_every=2)
+        acks = [(i * 0.001, Packet(size=50, payload=None))
+                for i in range(6)]
+        assert len(run_chain(spec, acks)) == 3
+
+
+class TestChainSemantics:
+    def test_boxes_apply_in_order(self):
+        # Shaper before policer: shaping paces the burst, so the
+        # policer's bucket refills and nothing drops. Policer first
+        # drops the tail of the burst before the shaper sees it.
+        shaped_first = MiddleboxChainSpec("s+p", (
+            ShaperSpec(rate_mbps=1.5, queue_bytes=60_000),
+            PolicerSpec(rate_mbps=2.0, burst_bytes=3000),
+        ))
+        policed_first = MiddleboxChainSpec("p+s", (
+            PolicerSpec(rate_mbps=2.0, burst_bytes=3000),
+            ShaperSpec(rate_mbps=1.5, queue_bytes=60_000),
+        ))
+        counts = {}
+        for chain_spec in (shaped_first, policed_first):
+            loop = EventLoop()
+            out = []
+            chain = build_chain(loop, chain_spec,
+                                lambda pkt: out.append(pkt),
+                                seed=0, direction="down")
+            for _ in range(10):
+                chain(Packet(size=1500, payload=None))
+            loop.run(until=60.0)
+            counts[chain_spec.name] = len(out)
+        assert counts["s+p"] == 10
+        assert counts["p+s"] == 2
+
+    def test_direction_filter_skips_whole_chain(self):
+        loop = EventLoop()
+        chain_spec = MiddleboxChainSpec(
+            "up-only", (AckDecimatorSpec(direction="up"),))
+        assert build_chain(loop, chain_spec, lambda pkt: None,
+                           seed=0, direction="down") is None
+        assert build_chain(loop, chain_spec, lambda pkt: None,
+                           seed=0, direction="up") is not None
+
+    def test_empty_chain_is_rejected(self):
+        with pytest.raises(ValueError):
+            MiddleboxChain(EventLoop(), [], lambda pkt: None)
+
+    def test_per_box_rng_streams_are_independent(self):
+        a = spawn_rng(7, "mbox", 0, "down").random()
+        b = spawn_rng(7, "mbox", 1, "down").random()
+        c = spawn_rng(7, "mbox", 0, "up").random()
+        assert len({a, b, c}) == 3
+
+
+# -- presets and resolution ---------------------------------------------------
+
+
+class TestPresets:
+    def test_every_preset_resolves_case_insensitively(self):
+        for chain in MIDDLEBOX_PRESETS:
+            assert middleboxes_by_name(chain.name) is chain
+            assert middleboxes_by_name(chain.name.upper()) is chain
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="known:"):
+            middleboxes_by_name("nat44")
+
+    def test_resolve_accepts_name_spec_sequence_and_none(self):
+        assert resolve_middleboxes(None) is NO_MIDDLEBOXES
+        assert resolve_middleboxes("none") is NO_MIDDLEBOXES
+        assert resolve_middleboxes([]) is NO_MIDDLEBOXES
+        chain = resolve_middleboxes([ReorderSpec(), DuplicateSpec()])
+        assert chain.name == "reorder+duplicate"
+        assert resolve_middleboxes(chain) is chain
+        with pytest.raises(TypeError):
+            resolve_middleboxes([ReorderSpec(), "duplicate"])
+
+    def test_none_preset_is_falsy(self):
+        assert not NO_MIDDLEBOXES
+        assert middleboxes_by_name("adversarial")
+
+    def test_spec_json_roundtrip(self):
+        for chain in MIDDLEBOX_PRESETS:
+            rebuilt = chain_from_json(
+                json.loads(json.dumps(chain.describe())))
+            assert rebuilt == chain
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown middlebox kind"):
+            spec_from_json({"kind": "nat44"})
+
+    def test_invalid_spec_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderSpec(probability=1.5)
+        with pytest.raises(ValueError):
+            PolicerSpec(rate_mbps=0.0)
+        with pytest.raises(ValueError):
+            AckDecimatorSpec(keep_every=0)
+        with pytest.raises(ValueError):
+            JitterSpec(direction="sideways")
+
+
+# -- the byte-equivalence pin -------------------------------------------------
+
+
+class TestEmptyChainByteIdentity:
+    """`middleboxes=[]` must be byte-identical to no chain at all."""
+
+    def test_page_load_event_for_event_identical(self):
+        site = build_site("gov.uk", seed=0)
+
+        def run(**path_kwargs):
+            loop = EventLoop()
+            path = build_network_path(loop, DSL, seed=3, **path_kwargs)
+            result = PageLoad(loop, path, TCP, site, seed=3).run()
+            return loop.events_processed, result
+
+        base_events, base = run()
+        events, result = run(middleboxes=[])
+        assert events == base_events
+        assert result.curve.points == base.curve.points
+        assert result.metrics.as_dict() == base.metrics.as_dict()
+        assert result.transport == base.transport
+
+    def test_no_chain_objects_on_clean_path(self):
+        path = NetworkPath(EventLoop(), DSL, seed=0)
+        assert path.uplink_chain is None
+        assert path.downlink_chain is None
+        assert path.middleboxes is NO_MIDDLEBOXES
+
+    def test_fingerprint_untouched_by_empty_chain(self):
+        kwargs = dict(corpus_seed=0, seed=0, runs=2, timeout=180.0,
+                      selection_metric="PLT")
+        base = condition_fingerprint("gov.uk", DSL, TCP, **kwargs)
+        assert condition_fingerprint(
+            "gov.uk", DSL, TCP, middleboxes=None, **kwargs) == base
+        assert condition_fingerprint(
+            "gov.uk", DSL, TCP, middleboxes=NO_MIDDLEBOXES,
+            **kwargs) == base
+        impaired = condition_fingerprint(
+            "gov.uk", DSL, TCP,
+            middleboxes=middleboxes_by_name("ack-decimate"), **kwargs)
+        assert impaired != base
+
+    def test_chain_parameters_feed_fingerprint(self):
+        kwargs = dict(corpus_seed=0, seed=0, runs=2, timeout=180.0,
+                      selection_metric="PLT")
+        a = condition_fingerprint(
+            "gov.uk", DSL, TCP, **kwargs,
+            middleboxes=MiddleboxChainSpec("x", (JitterSpec(
+                jitter_ms=10.0),)))
+        b = condition_fingerprint(
+            "gov.uk", DSL, TCP, **kwargs,
+            middleboxes=MiddleboxChainSpec("x", (JitterSpec(
+                jitter_ms=20.0),)))
+        assert a != b
+
+    def test_label_untouched_when_clean(self):
+        assert condition_label("gov.uk", "DSL", "TCP", 3) == \
+            condition_label("gov.uk", "DSL", "TCP", 3, middleboxes="none")
+        impaired = condition_label("gov.uk", "DSL", "TCP", 3,
+                                   middleboxes="ack-decimate")
+        assert "ack-decimate" in impaired
+
+    def test_summary_json_untouched_when_clean(self):
+        summary = produce_summary(
+            "gov.uk", DSL, TCP, corpus_seed=0, seed=0, runs=1,
+            timeout=180.0, selection_metric="PLT")
+        payload = summary.to_json()
+        assert "middleboxes" not in payload
+        assert RecordingSummary.from_json(payload).middleboxes == "none"
+        assert summary == produce_summary(
+            "gov.uk", DSL, TCP, corpus_seed=0, seed=0, runs=1,
+            timeout=180.0, selection_metric="PLT", middleboxes="none")
+
+
+# -- deterministic replay, one smoke per middlebox ----------------------------
+
+
+class TestDeterministicReplay:
+    @pytest.mark.parametrize("preset", IMPAIRED_PRESETS)
+    def test_same_seed_identical_trace(self, preset):
+        site = build_site("gov.uk", seed=0)
+
+        def run():
+            result = load_page(site, DSL, TCP, seed=11,
+                               middleboxes=preset)
+            return (result.curve.points, result.metrics.as_dict(),
+                    result.transport)
+
+        assert run() == run()
+
+    def test_different_seed_differs_under_impairment(self):
+        site = build_site("gov.uk", seed=0)
+        a = load_page(site, DSL, QUIC, seed=11, middleboxes="adversarial")
+        b = load_page(site, DSL, QUIC, seed=12, middleboxes="adversarial")
+        assert a.curve.points != b.curve.points
+
+    def test_summary_level_replay(self):
+        kwargs = dict(corpus_seed=0, seed=2, runs=2, timeout=180.0,
+                      selection_metric="PLT", middleboxes="reorder")
+        a = produce_summary("gov.uk", DSL, QUIC, **kwargs)
+        b = produce_summary("gov.uk", DSL, QUIC, **kwargs)
+        assert a == b
+        assert a.middleboxes == "reorder"
+
+
+# -- campaign axis ------------------------------------------------------------
+
+
+class TestCampaignAxis:
+    def make_spec(self, **overrides):
+        base = dict(sites=["gov.uk"], networks=["DSL"], stacks=["TCP"],
+                    seeds=[0], runs=1, middleboxes=["none", "ack-decimate"],
+                    name="mbox-test")
+        base.update(overrides)
+        return CampaignSpec(**base)
+
+    def test_axis_expands_grid(self):
+        spec = self.make_spec()
+        conditions = spec.conditions()
+        assert len(conditions) == 2
+        assert [c.middleboxes.name for c in conditions] == \
+            ["none", "ack-decimate"]
+        assert conditions[0].fingerprint() != conditions[1].fingerprint()
+
+    def test_requires_at_least_one_chain(self):
+        with pytest.raises(ValueError, match="at least one middlebox"):
+            self.make_spec(middleboxes=[])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown middlebox chain"):
+            self.make_spec(middleboxes=["nat44"])
+
+    def test_spec_json_roundtrip_preserves_grid(self):
+        spec = self.make_spec(middleboxes=[
+            "none", MiddleboxChainSpec("custom", (JitterSpec(
+                jitter_ms=12.5),))])
+        rebuilt = campaign_spec_from_json(
+            json.loads(json.dumps(spec.describe())))
+        assert rebuilt.middleboxes == spec.middleboxes
+        assert rebuilt.fingerprint() == spec.fingerprint()
+        assert [c.fingerprint() for c in rebuilt.conditions()] == \
+            [c.fingerprint() for c in spec.conditions()]
+
+    def test_campaign_manifest_and_store_carry_axis(self, tmp_path):
+        spec = self.make_spec()
+        campaign = Campaign(spec, cache_dir=tmp_path)
+        result = campaign.run(processes=1)
+        assert result.ok
+        records = [json.loads(line) for line in
+                   campaign.manifest_path.read_text().splitlines()]
+        assert sorted(r["middleboxes"] for r in records) == \
+            ["ack-decimate", "none"]
+
+        store = SummaryStore.open(campaign.campaign_dir,
+                                  cache_dir=tmp_path)
+        keys = store.keys()
+        assert sorted(k.middleboxes for k in keys) == \
+            ["ack-decimate", "none"]
+        assert "middleboxes" in CONDITION_AXES
+        for key, summary in store.iter_summaries():
+            assert summary.middleboxes == key.middleboxes
+
+    def test_impaired_condition_differs_from_clean(self, tmp_path):
+        spec = self.make_spec()
+        campaign = Campaign(spec, cache_dir=tmp_path)
+        campaign.run(processes=1)
+        summaries = {s.middleboxes: s
+                     for _, s in campaign.iter_summaries()}
+        assert summaries["none"].selected_metrics["PLT"] != \
+            summaries["ack-decimate"].selected_metrics["PLT"]
+
+    def test_split_path_combines_with_middleboxes(self):
+        spec = CampaignSpec(
+            sites=["gov.uk"], networks=[SAT_LAN], stacks=["TCP"],
+            seeds=[0], runs=1, paths=["direct", "split"],
+            middleboxes=["none", "jitter"], name="mbox-split")
+        conditions = spec.conditions()
+        assert {(c.path, c.middleboxes.name) for c in conditions} == {
+            ("direct", "none"), ("direct", "jitter"),
+            ("split", "none"), ("split", "jitter")}

@@ -1,0 +1,233 @@
+"""Adversarial transport-recovery suite: TCP and QUIC under middleboxes.
+
+Property-style invariants, checked for every shipped middlebox and for
+stacked chains:
+
+* **exactly-once, in-order** — the application sees a monotonically
+  non-decreasing delivered-byte count that ends at exactly the number
+  of bytes written (duplicates and reordering below the transport must
+  never surface), and write metadata arrives once, in write order;
+* **no permanent stall** — the transfer completes within a generous
+  wall-clock cap even under ACK decimation or fragment loss;
+* **bounded work** — the event loop processes at most
+  ``EVENT_BUDGET`` events, so recovery cannot degenerate into a
+  retransmission storm;
+* **deterministic replay** — the same seed reproduces the identical
+  delivery trace, packet for packet, for the randomised boxes
+  (reorder, duplicate, ACK decimation — the ISSUE-pinned trio) and
+  for the stacked adversarial chain.
+
+Tier-1 keeps one smoke per middlebox on DSL; the full
+preset × profile × stack matrix runs under ``REPRO_RUN_SLOW=1``
+(``pytest -m slow``).
+"""
+
+import pytest
+
+from repro.netem.engine import EventLoop
+from repro.netem.middlebox import (
+    MIDDLEBOX_PRESETS,
+    DuplicateSpec,
+    JitterSpec,
+    MiddleboxChainSpec,
+    MtuClampSpec,
+    ReorderSpec,
+    resolve_middleboxes,
+)
+from repro.netem.path import NetworkPath
+from repro.netem.profiles import DSL, LTE, MSS
+from repro.transport.config import QUIC, TCP
+from repro.transport.quic import QuicConnection
+from repro.transport.tcp import TcpConnection
+
+IMPAIRED_PRESETS = [chain.name for chain in MIDDLEBOX_PRESETS if chain.boxes]
+
+#: A harsher stack than the "adversarial" preset: fragmentation under
+#: reordering and duplication, with jitter on top.
+GAUNTLET = MiddleboxChainSpec("gauntlet", (
+    MtuClampSpec(mtu_bytes=700, fragment_gap_ms=0.1),
+    ReorderSpec(probability=0.08, delay_ms=30.0),
+    DuplicateSpec(probability=0.08, delay_ms=1.5),
+    JitterSpec(jitter_ms=8.0),
+))
+
+PAYLOAD = 60_000
+TIME_CAP = 120.0
+#: Loose ceiling on event-loop work for one PAYLOAD transfer. A clean
+#: DSL run needs ~2k events; the worst impaired case (TCP under ACK
+#: decimation) stays under 60k. A retransmission storm blows through
+#: this immediately.
+EVENT_BUDGET = 400_000
+
+
+def run_tcp(middleboxes, *, profile=DSL, seed=0, payload=PAYLOAD,
+            time_cap=TIME_CAP):
+    """One server→client bulk transfer; returns the delivery trace."""
+    loop = EventLoop()
+    path = NetworkPath(loop, profile, seed=seed,
+                       middleboxes=resolve_middleboxes(middleboxes))
+    trace = []
+    metas = []
+
+    def on_client(delivered, new_metas):
+        trace.append((loop.now, delivered))
+        metas.extend(new_metas)
+
+    conn = TcpConnection(path, TCP, on_client_data=on_client,
+                         on_server_data=lambda d, m: None)
+
+    def go():
+        # Three writes with ordered metadata so meta order, not just
+        # the byte count, witnesses in-order delivery.
+        third = payload // 3
+        conn.server_write(third, meta="first")
+        conn.server_write(third, meta="second")
+        conn.server_write(payload - 2 * third, meta="third")
+
+    conn.connect(go)
+    loop.run(until=time_cap)
+    return loop, trace, metas
+
+
+def run_quic(middleboxes, *, profile=DSL, seed=0, payload=PAYLOAD,
+             time_cap=TIME_CAP):
+    """Two concurrent server→client streams; returns per-stream traces."""
+    loop = EventLoop()
+    path = NetworkPath(loop, profile, seed=seed,
+                       middleboxes=resolve_middleboxes(middleboxes))
+    traces = {}
+    fins = set()
+    metas = []
+
+    def on_client(stream_id, delivered, new_metas, fin):
+        traces.setdefault(stream_id, []).append((loop.now, delivered))
+        metas.extend(new_metas)
+        if fin:
+            fins.add(stream_id)
+
+    conn = QuicConnection(path, QUIC, on_client,
+                          lambda sid, d, m, fin: None)
+
+    def go():
+        for i in range(2):
+            sid = conn.open_stream()
+            conn.client_stream_write(sid, 300, fin=True)
+            conn.server_stream_write(sid, payload // 2,
+                                     meta=f"stream-{i}", fin=True)
+
+    conn.connect(go)
+    loop.run(until=time_cap)
+    return loop, traces, fins, metas
+
+
+def assert_tcp_recovered(loop, trace, metas, payload=PAYLOAD):
+    assert trace, "no bytes ever reached the application"
+    counts = [delivered for _, delivered in trace]
+    # Exactly-once: cumulative count never regresses and never
+    # overshoots the written total — a duplicate surfacing at the
+    # application would do one or the other.
+    assert all(b > a for a, b in zip(counts, counts[1:])), \
+        "delivered-byte count regressed"
+    assert counts[-1] == payload, \
+        f"stalled at {counts[-1]}/{payload} bytes"
+    assert max(counts) == payload
+    # In-order: write metadata fires once each, in write order.
+    assert metas == ["first", "second", "third"]
+    assert loop.events_processed < EVENT_BUDGET
+
+
+def assert_quic_recovered(loop, traces, fins, metas, payload=PAYLOAD):
+    assert len(traces) == 2, "a stream never delivered anything"
+    for stream_id, trace in traces.items():
+        counts = [delivered for _, delivered in trace]
+        assert all(b > a for a, b in zip(counts, counts[1:])), \
+            f"stream {stream_id} delivered-byte count regressed"
+        assert counts[-1] == payload // 2, \
+            f"stream {stream_id} stalled at {counts[-1]}"
+    assert fins == set(traces), "a stream never saw its FIN"
+    assert sorted(metas) == ["stream-0", "stream-1"]
+    assert loop.events_processed < EVENT_BUDGET
+
+
+# -- tier-1 smokes: one per middlebox, DSL only ------------------------------
+
+
+class TestTcpRecoverySmoke:
+    @pytest.mark.parametrize("preset", IMPAIRED_PRESETS)
+    def test_recovers_under(self, preset):
+        loop, trace, metas = run_tcp(preset, seed=1)
+        assert_tcp_recovered(loop, trace, metas)
+
+
+class TestQuicRecoverySmoke:
+    @pytest.mark.parametrize("preset", IMPAIRED_PRESETS)
+    def test_recovers_under(self, preset):
+        loop, traces, fins, metas = run_quic(preset, seed=1)
+        assert_quic_recovered(loop, traces, fins, metas)
+
+
+class TestStackedChains:
+    def test_tcp_survives_gauntlet(self):
+        loop, trace, metas = run_tcp(GAUNTLET, seed=2)
+        assert_tcp_recovered(loop, trace, metas)
+
+    def test_quic_survives_gauntlet(self):
+        loop, traces, fins, metas = run_quic(GAUNTLET, seed=2)
+        assert_quic_recovered(loop, traces, fins, metas)
+
+
+# -- deterministic replay (ISSUE pin: reorder / duplicate / decimation) -------
+
+
+REPLAY_PRESETS = ["reorder", "duplicate", "ack-decimate"]
+
+
+class TestDeterministicReplay:
+    @pytest.mark.parametrize("preset", REPLAY_PRESETS)
+    def test_tcp_trace_replays(self, preset):
+        a = run_tcp(preset, seed=7)
+        b = run_tcp(preset, seed=7)
+        assert a[1] == b[1]  # identical (time, delivered) trace
+        assert a[0].events_processed == b[0].events_processed
+
+    @pytest.mark.parametrize("preset", REPLAY_PRESETS)
+    def test_quic_trace_replays(self, preset):
+        a = run_quic(preset, seed=7)
+        b = run_quic(preset, seed=7)
+        assert a[1] == b[1]
+        assert a[0].events_processed == b[0].events_processed
+
+    def test_gauntlet_replays_and_seed_matters(self):
+        a = run_tcp(GAUNTLET, seed=9)
+        b = run_tcp(GAUNTLET, seed=9)
+        c = run_tcp(GAUNTLET, seed=10)
+        assert a[1] == b[1]
+        assert a[1] != c[1]
+
+
+# -- full adversarial matrix (slow tier) --------------------------------------
+
+
+MATRIX_PROFILES = [DSL, LTE, MSS]
+
+
+@pytest.mark.slow
+class TestAdversarialMatrix:
+    @pytest.mark.parametrize(
+        "profile", MATRIX_PROFILES, ids=lambda p: p.name)
+    @pytest.mark.parametrize("preset", IMPAIRED_PRESETS + ["gauntlet"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tcp_matrix(self, profile, preset, seed):
+        chain = GAUNTLET if preset == "gauntlet" else preset
+        loop, trace, metas = run_tcp(chain, profile=profile, seed=seed)
+        assert_tcp_recovered(loop, trace, metas)
+
+    @pytest.mark.parametrize(
+        "profile", MATRIX_PROFILES, ids=lambda p: p.name)
+    @pytest.mark.parametrize("preset", IMPAIRED_PRESETS + ["gauntlet"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_quic_matrix(self, profile, preset, seed):
+        chain = GAUNTLET if preset == "gauntlet" else preset
+        loop, traces, fins, metas = run_quic(chain, profile=profile,
+                                             seed=seed)
+        assert_quic_recovered(loop, traces, fins, metas)

@@ -30,6 +30,18 @@ GROUPS = ("lab", "microworker", "internet")
 SEEDS = (0, 11)
 
 
+def _group_seed_matrix(smoke):
+    """The full group × seed grid, with everything except the ``smoke``
+    combination in the slow tier (``REPRO_RUN_SLOW=1``) — tier-1 keeps
+    one scalar-vs-vectorized pin per study type."""
+    params = []
+    for group in GROUPS:
+        for seed in SEEDS:
+            marks = () if (group, seed) == smoke else (pytest.mark.slow,)
+            params.append(pytest.param(group, seed, marks=marks))
+    return params
+
+
 def _assert_sessions_equal(fast, slow):
     assert len(fast) == len(slow)
     for a, b in zip(fast, slow):
@@ -50,8 +62,8 @@ def _assert_sessions_equal(fast, slow):
         assert len(a.trials) == len(b.trials)
 
 
-@pytest.mark.parametrize("group", GROUPS)
-@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "group,seed", _group_seed_matrix(smoke=("microworker", 0)))
 def test_ab_study_identical(small_testbed, group, seed):
     plan = StudyPlan(sites=SMALL_SITES)
     kwargs = dict(group=group, plan=plan, participants=PARTICIPANTS,
@@ -69,8 +81,8 @@ def test_ab_study_identical(small_testbed, group, seed):
         assert a.duration_s == b.duration_s
 
 
-@pytest.mark.parametrize("group", GROUPS)
-@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "group,seed", _group_seed_matrix(smoke=("lab", 11)))
 def test_rating_study_identical(small_testbed, group, seed):
     plan = StudyPlan(sites=SMALL_SITES)
     kwargs = dict(group=group, plan=plan, participants=PARTICIPANTS,
